@@ -1,0 +1,75 @@
+//===- BenchHarness.h - Shared benchmark plumbing ---------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing for the table/figure reproduction binaries: generate
+/// the six paper-shaped suites, run OVS and the HCD offline pass, time
+/// solver runs, and track peak memory per run. Every bench binary reads
+/// the scale factor from argv[1] or the AG_BENCH_SCALE environment
+/// variable (default 0.25; scale 1.0 approximates the paper's sizes / 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_BENCH_BENCHHARNESS_H
+#define AG_BENCH_BENCHHARNESS_H
+
+#include "constraints/OfflineVariableSubstitution.h"
+#include "core/HcdOffline.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <string>
+#include <vector>
+
+namespace ag {
+namespace bench {
+
+/// One generated-and-preprocessed benchmark suite.
+struct Suite {
+  std::string Name;
+  uint64_t RawConstraints = 0;
+  ConstraintSystem Reduced; ///< After OVS (the paper solves these).
+  std::vector<NodeId> Rep;  ///< OVS representative map.
+  HcdResult Hcd;
+  double OvsSeconds = 0;
+  double HcdOfflineSeconds = 0;
+  uint64_t NumBase = 0, NumSimple = 0, NumComplex = 0;
+};
+
+/// Resolves the scale factor: argv[1] if present, else AG_BENCH_SCALE,
+/// else \p Default.
+double scaleFromArgs(int Argc, char **Argv, double Default = 0.12);
+
+/// Generates and preprocesses all six suites at \p Scale.
+std::vector<Suite> loadSuites(double Scale);
+
+/// Result of one timed solver run.
+struct RunResult {
+  double Seconds = 0;
+  SolverStats Stats;
+  uint64_t PeakBitmapBytes = 0;
+  uint64_t PeakBddBytes = 0;
+  uint64_t SolutionHash = 0;
+  uint64_t TotalPtsSize = 0;
+
+  double peakMb() const {
+    return double(PeakBitmapBytes + PeakBddBytes) / (1024.0 * 1024.0);
+  }
+};
+
+/// Times one solve of \p S with \p Kind/\p Repr, capturing stats and peak
+/// tracked memory. The HCD offline result is reused (its cost is reported
+/// separately, as in Table 3).
+RunResult runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr);
+
+/// Prints the standard header naming the experiment.
+void printHeader(const char *Experiment, const char *PaperRef,
+                 double Scale);
+
+} // namespace bench
+} // namespace ag
+
+#endif // AG_BENCH_BENCHHARNESS_H

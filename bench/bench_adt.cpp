@@ -1,0 +1,112 @@
+//===- bench_adt.cpp - Microbenchmarks for the support ADTs ---------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the sparse bit vector (the hot
+/// data structure of every bitmap solver) and the union-find.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/Rng.h"
+#include "adt/SparseBitVector.h"
+#include "adt/UnionFind.h"
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+SparseBitVector randomVector(uint64_t Seed, unsigned Count,
+                             uint32_t Universe) {
+  Rng R(Seed);
+  SparseBitVector V;
+  for (unsigned I = 0; I != Count; ++I)
+    V.set(static_cast<uint32_t>(R.nextBelow(Universe)));
+  return V;
+}
+
+void BM_SbvSet(benchmark::State &State) {
+  uint32_t Universe = static_cast<uint32_t>(State.range(0));
+  Rng R(1);
+  for (auto _ : State) {
+    SparseBitVector V;
+    for (int I = 0; I != 1000; ++I)
+      V.set(static_cast<uint32_t>(R.nextBelow(Universe)));
+    benchmark::DoNotOptimize(V.count());
+  }
+}
+BENCHMARK(BM_SbvSet)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SbvUnion(benchmark::State &State) {
+  uint32_t Universe = static_cast<uint32_t>(State.range(0));
+  SparseBitVector A = randomVector(1, 2000, Universe);
+  SparseBitVector B = randomVector(2, 2000, Universe);
+  for (auto _ : State) {
+    SparseBitVector C = A;
+    benchmark::DoNotOptimize(C.unionWith(B));
+  }
+}
+BENCHMARK(BM_SbvUnion)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SbvEquality(benchmark::State &State) {
+  // The LCD trigger compares sets constantly; equality must be cheap.
+  SparseBitVector A = randomVector(3, 4000, 1 << 16);
+  SparseBitVector B = A;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A == B);
+}
+BENCHMARK(BM_SbvEquality);
+
+void BM_SbvIterate(benchmark::State &State) {
+  SparseBitVector A = randomVector(4, 4000, 1 << 16);
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (uint32_t X : A)
+      Sum += X;
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_SbvIterate);
+
+void BM_SbvVsStdSetUnion(benchmark::State &State) {
+  // Context for why the solvers use sparse bitmaps.
+  std::set<uint32_t> A, B;
+  Rng R(5);
+  for (int I = 0; I != 2000; ++I) {
+    A.insert(static_cast<uint32_t>(R.nextBelow(1 << 16)));
+    B.insert(static_cast<uint32_t>(R.nextBelow(1 << 16)));
+  }
+  for (auto _ : State) {
+    std::set<uint32_t> C = A;
+    C.insert(B.begin(), B.end());
+    benchmark::DoNotOptimize(C.size());
+  }
+}
+BENCHMARK(BM_SbvVsStdSetUnion);
+
+void BM_UnionFind(benchmark::State &State) {
+  uint32_t N = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    UnionFind UF(N);
+    Rng R(7);
+    for (uint32_t I = 0; I != N; ++I)
+      UF.unite(static_cast<uint32_t>(R.nextBelow(N)),
+               static_cast<uint32_t>(R.nextBelow(N)));
+    uint64_t Sum = 0;
+    for (uint32_t I = 0; I != N; ++I)
+      Sum += UF.find(I);
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 12)->Arg(1 << 16);
+
+} // namespace
+
+BENCHMARK_MAIN();

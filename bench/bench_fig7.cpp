@@ -1,0 +1,58 @@
+//===- bench_fig7.cpp - Main algorithms normalized to LCD (Figure 7) ------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 7: per-suite times of HT, PKH, BLQ and HCD
+/// normalized by LCD's time (bars > 1 mean slower than LCD).
+///
+/// Expected shape (paper): HT about 1.05x LCD; PKH about 2x; BLQ about
+/// 7x; standalone HCD between HT and PKH (and it runs out of memory on
+/// wine in the paper — here it just uses the most memory).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+
+using namespace ag;
+using namespace ag::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  printHeader("Figure 7: time normalized to LCD (per suite)", "Figure 7",
+              Scale);
+
+  std::vector<Suite> Suites = loadSuites(Scale);
+  const SolverKind Kinds[] = {SolverKind::HT, SolverKind::PKH,
+                              SolverKind::BLQ, SolverKind::HCD};
+
+  std::printf("%-11s", "");
+  for (const Suite &S : Suites)
+    std::printf(" %11s", S.Name.c_str());
+  std::printf("\n");
+
+  std::vector<double> LcdSeconds;
+  std::printf("%-11s", "LCD");
+  for (const Suite &S : Suites) {
+    LcdSeconds.push_back(runSolver(S, SolverKind::LCD, PtsRepr::Bitmap)
+                             .Seconds);
+    std::printf(" %11.2f", 1.0);
+  }
+  std::printf("   (baseline)\n");
+
+  for (SolverKind Kind : Kinds) {
+    std::printf("%-11s", solverKindName(Kind));
+    std::fflush(stdout);
+    for (size_t I = 0; I != Suites.size(); ++I) {
+      double T = runSolver(Suites[I], Kind, PtsRepr::Bitmap).Seconds;
+      std::printf(" %11.2f", T / LcdSeconds[I]);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

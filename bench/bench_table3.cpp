@@ -1,0 +1,60 @@
+//===- bench_table3.cpp - Solve times, bitmap points-to (Table 3) ---------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 3: wall-clock solve time for the nine algorithms on
+/// each suite, using sparse bitmaps for points-to sets. The HCD offline
+/// analysis is timed separately (first row), as in the paper.
+///
+/// Expected shape (paper): HT is the fastest prior algorithm (1.9x over
+/// PKH, 6.5x over BLQ); LCD edges out HT; adding HCD speeds HT/PKH/LCD by
+/// 3-5x and barely moves BLQ; LCD+HCD is fastest overall (3.2x HT,
+/// 6.4x PKH, 20.6x BLQ on the paper's machines).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace ag;
+using namespace ag::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  printHeader("Table 3: performance (seconds), bitmap points-to sets",
+              "Table 3 / Figure 6", Scale);
+
+  std::vector<Suite> Suites = loadSuites(Scale);
+
+  std::printf("%-11s", "");
+  for (const Suite &S : Suites)
+    std::printf(" %11s", S.Name.c_str());
+  std::printf("\n%-11s", "HCD-Offline");
+  for (const Suite &S : Suites)
+    std::printf(" %11.4f", S.HcdOfflineSeconds);
+  std::printf("\n");
+
+  std::map<std::string, uint64_t> Hashes;
+  bool AllAgree = true;
+  for (SolverKind Kind : AllSolverKinds) {
+    std::printf("%-11s", solverKindName(Kind));
+    std::fflush(stdout);
+    for (const Suite &S : Suites) {
+      RunResult R = runSolver(S, Kind, PtsRepr::Bitmap);
+      std::printf(" %11.4f", R.Seconds);
+      std::fflush(stdout);
+      auto [It, New] = Hashes.try_emplace(S.Name, R.SolutionHash);
+      if (!New && It->second != R.SolutionHash)
+        AllAgree = false;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nsolution agreement across algorithms: %s\n",
+              AllAgree ? "yes" : "NO — BUG");
+  return AllAgree ? 0 : 1;
+}

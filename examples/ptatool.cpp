@@ -1,0 +1,185 @@
+//===- ptatool.cpp - Constraint-file driver -------------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line driver around the constraint-file workflow, mirroring how
+/// the paper's pipeline separated constraint generation (CIL) from solving:
+///
+///   ptatool gen <out-dir> [scale]        write the six suite files
+///   ptatool gen-c <file.c> <out.cons>    constraints from mini-C source
+///   ptatool solve <file.cons> [algo]     solve and print summary stats
+///   ptatool query <file.cons> <v> <w>    may-alias query by node name
+///
+//===----------------------------------------------------------------------===//
+
+#include "constraints/OfflineVariableSubstitution.h"
+#include "frontend/ConstraintGen.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ag;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ptatool gen <out-dir> [scale]\n"
+               "       ptatool gen-c <file.c> <out.cons>\n"
+               "       ptatool solve <file.cons> [HT|PKH|BLQ|LCD|HCD|"
+               "HT+HCD|PKH+HCD|BLQ+HCD|LCD+HCD|Naive]\n"
+               "       ptatool query <file.cons> <name1> <name2>\n");
+  return 2;
+}
+
+bool parseKind(const std::string &Name, SolverKind &Out) {
+  for (SolverKind K : AllSolverKinds)
+    if (Name == solverKindName(K)) {
+      Out = K;
+      return true;
+    }
+  if (Name == "Naive") {
+    Out = SolverKind::Naive;
+    return true;
+  }
+  return false;
+}
+
+bool loadSystem(const std::string &Path, ConstraintSystem &CS) {
+  std::string Error;
+  if (!ConstraintSystem::readFromFile(Path, CS, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmdGen(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string Dir = Argv[2];
+  double Scale = Argc > 3 ? std::atof(Argv[3]) : 0.25;
+  for (const BenchmarkSpec &Spec : paperSuites(Scale)) {
+    ConstraintSystem CS = generateBenchmark(Spec);
+    std::string Path = Dir + "/" + Spec.Name + ".cons";
+    if (!CS.writeToFile(Path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+      return 1;
+    }
+    std::printf("wrote %-40s (%zu constraints, %u nodes)\n", Path.c_str(),
+                CS.constraints().size(), CS.numNodes());
+  }
+  return 0;
+}
+
+int cmdGenC(int Argc, char **Argv) {
+  if (Argc < 4)
+    return usage();
+  std::ifstream In(Argv[2]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[2]);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  GeneratedConstraints Gen;
+  std::string Error;
+  if (!generateConstraintsFromSource(Buf.str(), Gen, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Gen.CS.writeToFile(Argv[3])) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Argv[3]);
+    return 1;
+  }
+  std::printf("wrote %s (%zu constraints, %u nodes)\n", Argv[3],
+              Gen.CS.constraints().size(), Gen.CS.numNodes());
+  return 0;
+}
+
+int cmdSolve(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  ConstraintSystem CS;
+  if (!loadSystem(Argv[2], CS))
+    return 1;
+  SolverKind Kind = SolverKind::LCDHCD;
+  if (Argc > 3 && !parseKind(Argv[3], Kind)) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n", Argv[3]);
+    return 1;
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  OvsResult Ovs = runOfflineVariableSubstitution(CS);
+  SolverStats Stats;
+  PointsToSolution Sol = solve(Ovs.Reduced, Kind, PtsRepr::Bitmap, &Stats,
+                               SolverOptions(), &Ovs.Rep);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  std::printf("%s on %s: %.3f s (incl. OVS)\n", solverKindName(Kind),
+              Argv[2], Seconds);
+  std::printf("  nodes %u, constraints %zu (%zu after OVS)\n",
+              CS.numNodes(), CS.constraints().size(),
+              Ovs.Reduced.constraints().size());
+  std::printf("  total |pts| %llu, solution hash %016llx\n",
+              static_cast<unsigned long long>(Sol.totalPointsToSize()),
+              static_cast<unsigned long long>(Sol.hash()));
+  std::printf("%s", Stats.toString("  ").c_str());
+  return 0;
+}
+
+int cmdQuery(int Argc, char **Argv) {
+  if (Argc < 5)
+    return usage();
+  ConstraintSystem CS;
+  if (!loadSystem(Argv[2], CS))
+    return 1;
+  NodeId A = InvalidNode, B = InvalidNode;
+  for (NodeId V = 0; V != CS.numNodes(); ++V) {
+    if (CS.nameOf(V) == Argv[3])
+      A = V;
+    if (CS.nameOf(V) == Argv[4])
+      B = V;
+  }
+  if (A == InvalidNode || B == InvalidNode) {
+    std::fprintf(stderr, "error: unknown node name '%s'\n",
+                 A == InvalidNode ? Argv[3] : Argv[4]);
+    return 1;
+  }
+  OvsResult Ovs = runOfflineVariableSubstitution(CS);
+  PointsToSolution Sol = solve(Ovs.Reduced, SolverKind::LCDHCD,
+                               PtsRepr::Bitmap, nullptr, SolverOptions(),
+                               &Ovs.Rep);
+  std::printf("mayAlias(%s, %s) = %s\n", Argv[3], Argv[4],
+              Sol.mayAlias(A, B) ? "yes" : "no");
+  std::printf("|pts(%s)| = %zu, |pts(%s)| = %zu\n", Argv[3],
+              Sol.pointsTo(A).count(), Argv[4], Sol.pointsTo(B).count());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "gen") == 0)
+    return cmdGen(Argc, Argv);
+  if (std::strcmp(Argv[1], "gen-c") == 0)
+    return cmdGenC(Argc, Argv);
+  if (std::strcmp(Argv[1], "solve") == 0)
+    return cmdSolve(Argc, Argv);
+  if (std::strcmp(Argv[1], "query") == 0)
+    return cmdQuery(Argc, Argv);
+  return usage();
+}

@@ -1,0 +1,84 @@
+//===- solver_race.cpp - All nine algorithms head to head -----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every algorithm the paper evaluates on one synthetic benchmark and
+/// prints a miniature version of Table 3: solve time, plus the Section-5.3
+/// behaviour metrics (nodes collapsed / searched, propagations), verifying
+/// along the way that all solutions agree.
+///
+/// Usage: solver_race [scale]   (default 0.25; 1.0 ~ paper/8 sizing)
+///
+//===----------------------------------------------------------------------===//
+
+#include "constraints/OfflineVariableSubstitution.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ag;
+
+int main(int Argc, char **Argv) {
+  double Scale = Argc > 1 ? std::atof(Argv[1]) : 0.25;
+  BenchmarkSpec Spec = paperSuites(Scale).at(0); // The Emacs-shaped suite.
+
+  std::printf("== generating '%s' workload (scale %.2f)\n",
+              Spec.Name.c_str(), Scale);
+  ConstraintSystem Raw = generateBenchmark(Spec);
+  OvsResult Ovs = runOfflineVariableSubstitution(Raw);
+  const ConstraintSystem &CS = Ovs.Reduced;
+  std::printf("   %u nodes, %zu constraints (%zu before OVS)\n\n",
+              CS.numNodes(), CS.constraints().size(),
+              Raw.constraints().size());
+
+  // The HCD offline pass is shared and timed separately, as in Table 3.
+  auto T0 = std::chrono::steady_clock::now();
+  HcdResult Hcd = runHcdOffline(CS);
+  auto T1 = std::chrono::steady_clock::now();
+  double HcdOfflineMs =
+      std::chrono::duration<double, std::milli>(T1 - T0).count();
+  std::printf("HCD offline analysis: %.2f ms (%llu pre-merged, %zu lazy "
+              "tuples)\n\n",
+              HcdOfflineMs,
+              static_cast<unsigned long long>(Hcd.NumPreMerged),
+              Hcd.Lazy.size());
+
+  std::printf("%-9s %10s %12s %12s %14s %9s\n", "algorithm", "time(ms)",
+              "collapsed", "searched", "propagations", "agrees");
+
+  PointsToSolution Reference;
+  bool HaveReference = false;
+  for (SolverKind Kind : AllSolverKinds) {
+    SolverStats Stats;
+    auto Start = std::chrono::steady_clock::now();
+    PointsToSolution S =
+        solve(CS, Kind, PtsRepr::Bitmap, &Stats, SolverOptions(),
+              &Ovs.Rep, usesHcd(Kind) ? &Hcd : nullptr);
+    auto End = std::chrono::steady_clock::now();
+    double Ms = std::chrono::duration<double, std::milli>(End - Start)
+                    .count();
+    bool Agrees = true;
+    if (!HaveReference) {
+      Reference = std::move(S);
+      HaveReference = true;
+    } else {
+      Agrees = S == Reference;
+    }
+    std::printf("%-9s %10.2f %12llu %12llu %14llu %9s\n",
+                solverKindName(Kind), Ms,
+                static_cast<unsigned long long>(Stats.NodesCollapsed),
+                static_cast<unsigned long long>(Stats.NodesSearched),
+                static_cast<unsigned long long>(Stats.Propagations),
+                Agrees ? "yes" : "NO");
+    if (!Agrees)
+      return 1;
+  }
+  std::printf("\nall algorithms computed identical solutions\n");
+  return 0;
+}

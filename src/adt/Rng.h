@@ -1,0 +1,87 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (xoshiro256**, seeded via SplitMix64)
+/// used by the synthetic workload generator and the property-based tests.
+/// Determinism matters: the benchmark suites must be identical across runs
+/// and machines so results are comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_RNG_H
+#define AG_ADT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ag {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the full state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). Requires Bound > 0.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Debiased via rejection on the top of the range.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ag
+
+#endif // AG_ADT_RNG_H

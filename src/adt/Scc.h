@@ -1,0 +1,106 @@
+//===- Scc.h - Strongly-connected components of static graphs ---*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative Tarjan SCC over a fixed adjacency-list graph. Used by the
+/// offline analyses (OVS and HCD's offline pass), which run Tarjan's
+/// linear-time algorithm over the offline constraint graph. The online
+/// solvers use their own Nuutila-variant SCC that understands node
+/// representatives (see core/SolverContext.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_SCC_H
+#define AG_ADT_SCC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ag {
+
+/// SCC decomposition result.
+struct SccResult {
+  /// Maps each node to its component id.
+  std::vector<uint32_t> Comp;
+  /// Component members, indexed by component id. Components are numbered
+  /// in Tarjan emission order, which is a *reverse* topological order of
+  /// the condensation: if an edge crosses from comp(U) to comp(V), then
+  /// comp(V) < comp(U).
+  std::vector<std::vector<uint32_t>> Members;
+};
+
+/// Computes the strongly-connected components of the graph with nodes
+/// [0, NumNodes) and successor lists \p Succs.
+inline SccResult computeSccs(uint32_t NumNodes,
+                             const std::vector<std::vector<uint32_t>> &Succs) {
+  constexpr uint32_t Unvisited = ~0u;
+  SccResult Result;
+  Result.Comp.assign(NumNodes, Unvisited);
+
+  std::vector<uint32_t> Index(NumNodes, Unvisited);
+  std::vector<uint32_t> LowLink(NumNodes, 0);
+  std::vector<bool> OnStack(NumNodes, false);
+  std::vector<uint32_t> SccStack;
+  uint32_t NextIndex = 0;
+
+  // Explicit DFS frames: (node, next child position).
+  struct Frame {
+    uint32_t Node;
+    uint32_t Child;
+  };
+  std::vector<Frame> Dfs;
+
+  for (uint32_t Root = 0; Root != NumNodes; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    Dfs.push_back(Frame{Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    SccStack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      uint32_t U = F.Node;
+      if (F.Child < Succs[U].size()) {
+        uint32_t V = Succs[U][F.Child++];
+        if (Index[V] == Unvisited) {
+          Index[V] = LowLink[V] = NextIndex++;
+          SccStack.push_back(V);
+          OnStack[V] = true;
+          Dfs.push_back(Frame{V, 0});
+        } else if (OnStack[V] && Index[V] < LowLink[U]) {
+          LowLink[U] = Index[V];
+        }
+        continue;
+      }
+      // U is finished: pop the frame and maybe emit a component.
+      Dfs.pop_back();
+      if (!Dfs.empty()) {
+        uint32_t Parent = Dfs.back().Node;
+        if (LowLink[U] < LowLink[Parent])
+          LowLink[Parent] = LowLink[U];
+      }
+      if (LowLink[U] == Index[U]) {
+        uint32_t CompId = static_cast<uint32_t>(Result.Members.size());
+        Result.Members.emplace_back();
+        for (;;) {
+          uint32_t W = SccStack.back();
+          SccStack.pop_back();
+          OnStack[W] = false;
+          Result.Comp[W] = CompId;
+          Result.Members[CompId].push_back(W);
+          if (W == U)
+            break;
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+} // namespace ag
+
+#endif // AG_ADT_SCC_H

@@ -1,0 +1,252 @@
+//===- SparseBitVector.h - GCC-style sparse bitmap --------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse bit vector modeled on the sparse bitmap implementation the paper
+/// takes from GCC 4.1.1: a sorted singly-linked list of 128-bit elements with
+/// a cached cursor for amortized-constant sequential access. This is the
+/// representation used for both points-to sets and constraint-graph edge
+/// sets in all non-BDD solvers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_SPARSEBITVECTOR_H
+#define AG_ADT_SPARSEBITVECTOR_H
+
+#include "adt/MemTracker.h"
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+
+namespace ag {
+
+/// Sorted-list-of-elements sparse bit set over uint32_t indices.
+///
+/// Elements cover 128 bits each (two 64-bit words), mirroring GCC's
+/// BITMAP_ELEMENT_ALL_BITS on 64-bit hosts. All bulk operations (union,
+/// intersection, difference, comparison) are linear merges over the two
+/// element lists.
+class SparseBitVector {
+  static constexpr uint32_t WordBits = 64;
+  static constexpr uint32_t WordsPerElement = 2;
+  static constexpr uint32_t BitsPerElement = WordBits * WordsPerElement;
+
+  struct Element {
+    Element *Next;
+    uint32_t Index; ///< Bit range covered: [Index*128, Index*128+128).
+    uint64_t Words[WordsPerElement];
+
+    bool empty() const { return Words[0] == 0 && Words[1] == 0; }
+
+    bool test(uint32_t BitInElement) const {
+      return (Words[BitInElement / WordBits] >>
+              (BitInElement % WordBits)) &
+             1;
+    }
+
+    void set(uint32_t BitInElement) {
+      Words[BitInElement / WordBits] |= uint64_t(1)
+                                        << (BitInElement % WordBits);
+    }
+
+    void reset(uint32_t BitInElement) {
+      Words[BitInElement / WordBits] &=
+          ~(uint64_t(1) << (BitInElement % WordBits));
+    }
+
+    unsigned count() const {
+      return std::popcount(Words[0]) + std::popcount(Words[1]);
+    }
+  };
+
+public:
+  SparseBitVector() = default;
+
+  SparseBitVector(const SparseBitVector &RHS) { copyFrom(RHS); }
+
+  SparseBitVector(SparseBitVector &&RHS) noexcept
+      : Head(RHS.Head), Curr(RHS.Curr),
+        NumElements(RHS.NumElements) {
+    RHS.Head = RHS.Curr = nullptr;
+    RHS.NumElements = 0;
+  }
+
+  SparseBitVector &operator=(const SparseBitVector &RHS) {
+    if (this != &RHS) {
+      clear();
+      copyFrom(RHS);
+    }
+    return *this;
+  }
+
+  SparseBitVector &operator=(SparseBitVector &&RHS) noexcept {
+    if (this != &RHS) {
+      clear();
+      Head = RHS.Head;
+
+      Curr = RHS.Curr;
+      NumElements = RHS.NumElements;
+      RHS.Head = RHS.Curr = nullptr;
+      RHS.NumElements = 0;
+    }
+    return *this;
+  }
+
+  ~SparseBitVector() { clear(); }
+
+  /// Removes all bits.
+  void clear();
+
+  /// Returns true if no bit is set.
+  bool empty() const { return Head == nullptr; }
+
+  /// Returns the number of set bits.
+  size_t count() const;
+
+  /// Returns true if bit \p Idx is set.
+  bool test(uint32_t Idx) const;
+
+  /// Sets bit \p Idx. \returns true if the bit was newly set.
+  bool set(uint32_t Idx);
+
+  /// Clears bit \p Idx. \returns true if the bit was previously set.
+  bool reset(uint32_t Idx);
+
+  /// Sets this to the union with \p RHS. \returns true if this changed.
+  bool unionWith(const SparseBitVector &RHS);
+
+  /// Sets this to the intersection with \p RHS. \returns true if changed.
+  bool intersectWith(const SparseBitVector &RHS);
+
+  /// Removes every bit set in \p RHS. \returns true if this changed.
+  bool subtract(const SparseBitVector &RHS);
+
+  /// Computes `this |= RHS - Excluded` in one pass.
+  /// \returns true if this changed.
+  bool unionWithMinus(const SparseBitVector &RHS,
+                      const SparseBitVector &Excluded);
+
+  /// Returns true if this and \p RHS share any set bit.
+  bool intersects(const SparseBitVector &RHS) const;
+
+  /// Returns true if every bit of \p RHS is set in this.
+  bool contains(const SparseBitVector &RHS) const;
+
+  bool operator==(const SparseBitVector &RHS) const;
+  bool operator!=(const SparseBitVector &RHS) const {
+    return !(*this == RHS);
+  }
+
+  /// Returns the lowest set bit. Requires !empty().
+  uint32_t findFirst() const;
+
+  /// Heap bytes owned by this vector (for the memory tables).
+  size_t memoryBytes() const { return NumElements * sizeof(Element); }
+
+  /// Forward iterator over set bit indices in increasing order.
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t *;
+    using reference = uint32_t;
+
+    iterator() = default;
+
+    explicit iterator(const Element *E) : Elem(E) {
+      if (Elem) {
+        Bits = Elem->Words[0];
+        advanceToBit();
+      }
+    }
+
+    uint32_t operator*() const {
+      assert(Elem && "dereferencing end iterator");
+      return Elem->Index * BitsPerElement + WordIdx * WordBits +
+             static_cast<uint32_t>(std::countr_zero(Bits));
+    }
+
+    iterator &operator++() {
+      Bits &= Bits - 1; // Clear lowest set bit.
+      advanceToBit();
+      return *this;
+    }
+
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++*this;
+      return Tmp;
+    }
+
+    bool operator==(const iterator &RHS) const {
+      return Elem == RHS.Elem && WordIdx == RHS.WordIdx &&
+             Bits == RHS.Bits;
+    }
+    bool operator!=(const iterator &RHS) const { return !(*this == RHS); }
+
+  private:
+    /// Skips empty words/elements until Bits holds the next set bit.
+    void advanceToBit() {
+      while (Elem && Bits == 0) {
+        if (++WordIdx >= WordsPerElement) {
+          Elem = Elem->Next;
+          WordIdx = 0;
+          if (!Elem)
+            break;
+        }
+        Bits = Elem->Words[WordIdx];
+      }
+      if (!Elem) {
+        WordIdx = 0;
+        Bits = 0;
+      }
+    }
+
+    const Element *Elem = nullptr;
+    uint32_t WordIdx = 0;
+    uint64_t Bits = 0;
+  };
+
+  iterator begin() const { return iterator(Head); }
+  iterator end() const { return iterator(); }
+
+private:
+  void copyFrom(const SparseBitVector &RHS);
+
+  Element *allocateElement(uint32_t Index, Element *Next) {
+    memAllocate(MemCategory::Bitmap, sizeof(Element));
+    Element *E = new Element;
+    E->Next = Next;
+    E->Index = Index;
+    E->Words[0] = E->Words[1] = 0;
+    ++NumElements;
+    return E;
+  }
+
+  void freeElement(Element *E) {
+    memRelease(MemCategory::Bitmap, sizeof(Element));
+    delete E;
+    --NumElements;
+  }
+
+  /// Finds the element with the given index, or the last element with a
+  /// smaller index (nullptr if none). Uses and updates the cursor cache.
+  Element *findLowerBound(uint32_t ElementIndex) const;
+
+  Element *Head = nullptr;
+  /// Cursor cache: last element visited by point queries, used to start
+  /// searches near the previous access instead of at Head.
+  mutable Element *Curr = nullptr;
+  size_t NumElements = 0;
+};
+
+} // namespace ag
+
+#endif // AG_ADT_SPARSEBITVECTOR_H

@@ -1,0 +1,69 @@
+//===- Statistics.h - Solver behaviour counters -----------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters for the three quantities Section 5.3 of the paper uses to
+/// explain relative solver performance — nodes collapsed, nodes searched
+/// during DFS, and points-to propagations — plus a few supporting counts.
+/// Each solver owns one SolverStats and increments it inline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_STATISTICS_H
+#define AG_ADT_STATISTICS_H
+
+#include <cstdint>
+#include <string>
+
+namespace ag {
+
+/// Behaviour counters for one solver run.
+struct SolverStats {
+  /// Nodes merged away by cycle collapsing (a k-node SCC counts k-1).
+  uint64_t NodesCollapsed = 0;
+  /// Nodes visited by depth-first searches of the constraint graph
+  /// (cycle detection and HT reachability queries). Pure overhead.
+  uint64_t NodesSearched = 0;
+  /// Points-to set propagations across constraint edges, i.e. evaluations
+  /// of pts(dst) |= pts(src). The paper's most expensive operation.
+  uint64_t Propagations = 0;
+  /// Propagations that actually changed the destination set.
+  uint64_t ChangedPropagations = 0;
+  /// Cycle-detection attempts triggered (LCD) or sweeps performed (PKH).
+  uint64_t CycleDetectAttempts = 0;
+  /// Copy edges added to the online constraint graph (incl. from complex
+  /// constraint resolution).
+  uint64_t EdgesAdded = 0;
+  /// Nodes popped off the worklist.
+  uint64_t WorklistPops = 0;
+  /// HCD preemptive collapses performed online.
+  uint64_t HcdCollapses = 0;
+
+  /// Renders one counter per line, prefixed by \p Prefix.
+  std::string toString(const std::string &Prefix = "") const {
+    std::string Out;
+    auto Row = [&](const char *Name, uint64_t V) {
+      Out += Prefix;
+      Out += Name;
+      Out += ": ";
+      Out += std::to_string(V);
+      Out += '\n';
+    };
+    Row("nodes_collapsed", NodesCollapsed);
+    Row("nodes_searched", NodesSearched);
+    Row("propagations", Propagations);
+    Row("changed_propagations", ChangedPropagations);
+    Row("cycle_detect_attempts", CycleDetectAttempts);
+    Row("edges_added", EdgesAdded);
+    Row("worklist_pops", WorklistPops);
+    Row("hcd_collapses", HcdCollapses);
+    return Out;
+  }
+};
+
+} // namespace ag
+
+#endif // AG_ADT_STATISTICS_H

@@ -1,0 +1,115 @@
+//===- Worklist.h - Solver worklist strategies ------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Worklists for the constraint solvers. The paper's LCD and HCD solvers use
+/// the LRF ("Least Recently Fired") priority of Pearce et al. combined with
+/// the divided current/next worklist of Nielson et al.: items are selected
+/// from `current`, pushed onto `next`, and the two are swapped when `current`
+/// drains. Plain FIFO and a single (undivided) LRF list are provided for the
+/// ablation benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_WORKLIST_H
+#define AG_ADT_WORKLIST_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ag {
+
+/// Which scheduling policy a Worklist uses.
+enum class WorklistPolicy {
+  Fifo,       ///< Plain FIFO queue.
+  Lrf,        ///< Single priority list ordered by least-recently-fired.
+  DividedLrf, ///< Current/next division, each round LRF-ordered (paper).
+};
+
+/// Deduplicating worklist over dense node ids.
+///
+/// A node is held at most once; pushing an enqueued node is a no-op. Popping
+/// records the "fired" timestamp used by the LRF policies.
+class Worklist {
+public:
+  explicit Worklist(WorklistPolicy Policy = WorklistPolicy::DividedLrf)
+      : Policy(Policy) {}
+
+  /// Makes ids [0, N) usable.
+  void grow(uint32_t N) {
+    if (N > InList.size()) {
+      InList.resize(N, false);
+      LastFired.resize(N, 0);
+    }
+  }
+
+  bool empty() const { return Current.empty() && Next.empty(); }
+
+  /// Enqueues \p Id unless it is already enqueued.
+  void push(uint32_t Id) {
+    assert(Id < InList.size() && "worklist id out of range");
+    if (InList[Id])
+      return;
+    InList[Id] = true;
+    if (Policy == WorklistPolicy::Fifo)
+      Current.push_back(Id);
+    else
+      Next.push_back(Id);
+  }
+
+  /// Dequeues the next node per the policy. Requires !empty().
+  uint32_t pop() {
+    assert(!empty() && "pop from empty worklist");
+    switch (Policy) {
+    case WorklistPolicy::Fifo:
+      break;
+    case WorklistPolicy::Lrf:
+      // Single list: always merge Next in and re-sort by LastFired.
+      if (!Next.empty()) {
+        Current.insert(Current.end(), Next.begin(), Next.end());
+        Next.clear();
+        sortCurrentByLrf();
+      }
+      break;
+    case WorklistPolicy::DividedLrf:
+      // Only refill from Next when Current drains.
+      if (Current.empty()) {
+        Current.swap(Next);
+        sortCurrentByLrf();
+      }
+      break;
+    }
+    uint32_t Id = Current.front();
+    Current.pop_front();
+    InList[Id] = false;
+    LastFired[Id] = ++Clock;
+    return Id;
+  }
+
+private:
+  void sortCurrentByLrf() {
+    std::sort(Current.begin(), Current.end(),
+              [this](uint32_t A, uint32_t B) {
+                if (LastFired[A] != LastFired[B])
+                  return LastFired[A] < LastFired[B];
+                return A < B; // Deterministic tie-break.
+              });
+  }
+
+  WorklistPolicy Policy;
+  std::deque<uint32_t> Current;
+  std::deque<uint32_t> Next;
+  std::vector<bool> InList;
+  std::vector<uint64_t> LastFired;
+  uint64_t Clock = 0;
+};
+
+} // namespace ag
+
+#endif // AG_ADT_WORKLIST_H

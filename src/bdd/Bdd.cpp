@@ -1,0 +1,611 @@
+//===- Bdd.cpp - Reduced ordered binary decision diagrams -----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace ag;
+
+//===----------------------------------------------------------------------===//
+// Bdd handle
+//===----------------------------------------------------------------------===//
+
+Bdd::Bdd(BddManager *Mgr, BddNodeRef Ref) : Mgr(Mgr), Ref(Ref) {
+  if (Mgr)
+    Mgr->externalRef(Ref);
+}
+
+Bdd::Bdd(const Bdd &RHS) : Mgr(RHS.Mgr), Ref(RHS.Ref) {
+  if (Mgr)
+    Mgr->externalRef(Ref);
+}
+
+Bdd &Bdd::operator=(const Bdd &RHS) {
+  if (this == &RHS)
+    return *this;
+  if (RHS.Mgr)
+    RHS.Mgr->externalRef(RHS.Ref);
+  if (Mgr)
+    Mgr->externalUnref(Ref);
+  Mgr = RHS.Mgr;
+  Ref = RHS.Ref;
+  return *this;
+}
+
+Bdd &Bdd::operator=(Bdd &&RHS) noexcept {
+  if (this == &RHS)
+    return *this;
+  if (Mgr)
+    Mgr->externalUnref(Ref);
+  Mgr = RHS.Mgr;
+  Ref = RHS.Ref;
+  RHS.Mgr = nullptr;
+  RHS.Ref = BddFalse;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (Mgr)
+    Mgr->externalUnref(Ref);
+}
+
+//===----------------------------------------------------------------------===//
+// BddManager: table management
+//===----------------------------------------------------------------------===//
+
+BddManager::BddManager(uint32_t InitialCapacity) {
+  uint32_t Cap = std::max<uint32_t>(InitialCapacity, 1024);
+  Cap = std::bit_ceil(Cap);
+  CapLimit = Cap;
+  Nodes.reserve(Cap);
+  Buckets.assign(Cap, 0);
+  BucketMask = Cap - 1;
+  OpCache.assign(Cap, CacheEntry());
+  OpCacheMask = Cap - 1;
+
+  // Terminals. ExtRef keeps them permanently alive; their Var level sorts
+  // below every real variable.
+  Nodes.push_back(Node{LevelTerminal, 0, 0, 0, 1}); // False
+  Nodes.push_back(Node{LevelTerminal, 1, 1, 0, 1}); // True
+  updateTrackedBytes();
+}
+
+BddManager::~BddManager() {
+  memRelease(MemCategory::BddTable, TrackedBytes);
+}
+
+void BddManager::updateTrackedBytes() {
+  uint64_t Bytes = Nodes.capacity() * sizeof(Node) +
+                   Buckets.capacity() * sizeof(BddNodeRef) +
+                   OpCache.capacity() * sizeof(CacheEntry);
+  if (Bytes > TrackedBytes)
+    memAllocate(MemCategory::BddTable, Bytes - TrackedBytes);
+  else if (Bytes < TrackedBytes)
+    memRelease(MemCategory::BddTable, TrackedBytes - Bytes);
+  TrackedBytes = Bytes;
+}
+
+void BddManager::setNumVars(uint32_t N) {
+  assert(N < LevelTerminal && "too many variables");
+  assert(N >= NumVars && "cannot shrink the variable universe");
+  NumVars = N;
+}
+
+BddNodeRef BddManager::mk(uint32_t Var, BddNodeRef Low, BddNodeRef High) {
+  assert(Var < NumVars && "mk with undeclared variable");
+  assert(level(Low) > Var && level(High) > Var &&
+         "mk would violate variable ordering");
+  if (Low == High)
+    return Low;
+  uint32_t H = hashTriple(Var, Low, High);
+  for (BddNodeRef R = Buckets[H]; R != 0; R = Nodes[R].NextInBucket) {
+    const Node &N = Nodes[R];
+    if (N.Var == Var && N.Low == Low && N.High == High)
+      return R;
+  }
+  BddNodeRef R = allocateNode();
+  // allocateNode may rehash; recompute the bucket.
+  H = hashTriple(Var, Low, High);
+  Node &N = Nodes[R];
+  N.Var = Var;
+  N.Low = Low;
+  N.High = High;
+  N.ExtRef = 0;
+  N.NextInBucket = Buckets[H];
+  Buckets[H] = R;
+  return R;
+}
+
+BddNodeRef BddManager::allocateNode() {
+  if (FreeList != 0) {
+    BddNodeRef R = FreeList;
+    FreeList = Nodes[R].Low;
+    --NumFree;
+    return R;
+  }
+  if (Nodes.size() >= CapLimit)
+    growTable();
+  Nodes.push_back(Node{});
+  return static_cast<BddNodeRef>(Nodes.size() - 1);
+}
+
+void BddManager::growTable() {
+  // Double capacity, bucket array, and cache; rehash live nodes.
+  assert(CapLimit < (1u << 27) && "BDD node table exhausted the key space");
+  CapLimit *= 2;
+  Nodes.reserve(CapLimit);
+  Buckets.assign(CapLimit, 0);
+  BucketMask = CapLimit - 1;
+  OpCache.assign(CapLimit, CacheEntry());
+  OpCacheMask = CapLimit - 1;
+  rehash();
+  updateTrackedBytes();
+}
+
+void BddManager::rehash() {
+  std::fill(Buckets.begin(), Buckets.end(), 0);
+  for (BddNodeRef R = 2; R < Nodes.size(); ++R) {
+    Node &N = Nodes[R];
+    if (N.Var & FreeBit)
+      continue;
+    uint32_t H = hashTriple(N.Var & LevelMask, N.Low, N.High);
+    N.NextInBucket = Buckets[H];
+    Buckets[H] = R;
+  }
+}
+
+void BddManager::clearCaches() {
+  std::fill(OpCache.begin(), OpCache.end(), CacheEntry());
+}
+
+void BddManager::gc() {
+  ++NumGcRuns;
+  // Mark phase: roots are nodes with a positive external reference count.
+  std::vector<BddNodeRef> Stack;
+  for (BddNodeRef R = 2; R < Nodes.size(); ++R)
+    if (!(Nodes[R].Var & FreeBit) && Nodes[R].ExtRef > 0)
+      Stack.push_back(R);
+  while (!Stack.empty()) {
+    BddNodeRef R = Stack.back();
+    Stack.pop_back();
+    Node &N = Nodes[R];
+    if (N.Var & MarkBit)
+      continue;
+    N.Var |= MarkBit;
+    if (N.Low > BddTrue)
+      Stack.push_back(N.Low);
+    if (N.High > BddTrue)
+      Stack.push_back(N.High);
+  }
+  // Sweep phase: unmarked nodes go to the free list.
+  FreeList = 0;
+  NumFree = 0;
+  for (BddNodeRef R = 2; R < Nodes.size(); ++R) {
+    Node &N = Nodes[R];
+    if (N.Var & MarkBit) {
+      N.Var &= ~MarkBit;
+      continue;
+    }
+    if (!(N.Var & FreeBit)) {
+      N.Var = FreeBit;
+      N.ExtRef = 0;
+    }
+    N.Low = FreeList;
+    FreeList = R;
+    ++NumFree;
+  }
+  rehash();
+  clearCaches();
+}
+
+void BddManager::maybeGcOrGrow() {
+  // Only called between operations, when every live node is covered by an
+  // external root.
+  if (Nodes.size() + 64 < CapLimit || NumFree > Nodes.size() / 4)
+    return;
+  gc();
+  // Grow when collection recovered less than half the table: repeated
+  // near-full GCs each clear the operation caches, which thrashes badly.
+  size_t Live = Nodes.size() - NumFree;
+  if (Live > size_t(CapLimit) / 2)
+    growTable();
+}
+
+uint32_t BddManager::countLiveNodes() {
+  gc();
+  return static_cast<uint32_t>(Nodes.size() - NumFree);
+}
+
+size_t BddManager::memoryBytes() const { return TrackedBytes; }
+
+//===----------------------------------------------------------------------===//
+// BddManager: operation cache
+//===----------------------------------------------------------------------===//
+
+bool BddManager::cacheLookup(uint64_t Key, uint32_t Extra,
+                             BddNodeRef &Result) const {
+  const CacheEntry &E = OpCache[Key & OpCacheMask];
+  if (E.Key == Key && E.Extra == Extra) {
+    Result = E.Result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cacheStore(uint64_t Key, uint32_t Extra, BddNodeRef Result) {
+  CacheEntry &E = OpCache[Key & OpCacheMask];
+  E.Key = Key;
+  E.Extra = Extra;
+  E.Result = Result;
+}
+
+//===----------------------------------------------------------------------===//
+// BddManager: core operations
+//===----------------------------------------------------------------------===//
+
+Bdd BddManager::var(uint32_t Var) {
+  assert(Var < NumVars && "undeclared variable");
+  return Bdd(this, mk(Var, BddFalse, BddTrue));
+}
+
+Bdd BddManager::nvar(uint32_t Var) {
+  assert(Var < NumVars && "undeclared variable");
+  return Bdd(this, mk(Var, BddTrue, BddFalse));
+}
+
+Bdd BddManager::cube(const std::vector<std::pair<uint32_t, bool>> &Literals) {
+  maybeGcOrGrow();
+  BddNodeRef R = BddTrue;
+  // Build bottom-up so each mk sees already-ordered children.
+  for (auto It = Literals.rbegin(); It != Literals.rend(); ++It) {
+    auto [Level, Phase] = *It;
+    R = Phase ? mk(Level, BddFalse, R) : mk(Level, R, BddFalse);
+  }
+  return Bdd(this, R);
+}
+
+BddNodeRef BddManager::applyRec(uint32_t Op, BddNodeRef A, BddNodeRef B) {
+  // Terminal and shortcut cases.
+  switch (Op) {
+  case OpAnd:
+    if (A == BddFalse || B == BddFalse)
+      return BddFalse;
+    if (A == BddTrue)
+      return B;
+    if (B == BddTrue || A == B)
+      return A;
+    break;
+  case OpOr:
+    if (A == BddTrue || B == BddTrue)
+      return BddTrue;
+    if (A == BddFalse)
+      return B;
+    if (B == BddFalse || A == B)
+      return A;
+    break;
+  case OpDiff:
+    if (A == BddFalse || B == BddTrue || A == B)
+      return BddFalse;
+    if (B == BddFalse)
+      return A;
+    break;
+  case OpXor:
+    if (A == B)
+      return BddFalse;
+    if (A == BddFalse)
+      return B;
+    if (B == BddFalse)
+      return A;
+    break;
+  default:
+    assert(false && "not a binary op");
+  }
+  // Normalize commutative operand order for better cache hit rates.
+  if ((Op == OpAnd || Op == OpOr || Op == OpXor) && A > B)
+    std::swap(A, B);
+
+  uint64_t Key = cacheKey(Op, A, B);
+  BddNodeRef Cached;
+  if (cacheLookup(Key, 0, Cached))
+    return Cached;
+
+  uint32_t Top = std::min(level(A), level(B));
+  BddNodeRef A0 = level(A) == Top ? low(A) : A;
+  BddNodeRef A1 = level(A) == Top ? high(A) : A;
+  BddNodeRef B0 = level(B) == Top ? low(B) : B;
+  BddNodeRef B1 = level(B) == Top ? high(B) : B;
+
+  BddNodeRef R0 = applyRec(Op, A0, B0);
+  BddNodeRef R1 = applyRec(Op, A1, B1);
+  BddNodeRef R = mk(Top, R0, R1);
+  cacheStore(Key, 0, R);
+  return R;
+}
+
+BddNodeRef BddManager::iteRec(BddNodeRef F, BddNodeRef G, BddNodeRef H) {
+  if (F == BddTrue)
+    return G;
+  if (F == BddFalse)
+    return H;
+  if (G == H)
+    return G;
+  if (G == BddTrue && H == BddFalse)
+    return F;
+
+  uint64_t Key = cacheKey(OpIte, F, G);
+  BddNodeRef Cached;
+  if (cacheLookup(Key, H, Cached))
+    return Cached;
+
+  uint32_t Top = std::min(level(F), std::min(level(G), level(H)));
+  BddNodeRef F0 = level(F) == Top ? low(F) : F;
+  BddNodeRef F1 = level(F) == Top ? high(F) : F;
+  BddNodeRef G0 = level(G) == Top ? low(G) : G;
+  BddNodeRef G1 = level(G) == Top ? high(G) : G;
+  BddNodeRef H0 = level(H) == Top ? low(H) : H;
+  BddNodeRef H1 = level(H) == Top ? high(H) : H;
+
+  BddNodeRef R0 = iteRec(F0, G0, H0);
+  BddNodeRef R1 = iteRec(F1, G1, H1);
+  BddNodeRef R = mk(Top, R0, R1);
+  cacheStore(Key, H, R);
+  return R;
+}
+
+Bdd BddManager::bddAnd(const Bdd &A, const Bdd &B) {
+  assert(A.manager() == this && B.manager() == this);
+  maybeGcOrGrow();
+  return Bdd(this, applyRec(OpAnd, A.ref(), B.ref()));
+}
+
+Bdd BddManager::bddOr(const Bdd &A, const Bdd &B) {
+  assert(A.manager() == this && B.manager() == this);
+  maybeGcOrGrow();
+  return Bdd(this, applyRec(OpOr, A.ref(), B.ref()));
+}
+
+Bdd BddManager::bddDiff(const Bdd &A, const Bdd &B) {
+  assert(A.manager() == this && B.manager() == this);
+  maybeGcOrGrow();
+  return Bdd(this, applyRec(OpDiff, A.ref(), B.ref()));
+}
+
+Bdd BddManager::bddXor(const Bdd &A, const Bdd &B) {
+  assert(A.manager() == this && B.manager() == this);
+  maybeGcOrGrow();
+  return Bdd(this, applyRec(OpXor, A.ref(), B.ref()));
+}
+
+Bdd BddManager::bddNot(const Bdd &A) {
+  assert(A.manager() == this);
+  maybeGcOrGrow();
+  return Bdd(this, iteRec(A.ref(), BddFalse, BddTrue));
+}
+
+Bdd BddManager::bddIte(const Bdd &F, const Bdd &G, const Bdd &H) {
+  assert(F.manager() == this && G.manager() == this && H.manager() == this);
+  maybeGcOrGrow();
+  return Bdd(this, iteRec(F.ref(), G.ref(), H.ref()));
+}
+
+//===----------------------------------------------------------------------===//
+// BddManager: quantification, replacement, relational product
+//===----------------------------------------------------------------------===//
+
+BddVarSetId BddManager::makeVarSet(std::vector<uint32_t> Vars) {
+  assert(std::is_sorted(Vars.begin(), Vars.end()) &&
+         "variable sets must be sorted ascending");
+  assert(VarSets.size() < 64 && "too many variable sets");
+  VarSet S;
+  S.Vars = std::move(Vars);
+  S.MaxVar = S.Vars.empty() ? 0 : S.Vars.back();
+  S.Member.assign(NumVars, false);
+  for (uint32_t V : S.Vars) {
+    assert(V < NumVars && "undeclared variable in set");
+    S.Member[V] = true;
+  }
+  VarSets.push_back(std::move(S));
+  return static_cast<BddVarSetId>(VarSets.size() - 1);
+}
+
+BddNodeRef BddManager::existRec(BddNodeRef A, BddVarSetId Set) {
+  const VarSet &S = VarSets[Set];
+  if (level(A) > S.MaxVar)
+    return A; // Also covers terminals.
+
+  uint64_t Key = cacheKey(OpExistBase + Set, A, 0);
+  BddNodeRef Cached;
+  if (cacheLookup(Key, 0, Cached))
+    return Cached;
+
+  BddNodeRef R0 = existRec(low(A), Set);
+  BddNodeRef R1 = existRec(high(A), Set);
+  BddNodeRef R;
+  if (S.Member[level(A)])
+    R = applyRec(OpOr, R0, R1);
+  else
+    R = mk(level(A), R0, R1);
+  cacheStore(Key, 0, R);
+  return R;
+}
+
+Bdd BddManager::exist(const Bdd &A, BddVarSetId Set) {
+  assert(A.manager() == this && Set < VarSets.size());
+  maybeGcOrGrow();
+  return Bdd(this, existRec(A.ref(), Set));
+}
+
+BddNodeRef BddManager::relProdRec(BddNodeRef A, BddNodeRef B,
+                                  BddVarSetId Set) {
+  if (A == BddFalse || B == BddFalse)
+    return BddFalse;
+  const VarSet &S = VarSets[Set];
+  uint32_t Top = std::min(level(A), level(B));
+  if (Top > S.MaxVar)
+    return applyRec(OpAnd, A, B); // Past every quantified variable.
+
+  if (A > B)
+    std::swap(A, B); // AND is commutative.
+  uint64_t Key = cacheKey(OpRelProdBase + Set, A, B);
+  BddNodeRef Cached;
+  if (cacheLookup(Key, 0, Cached))
+    return Cached;
+
+  BddNodeRef A0 = level(A) == Top ? low(A) : A;
+  BddNodeRef A1 = level(A) == Top ? high(A) : A;
+  BddNodeRef B0 = level(B) == Top ? low(B) : B;
+  BddNodeRef B1 = level(B) == Top ? high(B) : B;
+
+  BddNodeRef R;
+  if (S.Member[Top]) {
+    BddNodeRef R0 = relProdRec(A0, B0, Set);
+    // Short-circuit: x or 1 == 1.
+    if (R0 == BddTrue)
+      R = BddTrue;
+    else
+      R = applyRec(OpOr, R0, relProdRec(A1, B1, Set));
+  } else {
+    R = mk(Top, relProdRec(A0, B0, Set), relProdRec(A1, B1, Set));
+  }
+  cacheStore(Key, 0, R);
+  return R;
+}
+
+Bdd BddManager::relProd(const Bdd &A, const Bdd &B, BddVarSetId Set) {
+  assert(A.manager() == this && B.manager() == this && Set < VarSets.size());
+  maybeGcOrGrow();
+  return Bdd(this, relProdRec(A.ref(), B.ref(), Set));
+}
+
+BddPairingId
+BddManager::makePairing(std::vector<std::pair<uint32_t, uint32_t>> Pairs) {
+  assert(Pairings.size() < 64 && "too many pairings");
+  Pairing P;
+  P.Map.resize(NumVars);
+  for (uint32_t V = 0; V != NumVars; ++V)
+    P.Map[V] = V;
+  for (const auto &[From, To] : Pairs) {
+    assert(From < NumVars && To < NumVars && "undeclared variable in pair");
+    P.Map[From] = To;
+  }
+#ifndef NDEBUG
+  // Order preservation: renamed levels must keep their relative order.
+  std::sort(Pairs.begin(), Pairs.end());
+  for (size_t I = 1; I < Pairs.size(); ++I)
+    assert(Pairs[I - 1].second < Pairs[I].second &&
+           "pairing must be order-preserving");
+#endif
+  Pairings.push_back(std::move(P));
+  return static_cast<BddPairingId>(Pairings.size() - 1);
+}
+
+BddNodeRef BddManager::replaceRec(BddNodeRef A, BddPairingId Pairing) {
+  if (A <= BddTrue)
+    return A;
+  uint64_t Key = cacheKey(OpReplaceBase + Pairing, A, 0);
+  BddNodeRef Cached;
+  if (cacheLookup(Key, 0, Cached))
+    return Cached;
+
+  BddNodeRef R0 = replaceRec(low(A), Pairing);
+  BddNodeRef R1 = replaceRec(high(A), Pairing);
+  uint32_t NewVar = Pairings[Pairing].Map[level(A)];
+  // The renaming must not push this variable below its children; this is
+  // what restricts replace() to inter-domain renamings.
+  assert(level(R0) > NewVar && level(R1) > NewVar &&
+         "replace would violate variable ordering");
+  BddNodeRef R = mk(NewVar, R0, R1);
+  cacheStore(Key, 0, R);
+  return R;
+}
+
+Bdd BddManager::replace(const Bdd &A, BddPairingId Pairing) {
+  assert(A.manager() == this && Pairing < Pairings.size());
+  maybeGcOrGrow();
+  return Bdd(this, replaceRec(A.ref(), Pairing));
+}
+
+//===----------------------------------------------------------------------===//
+// BddManager: counting and enumeration
+//===----------------------------------------------------------------------===//
+
+double BddManager::satCount(const Bdd &A, const std::vector<uint32_t> &Vars) {
+  assert(A.manager() == this);
+  // Position of each level within Vars; terminals map to Vars.size().
+  std::vector<uint32_t> Pos(NumVars + 1, ~0u);
+  for (uint32_t I = 0; I != Vars.size(); ++I)
+    Pos[Vars[I]] = I;
+  auto posOf = [&](BddNodeRef R) -> uint32_t {
+    uint32_t L = level(R);
+    if (L == LevelTerminal)
+      return static_cast<uint32_t>(Vars.size());
+    assert(Pos[L] != ~0u && "support variable missing from universe");
+    return Pos[L];
+  };
+
+  std::vector<double> Memo(Nodes.size(), -1.0);
+  // Iterative post-order to avoid recursion here (counts can touch many
+  // nodes).
+  std::vector<BddNodeRef> Stack = {A.ref()};
+  Memo[BddFalse] = 0.0;
+  Memo[BddTrue] = 1.0;
+  while (!Stack.empty()) {
+    BddNodeRef R = Stack.back();
+    if (Memo[R] >= 0.0) {
+      Stack.pop_back();
+      continue;
+    }
+    BddNodeRef L = low(R), H = high(R);
+    if (Memo[L] < 0.0 || Memo[H] < 0.0) {
+      if (Memo[L] < 0.0)
+        Stack.push_back(L);
+      if (Memo[H] < 0.0)
+        Stack.push_back(H);
+      continue;
+    }
+    Stack.pop_back();
+    double CL = Memo[L] * std::exp2(double(posOf(L)) - posOf(R) - 1);
+    double CH = Memo[H] * std::exp2(double(posOf(H)) - posOf(R) - 1);
+    Memo[R] = CL + CH;
+  }
+  return Memo[A.ref()] * std::exp2(double(posOf(A.ref())));
+}
+
+void BddManager::forEachSat(
+    const Bdd &A, const std::vector<uint32_t> &Vars,
+    const std::function<void(const std::vector<bool> &)> &Fn) {
+  assert(A.manager() == this);
+  std::vector<bool> Assign(Vars.size(), false);
+
+  // Recursive lambda over (node, position in Vars).
+  std::function<void(BddNodeRef, uint32_t)> Walk = [&](BddNodeRef R,
+                                                       uint32_t P) {
+    if (R == BddFalse)
+      return;
+    if (P == Vars.size()) {
+      assert(R == BddTrue && "support variable missing from universe");
+      Fn(Assign);
+      return;
+    }
+    if (level(R) == Vars[P]) {
+      Assign[P] = false;
+      Walk(low(R), P + 1);
+      Assign[P] = true;
+      Walk(high(R), P + 1);
+    } else {
+      // Var at P is unconstrained: enumerate both values.
+      assert(level(R) > Vars[P] && "support variable missing from universe");
+      Assign[P] = false;
+      Walk(R, P + 1);
+      Assign[P] = true;
+      Walk(R, P + 1);
+    }
+  };
+  Walk(A.ref(), 0);
+}

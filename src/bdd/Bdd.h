@@ -1,0 +1,285 @@
+//===- Bdd.h - Reduced ordered binary decision diagrams ---------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch ROBDD package standing in for the BuDDy library the paper
+/// uses: hash-consed node table, binary apply and ITE with operation caches,
+/// existential quantification, variable replacement, fused relational
+/// product, satisfying-assignment counting and enumeration, and mark-and-
+/// sweep garbage collection rooted at externally held handles.
+///
+/// Conventions:
+///  * Node references are dense indices; 0 is the False terminal and 1 the
+///    True terminal.
+///  * Variables are identified by their level (0 = topmost). There is no
+///    dynamic reordering; clients choose orderings via BddDomain.
+///  * Garbage collection only runs at public-operation entry, so results of
+///    in-flight recursions never need protection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_BDD_BDD_H
+#define AG_BDD_BDD_H
+
+#include "adt/MemTracker.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ag {
+
+class BddManager;
+
+/// Raw index of a BDD node within its manager.
+using BddNodeRef = uint32_t;
+
+constexpr BddNodeRef BddFalse = 0;
+constexpr BddNodeRef BddTrue = 1;
+
+/// RAII handle that keeps a BDD node (and everything it reaches) alive
+/// across garbage collections.
+class Bdd {
+public:
+  Bdd() = default;
+  Bdd(BddManager *Mgr, BddNodeRef Ref);
+  Bdd(const Bdd &RHS);
+  Bdd(Bdd &&RHS) noexcept : Mgr(RHS.Mgr), Ref(RHS.Ref) {
+    RHS.Mgr = nullptr;
+    RHS.Ref = BddFalse;
+  }
+  Bdd &operator=(const Bdd &RHS);
+  Bdd &operator=(Bdd &&RHS) noexcept;
+  ~Bdd();
+
+  /// The raw node index. Valid only while this handle (or another root
+  /// covering the node) is alive.
+  BddNodeRef ref() const { return Ref; }
+
+  /// The owning manager (null for a default-constructed handle).
+  BddManager *manager() const { return Mgr; }
+
+  bool isFalse() const { return Ref == BddFalse; }
+  bool isTrue() const { return Ref == BddTrue; }
+
+  /// Hash-consing makes structural equality pointer equality.
+  bool operator==(const Bdd &RHS) const {
+    return Mgr == RHS.Mgr && Ref == RHS.Ref;
+  }
+  bool operator!=(const Bdd &RHS) const { return !(*this == RHS); }
+
+private:
+  BddManager *Mgr = nullptr;
+  BddNodeRef Ref = BddFalse;
+};
+
+/// Identifier of a registered variable set (for quantification).
+using BddVarSetId = uint32_t;
+/// Identifier of a registered variable pairing (for replace).
+using BddPairingId = uint32_t;
+
+/// The BDD node store and operation engine.
+class BddManager {
+public:
+  /// Creates a manager with \p InitialCapacity node slots (rounded up to a
+  /// power of two, minimum 1024).
+  explicit BddManager(uint32_t InitialCapacity = 1u << 16);
+  ~BddManager();
+
+  BddManager(const BddManager &) = delete;
+  BddManager &operator=(const BddManager &) = delete;
+
+  /// Declares variables so levels [0, NumVars) are usable.
+  void setNumVars(uint32_t NumVars);
+
+  /// Number of declared variables.
+  uint32_t numVars() const { return NumVars; }
+
+  /// Returns the single-variable BDD for level \p Var.
+  Bdd var(uint32_t Var);
+  /// Returns the negated single-variable BDD for level \p Var.
+  Bdd nvar(uint32_t Var);
+
+  Bdd falseBdd() { return Bdd(this, BddFalse); }
+  Bdd trueBdd() { return Bdd(this, BddTrue); }
+
+  /// Builds the conjunction of single-variable literals. \p Literals must
+  /// be sorted by ascending level; each entry is (level, phase) where phase
+  /// true means the positive literal. O(|Literals|) node constructions.
+  Bdd cube(const std::vector<std::pair<uint32_t, bool>> &Literals);
+
+  Bdd bddAnd(const Bdd &A, const Bdd &B);
+  Bdd bddOr(const Bdd &A, const Bdd &B);
+  /// A and not B.
+  Bdd bddDiff(const Bdd &A, const Bdd &B);
+  Bdd bddXor(const Bdd &A, const Bdd &B);
+  Bdd bddNot(const Bdd &A);
+  Bdd bddIte(const Bdd &F, const Bdd &G, const Bdd &H);
+
+  /// Registers the variable set \p Vars (ascending levels) for use with
+  /// exist() and relProd(). A small number of distinct sets is expected.
+  BddVarSetId makeVarSet(std::vector<uint32_t> Vars);
+
+  /// Existentially quantifies the variables of \p Set out of \p A.
+  Bdd exist(const Bdd &A, BddVarSetId Set);
+
+  /// Fused relational product: exist(Set, A and B).
+  Bdd relProd(const Bdd &A, const Bdd &B, BddVarSetId Set);
+
+  /// Registers a variable renaming given as (from, to) level pairs. The
+  /// pairing must be order-preserving: if from1 < from2 then to1 < to2, and
+  /// renamed levels must not collide with unrenamed support variables of
+  /// the argument BDDs (guaranteed when renaming between interleaved
+  /// domains; asserted during replace()).
+  BddPairingId makePairing(std::vector<std::pair<uint32_t, uint32_t>> Pairs);
+
+  /// Renames variables of \p A according to \p Pairing.
+  Bdd replace(const Bdd &A, BddPairingId Pairing);
+
+  /// Counts satisfying assignments of \p A over the variable universe
+  /// \p Vars (ascending levels; must cover A's support).
+  double satCount(const Bdd &A, const std::vector<uint32_t> &Vars);
+
+  /// Invokes \p Fn for every satisfying assignment of \p A restricted to
+  /// \p Vars (which must cover A's support). The assignment is passed as a
+  /// bit vector aligned with \p Vars. This is the bdd_allsat equivalent
+  /// the paper discusses when iterating points-to sets.
+  void forEachSat(const Bdd &A, const std::vector<uint32_t> &Vars,
+                  const std::function<void(const std::vector<bool> &)> &Fn);
+
+  /// Number of live (reachable-from-roots) nodes, counting terminals.
+  uint32_t countLiveNodes();
+
+  /// Current node-table capacity in nodes.
+  uint32_t capacity() const { return static_cast<uint32_t>(Nodes.size()); }
+
+  /// Bytes held by the node table and operation caches.
+  size_t memoryBytes() const;
+
+  /// Runs a mark-and-sweep collection now. Normally automatic.
+  void gc();
+
+  /// Statistics: how many GCs have run.
+  uint32_t gcCount() const { return NumGcRuns; }
+
+  /// The level of the root variable of \p Ref (LevelTerminal for leaves).
+  uint32_t level(BddNodeRef Ref) const { return Nodes[Ref].Var & LevelMask; }
+  /// Low (else) child. \p Ref must not be a terminal.
+  BddNodeRef low(BddNodeRef Ref) const { return Nodes[Ref].Low; }
+  /// High (then) child. \p Ref must not be a terminal.
+  BddNodeRef high(BddNodeRef Ref) const { return Nodes[Ref].High; }
+
+  /// Level value reported for terminals; larger than any real level.
+  static constexpr uint32_t LevelTerminal = 0x3fffffff;
+
+private:
+  friend class Bdd;
+
+  static constexpr uint32_t LevelMask = 0x3fffffff;
+  static constexpr uint32_t MarkBit = 0x80000000;
+  static constexpr uint32_t FreeBit = 0x40000000;
+
+  struct Node {
+    uint32_t Var;  ///< Level plus Mark/Free flag bits.
+    BddNodeRef Low;
+    BddNodeRef High;
+    BddNodeRef NextInBucket;
+    uint32_t ExtRef; ///< External root count (from Bdd handles).
+  };
+
+  enum : uint32_t {
+    OpAnd = 0,
+    OpOr,
+    OpDiff,
+    OpXor,
+    OpIte,
+    // Parameterized ops encode their varset/pairing id in the op word:
+    // op = OpBase + Id.
+    OpExistBase = 16,
+    OpRelProdBase = 16 + 64,
+    OpReplaceBase = 16 + 128,
+  };
+
+  struct CacheEntry {
+    uint64_t Key = ~0ull;
+    uint32_t Extra = 0; ///< Third operand (ITE) — part of the key.
+    BddNodeRef Result = 0;
+  };
+
+  BddNodeRef mk(uint32_t Var, BddNodeRef Low, BddNodeRef High);
+  BddNodeRef allocateNode();
+  void growTable();
+  void rehash();
+  void clearCaches();
+  void maybeGcOrGrow();
+
+  BddNodeRef applyRec(uint32_t Op, BddNodeRef A, BddNodeRef B);
+  BddNodeRef iteRec(BddNodeRef F, BddNodeRef G, BddNodeRef H);
+  BddNodeRef existRec(BddNodeRef A, BddVarSetId Set);
+  BddNodeRef relProdRec(BddNodeRef A, BddNodeRef B, BddVarSetId Set);
+  BddNodeRef replaceRec(BddNodeRef A, BddPairingId Pairing);
+
+  bool cacheLookup(uint64_t Key, uint32_t Extra, BddNodeRef &Result) const;
+  void cacheStore(uint64_t Key, uint32_t Extra, BddNodeRef Result);
+  static uint64_t cacheKey(uint32_t Op, BddNodeRef A, BddNodeRef B) {
+    return (uint64_t(Op) << 56) ^ (uint64_t(A) << 28) ^ uint64_t(B);
+  }
+
+  void externalRef(BddNodeRef Ref) {
+    if (Ref > BddTrue)
+      ++Nodes[Ref].ExtRef;
+  }
+  void externalUnref(BddNodeRef Ref) {
+    if (Ref > BddTrue) {
+      assert(Nodes[Ref].ExtRef > 0 && "unbalanced external unref");
+      --Nodes[Ref].ExtRef;
+    }
+  }
+
+  uint32_t hashTriple(uint32_t Var, BddNodeRef Low, BddNodeRef High) const {
+    uint64_t H = (uint64_t(Var) * 0x9e3779b97f4a7c15ull) ^
+                 (uint64_t(Low) * 0xc2b2ae3d27d4eb4full) ^
+                 (uint64_t(High) * 0x165667b19e3779f9ull);
+    return static_cast<uint32_t>(H >> 32) & BucketMask;
+  }
+
+  std::vector<Node> Nodes;
+  std::vector<BddNodeRef> Buckets;
+  uint32_t BucketMask = 0;
+  BddNodeRef FreeList = 0; ///< Chained through Low; 0 = empty.
+  uint32_t NumFree = 0;
+  uint32_t NumVars = 0;
+  uint32_t NumGcRuns = 0;
+  uint32_t CapLimit = 0; ///< Node-table size that triggers growth.
+  uint64_t TrackedBytes = 0; ///< Last value reported to MemTracker.
+
+  std::vector<CacheEntry> OpCache;
+  uint32_t OpCacheMask = 0;
+
+  /// Registered variable sets: per set, a sorted level list plus a dense
+  /// membership bitmap for O(1) "is this level quantified" checks.
+  struct VarSet {
+    std::vector<uint32_t> Vars;
+    std::vector<bool> Member;
+    uint32_t MaxVar = 0;
+  };
+  std::vector<VarSet> VarSets;
+
+  /// Registered pairings: dense old-level -> new-level maps (identity
+  /// default).
+  struct Pairing {
+    std::vector<uint32_t> Map;
+  };
+  std::vector<Pairing> Pairings;
+
+  void updateTrackedBytes();
+};
+
+} // namespace ag
+
+#endif // AG_BDD_BDD_H

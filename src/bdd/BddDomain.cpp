@@ -1,0 +1,153 @@
+//===- BddDomain.cpp - Finite-domain encoding over BDD variables ----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/BddDomain.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace ag;
+
+BddDomains::BddDomains(BddManager &Mgr, const std::vector<uint64_t> &Sizes)
+    : Mgr(Mgr) {
+  assert(!Sizes.empty() && "need at least one domain");
+  unsigned NumDoms = static_cast<unsigned>(Sizes.size());
+  uint32_t MaxBits = 0;
+  for (uint64_t Size : Sizes) {
+    assert(Size >= 1 && "domain must be non-empty");
+    uint32_t Bits = Size <= 1 ? 1 : std::bit_width(Size - 1);
+    MaxBits = std::max(MaxBits, Bits);
+  }
+  Mgr.setNumVars(MaxBits * NumDoms);
+
+  for (unsigned D = 0; D != NumDoms; ++D) {
+    Domain Dom;
+    Dom.Size = Sizes[D];
+    Dom.NumBits = Sizes[D] <= 1 ? 1 : std::bit_width(Sizes[D] - 1);
+    // Interleave: bit j (MSB first) of domain D sits at level j*NumDoms+D.
+    for (uint32_t J = 0; J != Dom.NumBits; ++J)
+      Dom.Levels.push_back(J * NumDoms + D);
+    Doms.push_back(std::move(Dom));
+  }
+  CachedVarSets.assign(NumDoms, -1);
+  CachedPairings.assign(size_t(NumDoms) * NumDoms, -1);
+}
+
+Bdd BddDomains::element(unsigned D, uint64_t Value) {
+  const Domain &Dom = Doms[D];
+  assert(Value < Dom.Size && "value outside domain");
+  std::vector<std::pair<uint32_t, bool>> Literals;
+  Literals.reserve(Dom.NumBits);
+  for (uint32_t J = 0; J != Dom.NumBits; ++J) {
+    bool Bit = (Value >> (Dom.NumBits - 1 - J)) & 1;
+    Literals.emplace_back(Dom.Levels[J], Bit);
+  }
+  return Mgr.cube(Literals);
+}
+
+Bdd BddDomains::rangeConstraint(unsigned D) {
+  // OR of all valid elements would be quadratic; instead build the
+  // comparison Value < Size directly: walk bits MSB->LSB of (Size-1).
+  const Domain &Dom = Doms[D];
+  uint64_t Max = Dom.Size - 1;
+  // f_j = "bits j.. form a value <= suffix of Max". Build bottom-up.
+  Bdd Acc = Mgr.trueBdd();
+  for (int J = static_cast<int>(Dom.NumBits) - 1; J >= 0; --J) {
+    bool Bit = (Max >> (Dom.NumBits - 1 - J)) & 1;
+    Bdd V = Mgr.var(Dom.Levels[J]);
+    if (Bit) {
+      // This bit of Max is 1: value bit 0 -> anything below is fine (true);
+      // value bit 1 -> remaining bits must satisfy Acc.
+      Acc = Mgr.bddIte(V, Acc, Mgr.trueBdd());
+    } else {
+      // This bit of Max is 0: value bit 1 -> too big (false).
+      Acc = Mgr.bddIte(V, Mgr.falseBdd(), Acc);
+    }
+  }
+  return Acc;
+}
+
+BddVarSetId BddDomains::varSet(unsigned D) {
+  if (CachedVarSets[D] < 0)
+    CachedVarSets[D] = Mgr.makeVarSet(Doms[D].Levels);
+  return static_cast<BddVarSetId>(CachedVarSets[D]);
+}
+
+BddPairingId BddDomains::pairing(unsigned From, unsigned To) {
+  size_t Key = size_t(From) * Doms.size() + To;
+  if (CachedPairings[Key] < 0) {
+    assert(Doms[From].NumBits == Doms[To].NumBits &&
+           "pairing requires equal bit widths");
+    std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+    for (uint32_t J = 0; J != Doms[From].NumBits; ++J)
+      Pairs.emplace_back(Doms[From].Levels[J], Doms[To].Levels[J]);
+    CachedPairings[Key] = Mgr.makePairing(std::move(Pairs));
+  }
+  return static_cast<BddPairingId>(CachedPairings[Key]);
+}
+
+uint64_t BddDomains::decode(unsigned D, const std::vector<bool> &Assign) const {
+  const Domain &Dom = Doms[D];
+  assert(Assign.size() == Dom.NumBits && "assignment width mismatch");
+  uint64_t Value = 0;
+  for (uint32_t J = 0; J != Dom.NumBits; ++J)
+    Value = (Value << 1) | (Assign[J] ? 1 : 0);
+  return Value;
+}
+
+void BddDomains::forEachElement(const Bdd &Set, unsigned D,
+                                const std::function<void(uint64_t)> &Fn) {
+  const Domain &Dom = Doms[D];
+  Mgr.forEachSat(Set, Dom.Levels, [&](const std::vector<bool> &Assign) {
+    Fn(decode(D, Assign));
+  });
+}
+
+void BddDomains::forEachPair(
+    const Bdd &Rel, unsigned DA, unsigned DB,
+    const std::function<void(uint64_t, uint64_t)> &Fn) {
+  const Domain &A = Doms[DA];
+  const Domain &B = Doms[DB];
+  // Merge the two level lists (each ascending) and remember which domain
+  // each position belongs to.
+  std::vector<uint32_t> Levels;
+  std::vector<bool> IsA;
+  size_t IA = 0, IB = 0;
+  while (IA < A.Levels.size() || IB < B.Levels.size()) {
+    bool TakeA = IB == B.Levels.size() ||
+                 (IA < A.Levels.size() && A.Levels[IA] < B.Levels[IB]);
+    if (TakeA) {
+      Levels.push_back(A.Levels[IA++]);
+      IsA.push_back(true);
+    } else {
+      Levels.push_back(B.Levels[IB++]);
+      IsA.push_back(false);
+    }
+  }
+  Mgr.forEachSat(Rel, Levels, [&](const std::vector<bool> &Assign) {
+    uint64_t VA = 0, VB = 0;
+    for (size_t I = 0; I != Assign.size(); ++I) {
+      if (IsA[I])
+        VA = (VA << 1) | (Assign[I] ? 1 : 0);
+      else
+        VB = (VB << 1) | (Assign[I] ? 1 : 0);
+    }
+    Fn(VA, VB);
+  });
+}
+
+uint64_t BddDomains::countElements(const Bdd &Set, unsigned D) {
+  return static_cast<uint64_t>(Mgr.satCount(Set, Doms[D].Levels) + 0.5);
+}
+
+uint64_t BddDomains::countPairs(const Bdd &Rel, unsigned DA, unsigned DB) {
+  std::vector<uint32_t> Levels = Doms[DA].Levels;
+  Levels.insert(Levels.end(), Doms[DB].Levels.begin(),
+                Doms[DB].Levels.end());
+  std::sort(Levels.begin(), Levels.end());
+  return static_cast<uint64_t>(Mgr.satCount(Rel, Levels) + 0.5);
+}

@@ -1,0 +1,91 @@
+//===- Constraint.h - Inclusion constraint representation -------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three inclusion-constraint types of the paper's Table 1, extended
+/// with the function-call offsets of Pearce et al. that the paper uses to
+/// resolve indirect calls ("function parameters are numbered contiguously
+/// starting immediately after their corresponding function variable, and
+/// when resolving indirect calls they are accessed as offsets to that
+/// function variable").
+///
+/// | Kind      | Program code | Constraint | Meaning                       |
+/// |-----------|--------------|------------|-------------------------------|
+/// | AddressOf | a = &b       | a ⊇ {b}    | loc(b) ∈ pts(a)               |
+/// | Copy      | a = b        | a ⊇ b      | pts(a) ⊇ pts(b)               |
+/// | Load      | a = *b       | a ⊇ *(b+k) | ∀v ∈ pts(b): pts(a) ⊇ pts(v+k)|
+/// | Store     | *a = b       | *(a+k) ⊇ b | ∀v ∈ pts(a): pts(v+k) ⊇ pts(b)|
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CONSTRAINTS_CONSTRAINT_H
+#define AG_CONSTRAINTS_CONSTRAINT_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ag {
+
+/// Dense id of a constraint-graph node. Variables and memory objects share
+/// one id space; an id's role is determined by where it appears.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId InvalidNode = ~NodeId(0);
+
+/// The constraint forms of Table 1 (plus call offsets).
+enum class ConstraintKind : uint8_t {
+  AddressOf, ///< Base constraint: a = &b.
+  Copy,      ///< Simple constraint: a = b.
+  Load,      ///< Complex constraint 1: a = *(b + Offset).
+  Store,     ///< Complex constraint 2: *(a + Offset) = b.
+};
+
+/// Returns a short mnemonic for \p K ("addr", "copy", "load", "store").
+inline const char *constraintKindName(ConstraintKind K) {
+  switch (K) {
+  case ConstraintKind::AddressOf:
+    return "addr";
+  case ConstraintKind::Copy:
+    return "copy";
+  case ConstraintKind::Load:
+    return "load";
+  case ConstraintKind::Store:
+    return "store";
+  }
+  assert(false && "invalid constraint kind");
+  return "?";
+}
+
+/// One inclusion constraint.
+///
+/// \c Dst is always the left-hand side: the node whose points-to set (or
+/// pointee's points-to set, for Store) grows. \c Offset is only meaningful
+/// for Load and Store and selects a slot within the pointed-to object
+/// (used for indirect-call parameter passing); it must be zero otherwise.
+struct Constraint {
+  ConstraintKind Kind;
+  NodeId Dst;
+  NodeId Src;
+  uint32_t Offset;
+
+  Constraint(ConstraintKind Kind, NodeId Dst, NodeId Src,
+             uint32_t Offset = 0)
+      : Kind(Kind), Dst(Dst), Src(Src), Offset(Offset) {
+    assert((Offset == 0 || Kind == ConstraintKind::Load ||
+            Kind == ConstraintKind::Store) &&
+           "offsets only apply to complex constraints");
+  }
+
+  bool operator==(const Constraint &RHS) const {
+    return Kind == RHS.Kind && Dst == RHS.Dst && Src == RHS.Src &&
+           Offset == RHS.Offset;
+  }
+};
+
+} // namespace ag
+
+#endif // AG_CONSTRAINTS_CONSTRAINT_H

@@ -1,0 +1,189 @@
+//===- ConstraintSystem.cpp - A complete set-constraint problem -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "constraints/ConstraintSystem.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ag;
+
+NodeId ConstraintSystem::addNode(std::string Name, uint32_t Size) {
+  assert(Size >= 1 && "nodes occupy at least one slot");
+  NodeId Id = numNodes();
+  Sizes.push_back(Size);
+  Names.push_back(std::move(Name));
+  IsFunction.push_back(false);
+  // Interior slots are ordinary size-1 nodes.
+  for (uint32_t I = 1; I < Size; ++I) {
+    Sizes.push_back(1);
+    Names.push_back(Names[Id] + "[" + std::to_string(I) + "]");
+    IsFunction.push_back(false);
+  }
+  return Id;
+}
+
+NodeId ConstraintSystem::addFunction(std::string Name, uint32_t NumParams) {
+  NodeId Id = addNode(Name, FunctionParamOffset + NumParams);
+  IsFunction[Id] = true;
+  Names[Id + FunctionReturnOffset] = Names[Id] + ".ret";
+  for (uint32_t I = 0; I < NumParams; ++I)
+    Names[Id + FunctionParamOffset + I] =
+        Names[Id] + ".arg" + std::to_string(I);
+  return Id;
+}
+
+uint64_t ConstraintSystem::hashKey(const Constraint &C) {
+  assert(C.Dst < (1u << 23) && C.Src < (1u << 23) &&
+         "node id exceeds dedup-key capacity");
+  assert(C.Offset < (1u << 16) && "offset exceeds dedup-key capacity");
+  return (uint64_t(C.Kind) << 62) | (uint64_t(C.Offset) << 46) |
+         (uint64_t(C.Dst) << 23) | uint64_t(C.Src);
+}
+
+void ConstraintSystem::add(const Constraint &C) {
+  assert(C.Dst < numNodes() && C.Src < numNodes() &&
+         "constraint references unknown node");
+  // A copy of a node into itself can never add information.
+  if (C.Kind == ConstraintKind::Copy && C.Dst == C.Src)
+    return;
+  if (!Seen.insert(hashKey(C)).second)
+    return;
+  Constraints.push_back(C);
+}
+
+uint64_t ConstraintSystem::countKind(ConstraintKind K) const {
+  uint64_t N = 0;
+  for (const Constraint &C : Constraints)
+    N += (C.Kind == K);
+  return N;
+}
+
+std::string ConstraintSystem::serialize() const {
+  std::ostringstream Out;
+  Out << "# grasshopper constraint file\n";
+  Out << "numnodes " << numNodes() << "\n";
+  for (NodeId N = 0; N != numNodes(); ++N) {
+    // Interior slots of sized nodes are implied by their head's size.
+    Out << "node " << N << " " << Sizes[N];
+    if (!Names[N].empty())
+      Out << " " << Names[N];
+    Out << "\n";
+    if (IsFunction[N])
+      Out << "fun " << N << "\n";
+  }
+  for (const Constraint &C : Constraints) {
+    Out << constraintKindName(C.Kind) << " " << C.Dst << " " << C.Src;
+    if (C.Kind == ConstraintKind::Load || C.Kind == ConstraintKind::Store)
+      Out << " " << C.Offset;
+    Out << "\n";
+  }
+  return Out.str();
+}
+
+bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
+                             std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  auto fail = [&](const std::string &Msg) {
+    Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  };
+
+  // Node declarations can carry explicit sizes; ids must be declared in
+  // order so addNode reproduces them. Sized nodes implicitly declare their
+  // interior slots, which the file also lists (harmlessly) — we skip ids we
+  // already know.
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Tok(Line);
+    std::string Kind;
+    Tok >> Kind;
+    if (Kind == "numnodes") {
+      uint64_t N;
+      if (!(Tok >> N))
+        return fail("numnodes expects a count");
+      continue; // Informational; nodes are created by 'node' records.
+    }
+    if (Kind == "node") {
+      uint64_t Id, Size;
+      if (!(Tok >> Id >> Size))
+        return fail("node expects <id> <size> [name]");
+      std::string Name;
+      std::getline(Tok, Name);
+      // Strip the single leading separator space, keep interior spaces.
+      if (!Name.empty() && Name[0] == ' ')
+        Name.erase(0, 1);
+      if (Id < Out.numNodes()) {
+        // Interior slot already created by its head; allow a name refresh.
+        if (!Name.empty())
+          Out.Names[Id] = Name;
+        continue;
+      }
+      if (Id != Out.numNodes())
+        return fail("node ids must be declared densely in order");
+      if (Size == 0 || Size > (1u << 16))
+        return fail("node size out of range");
+      Out.addNode(Name, static_cast<uint32_t>(Size));
+      continue;
+    }
+    if (Kind == "fun") {
+      uint64_t Id;
+      if (!(Tok >> Id))
+        return fail("fun expects <id>");
+      if (Id >= Out.numNodes())
+        return fail("fun references unknown node");
+      Out.IsFunction[Id] = true;
+      continue;
+    }
+    uint64_t Dst, Src, Offset = 0;
+    if (!(Tok >> Dst >> Src))
+      return fail("constraint expects <dst> <src>");
+    if (Kind == "load" || Kind == "store")
+      Tok >> Offset; // Optional; defaults to 0.
+    if (Dst >= Out.numNodes() || Src >= Out.numNodes())
+      return fail("constraint references unknown node");
+    if (Kind == "addr")
+      Out.addAddressOf(static_cast<NodeId>(Dst), static_cast<NodeId>(Src));
+    else if (Kind == "copy")
+      Out.addCopy(static_cast<NodeId>(Dst), static_cast<NodeId>(Src));
+    else if (Kind == "load")
+      Out.addLoad(static_cast<NodeId>(Dst), static_cast<NodeId>(Src),
+                  static_cast<uint32_t>(Offset));
+    else if (Kind == "store")
+      Out.addStore(static_cast<NodeId>(Dst), static_cast<NodeId>(Src),
+                   static_cast<uint32_t>(Offset));
+    else
+      return fail("unknown record kind '" + Kind + "'");
+  }
+  return true;
+}
+
+bool ConstraintSystem::writeToFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << serialize();
+  return static_cast<bool>(Out);
+}
+
+bool ConstraintSystem::readFromFile(const std::string &Path,
+                                    ConstraintSystem &Out,
+                                    std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return parse(Buf.str(), Out, Error);
+}

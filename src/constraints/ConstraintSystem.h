@@ -1,0 +1,147 @@
+//===- ConstraintSystem.h - A complete set-constraint problem ---*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ConstraintSystem is the input to every solver: a set of nodes (program
+/// variables and abstract memory objects in one id space) plus the inclusion
+/// constraints over them. It also carries the per-node metadata the solvers
+/// need to resolve field-insensitive call offsets (object sizes), and a text
+/// serialization so benchmark suites can be stored and re-loaded the way the
+/// paper's constraint files produced by CIL were.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CONSTRAINTS_CONSTRAINTSYSTEM_H
+#define AG_CONSTRAINTS_CONSTRAINTSYSTEM_H
+
+#include "constraints/Constraint.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace ag {
+
+/// Container for one pointer-analysis problem instance.
+class ConstraintSystem {
+public:
+  ConstraintSystem() = default;
+
+  /// Creates a node named \p Name occupying \p Size consecutive slots.
+  ///
+  /// A size-N node reserves ids [id, id+N): dereferences with offset k < N
+  /// resolve to id+k. Function objects use this for return/parameter slots;
+  /// plain variables and objects have size 1. \returns the first id.
+  NodeId addNode(std::string Name = "", uint32_t Size = 1);
+
+  /// Creates a function object with \p NumParams parameters.
+  ///
+  /// Layout follows the paper: slot 0 is the function itself, slot 1 the
+  /// return value, slots 2..NumParams+1 the parameters (so parameter i is
+  /// accessed as offset 2+i). \returns the function's node id.
+  NodeId addFunction(std::string Name, uint32_t NumParams);
+
+  /// Slot offset of a function's return value.
+  static constexpr uint32_t FunctionReturnOffset = 1;
+  /// Slot offset of a function's first parameter.
+  static constexpr uint32_t FunctionParamOffset = 2;
+
+  /// Number of node ids in use (including interior slots of sized nodes).
+  uint32_t numNodes() const { return static_cast<uint32_t>(Sizes.size()); }
+
+  /// Number of slots of node \p N; interior slots report 1.
+  uint32_t sizeOf(NodeId N) const { return Sizes[N]; }
+
+  /// Name of node \p N (may be empty).
+  const std::string &nameOf(NodeId N) const { return Names[N]; }
+
+  /// Renames node \p N.
+  void setName(NodeId N, std::string Name) { Names[N] = std::move(Name); }
+
+  /// True if \p N is a function object created by addFunction.
+  bool isFunction(NodeId N) const { return IsFunction[N]; }
+
+  /// Returns a system with this one's node table (ids, sizes, names,
+  /// function flags) but no constraints. Used by rewriting passes.
+  ConstraintSystem cloneNodeTable() const {
+    ConstraintSystem Out;
+    Out.Sizes = Sizes;
+    Out.Names = Names;
+    Out.IsFunction = IsFunction;
+    return Out;
+  }
+
+  /// Adds a = &b.
+  void addAddressOf(NodeId A, NodeId B) {
+    add(Constraint(ConstraintKind::AddressOf, A, B));
+  }
+  /// Adds a = b.
+  void addCopy(NodeId A, NodeId B) {
+    add(Constraint(ConstraintKind::Copy, A, B));
+  }
+  /// Adds a = *(b + Offset).
+  void addLoad(NodeId A, NodeId B, uint32_t Offset = 0) {
+    add(Constraint(ConstraintKind::Load, A, B, Offset));
+  }
+  /// Adds *(a + Offset) = b.
+  void addStore(NodeId A, NodeId B, uint32_t Offset = 0) {
+    add(Constraint(ConstraintKind::Store, A, B, Offset));
+  }
+
+  /// Adds \p C, silently dropping exact duplicates and no-op copies.
+  void add(const Constraint &C);
+
+  /// All constraints, in insertion order.
+  const std::vector<Constraint> &constraints() const { return Constraints; }
+
+  /// Counts constraints of kind \p K.
+  uint64_t countKind(ConstraintKind K) const;
+
+  /// Resolves the node a dereference of object \p Obj at \p Offset targets,
+  /// or InvalidNode if the offset is out of bounds for that object. This is
+  /// the validity check indirect-call resolution relies on.
+  NodeId offsetTarget(NodeId Obj, uint32_t Offset) const {
+    if (Offset == 0)
+      return Obj;
+    if (Offset >= Sizes[Obj])
+      return InvalidNode;
+    return Obj + Offset;
+  }
+
+  /// Serializes to the text constraint-file format.
+  ///
+  /// Format: one record per line. `node <id> <size> <name>` declares nodes
+  /// (in id order); `fun <id>` marks function objects; `addr|copy <dst>
+  /// <src>` and `load|store <dst> <src> <off>` declare constraints. Lines
+  /// starting with '#' are comments.
+  std::string serialize() const;
+
+  /// Parses the text format produced by serialize().
+  /// \returns false and fills \p Error on malformed input.
+  static bool parse(const std::string &Text, ConstraintSystem &Out,
+                    std::string &Error);
+
+  /// Writes serialize() output to \p Path. \returns false on I/O error.
+  bool writeToFile(const std::string &Path) const;
+
+  /// Reads a constraint file. \returns false and fills \p Error on failure.
+  static bool readFromFile(const std::string &Path, ConstraintSystem &Out,
+                           std::string &Error);
+
+private:
+  static uint64_t hashKey(const Constraint &C);
+
+  std::vector<uint32_t> Sizes;
+  std::vector<std::string> Names;
+  std::vector<bool> IsFunction;
+  std::vector<Constraint> Constraints;
+  std::unordered_set<uint64_t> Seen; ///< Dedup keys for constraints.
+};
+
+} // namespace ag
+
+#endif // AG_CONSTRAINTS_CONSTRAINTSYSTEM_H

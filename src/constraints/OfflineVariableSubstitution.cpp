@@ -1,0 +1,167 @@
+//===- OfflineVariableSubstitution.cpp - OVS preprocessing ----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "constraints/OfflineVariableSubstitution.h"
+
+#include "adt/Scc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace ag;
+
+namespace {
+
+/// Hash of a sorted label vector, for hash-consing label sets.
+struct LabelSetHash {
+  size_t operator()(const std::vector<uint32_t> &V) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint32_t X : V) {
+      H ^= X;
+      H *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
+
+OvsResult ag::runOfflineVariableSubstitution(const ConstraintSystem &CS) {
+  const uint32_t N = CS.numNodes();
+  constexpr uint32_t BottomLabel = 0;
+
+  // --- Step 1: mark indirect nodes. A node is indirect when its points-to
+  // set can change through store constraints, i.e. when it can appear in
+  // somebody's points-to set: every slot of an address-taken object.
+  std::vector<bool> Indirect(N, false);
+  for (const Constraint &C : CS.constraints()) {
+    if (C.Kind != ConstraintKind::AddressOf)
+      continue;
+    for (uint32_t I = 0, E = CS.sizeOf(C.Src); I != E; ++I)
+      Indirect[C.Src + I] = true;
+  }
+
+  // --- Step 2: SCCs over copy edges. Members of a copy cycle always have
+  // equal points-to sets and can be merged outright.
+  std::vector<std::vector<uint32_t>> CopySuccs(N);
+  for (const Constraint &C : CS.constraints())
+    if (C.Kind == ConstraintKind::Copy)
+      CopySuccs[C.Src].push_back(C.Dst);
+  SccResult Scc = computeSccs(N, CopySuccs);
+  const uint32_t NumComps = static_cast<uint32_t>(Scc.Members.size());
+
+  // A component is indirect if any member is.
+  std::vector<bool> CompIndirect(NumComps, false);
+  for (uint32_t V = 0; V != N; ++V)
+    if (Indirect[V])
+      CompIndirect[Scc.Comp[V]] = true;
+
+  // --- Step 3: collect per-component label contributions that don't come
+  // from copy edges: address-of labels and load (ref) labels.
+  uint32_t NextLabel = 1;
+  std::unordered_map<uint32_t, uint32_t> AdrLabels; // location -> label
+  // Ref labels keyed by (base component, offset).
+  std::unordered_map<uint64_t, uint32_t> RefLabels;
+  std::vector<std::vector<uint32_t>> CompSeed(NumComps);
+  for (const Constraint &C : CS.constraints()) {
+    if (C.Kind == ConstraintKind::AddressOf) {
+      auto [It, New] = AdrLabels.try_emplace(C.Src, NextLabel);
+      if (New)
+        ++NextLabel;
+      CompSeed[Scc.Comp[C.Dst]].push_back(It->second);
+    } else if (C.Kind == ConstraintKind::Load) {
+      uint64_t Key = (uint64_t(Scc.Comp[C.Src]) << 16) | C.Offset;
+      auto [It, New] = RefLabels.try_emplace(Key, NextLabel);
+      if (New)
+        ++NextLabel;
+      CompSeed[Scc.Comp[C.Dst]].push_back(It->second);
+    }
+  }
+
+  // --- Step 4: assign labels in topological order (Tarjan emits reverse
+  // topological order, so walk components from the last emitted down).
+  std::vector<uint32_t> CompLabel(NumComps, BottomLabel);
+  std::unordered_map<std::vector<uint32_t>, uint32_t, LabelSetHash>
+      LabelSets;
+  std::vector<std::vector<uint32_t>> CompPreds(NumComps);
+  for (const Constraint &C : CS.constraints())
+    if (C.Kind == ConstraintKind::Copy &&
+        Scc.Comp[C.Src] != Scc.Comp[C.Dst])
+      CompPreds[Scc.Comp[C.Dst]].push_back(Scc.Comp[C.Src]);
+
+  for (uint32_t CompId = NumComps; CompId-- != 0;) {
+    if (CompIndirect[CompId]) {
+      CompLabel[CompId] = NextLabel++;
+      continue;
+    }
+    std::vector<uint32_t> Labels = std::move(CompSeed[CompId]);
+    for (uint32_t Pred : CompPreds[CompId]) {
+      assert(Pred > CompId && "copy predecessor not yet labeled");
+      if (CompLabel[Pred] != BottomLabel)
+        Labels.push_back(CompLabel[Pred]);
+    }
+    std::sort(Labels.begin(), Labels.end());
+    Labels.erase(std::unique(Labels.begin(), Labels.end()), Labels.end());
+    if (Labels.empty()) {
+      CompLabel[CompId] = BottomLabel;
+    } else if (Labels.size() == 1) {
+      CompLabel[CompId] = Labels[0];
+    } else {
+      auto [It, New] = LabelSets.try_emplace(Labels, NextLabel);
+      if (New)
+        ++NextLabel;
+      CompLabel[CompId] = It->second;
+    }
+  }
+
+  // --- Step 5: pick one representative node per label and build Rep.
+  OvsResult Result;
+  Result.Rep.resize(N);
+  Result.IsBottom.assign(N, false);
+  std::unordered_map<uint32_t, NodeId> LabelRep;
+  for (uint32_t V = 0; V != N; ++V) {
+    uint32_t L = CompLabel[Scc.Comp[V]];
+    if (L == BottomLabel)
+      Result.IsBottom[V] = true;
+    auto [It, New] = LabelRep.try_emplace(L, V);
+    Result.Rep[V] = It->second;
+    if (!New)
+      ++Result.NumMerged;
+  }
+
+  // --- Step 6: rewrite the constraints over representatives, dropping
+  // reads from bottom variables and duplicates. The reduced system keeps
+  // the original node table so object identities are stable.
+  Result.Reduced = CS.cloneNodeTable();
+
+  const std::vector<NodeId> &Rep = Result.Rep;
+  const std::vector<bool> &Bot = Result.IsBottom;
+  for (const Constraint &C : CS.constraints()) {
+    switch (C.Kind) {
+    case ConstraintKind::AddressOf:
+      // Keep the location identity; rewrite only the destination.
+      Result.Reduced.addAddressOf(Rep[C.Dst], C.Src);
+      break;
+    case ConstraintKind::Copy:
+      if (Bot[C.Src])
+        break; // Nothing ever flows.
+      Result.Reduced.addCopy(Rep[C.Dst], Rep[C.Src]);
+      break;
+    case ConstraintKind::Load:
+      if (Bot[C.Src])
+        break; // *src never resolves.
+      Result.Reduced.addLoad(Rep[C.Dst], Rep[C.Src], C.Offset);
+      break;
+    case ConstraintKind::Store:
+      if (Bot[C.Dst] || Bot[C.Src])
+        break; // Target set empty, or stored value set empty.
+      Result.Reduced.addStore(Rep[C.Dst], Rep[C.Src], C.Offset);
+      break;
+    }
+  }
+  return Result;
+}

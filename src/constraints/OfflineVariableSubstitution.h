@@ -1,0 +1,60 @@
+//===- OfflineVariableSubstitution.h - OVS preprocessing --------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A variant of Rountev & Chandra's Offline Variable Substitution, the
+/// preprocessing pass the paper applies to every constraint file ("reduces
+/// the number of constraints by 60-77%"). The implementation follows the
+/// hash-based value numbering (HVN) formulation: a linear offline pass
+/// assigns pointer-equivalence labels to variables; variables with equal
+/// labels provably have equal points-to sets in every solution, so the
+/// constraint system can be rewritten in terms of one representative per
+/// label and deduplicated.
+///
+/// Soundness notes:
+///  * Address-taken nodes (and every interior slot of a sized address-taken
+///    object) are "indirect": they can receive points-to information
+///    through store constraints invisible to the offline graph, so each
+///    copy-SCC containing one receives a fresh, unshared label.
+///  * Copy-cycle members are always mutually equivalent and are merged
+///    regardless of indirectness.
+///  * Label 0 (bottom) marks variables whose points-to set is provably
+///    empty; constraints that only read from bottom variables are dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CONSTRAINTS_OFFLINEVARIABLESUBSTITUTION_H
+#define AG_CONSTRAINTS_OFFLINEVARIABLESUBSTITUTION_H
+
+#include "constraints/ConstraintSystem.h"
+
+#include <vector>
+
+namespace ag {
+
+/// Output of the OVS pass.
+struct OvsResult {
+  /// The rewritten, deduplicated system. Shares the original node id space
+  /// (no renumbering), so object identities in points-to sets are stable.
+  ConstraintSystem Reduced;
+
+  /// Maps each original node to the representative whose solution entry
+  /// holds its points-to set: pts_original(v) == pts_reduced(Rep[v]).
+  std::vector<NodeId> Rep;
+
+  /// Nodes proven to have empty points-to sets (label bottom).
+  std::vector<bool> IsBottom;
+
+  /// Number of variables merged away (original nodes with Rep[v] != v).
+  uint64_t NumMerged = 0;
+};
+
+/// Runs offline variable substitution over \p CS.
+OvsResult runOfflineVariableSubstitution(const ConstraintSystem &CS);
+
+} // namespace ag
+
+#endif // AG_CONSTRAINTS_OFFLINEVARIABLESUBSTITUTION_H

@@ -1,0 +1,87 @@
+//===- HcdOffline.cpp - Hybrid Cycle Detection offline analysis -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HcdOffline.h"
+
+#include "adt/Scc.h"
+
+#include <cassert>
+
+using namespace ag;
+
+HcdResult ag::runHcdOffline(const ConstraintSystem &CS) {
+  const uint32_t N = CS.numNodes();
+  // Offline node space: [0, N) are VAR nodes, [N, 2N) are REF nodes.
+  std::vector<std::vector<uint32_t>> Succs(2 * size_t(N));
+  for (const Constraint &C : CS.constraints()) {
+    switch (C.Kind) {
+    case ConstraintKind::AddressOf:
+      break; // Base constraints are ignored.
+    case ConstraintKind::Copy: // a = b: VAR(b) -> VAR(a)
+      Succs[C.Src].push_back(C.Dst);
+      break;
+    case ConstraintKind::Load: // a = *b: REF(b) -> VAR(a)
+      if (C.Offset == 0)
+        Succs[N + size_t(C.Src)].push_back(C.Dst);
+      break;
+    case ConstraintKind::Store: // *a = b: VAR(b) -> REF(a)
+      if (C.Offset == 0)
+        Succs[C.Src].push_back(N + C.Dst);
+      break;
+    }
+  }
+
+  SccResult Scc = computeSccs(2 * N, Succs);
+
+  HcdResult Result;
+  Result.PreMerge.resize(N);
+  for (NodeId V = 0; V != N; ++V)
+    Result.PreMerge[V] = V;
+
+  for (const std::vector<uint32_t> &Members : Scc.Members) {
+    if (Members.size() < 2)
+      continue;
+    // Split members into VAR and REF nodes.
+    NodeId FirstVar = InvalidNode;
+    bool HasRef = false;
+    for (uint32_t M : Members) {
+      if (M < N) {
+        if (FirstVar == InvalidNode)
+          FirstVar = M;
+      } else {
+        HasRef = true;
+      }
+    }
+    // "Because there are no constraints of the form *p = *q, no ref node
+    // can have a reflexive edge and any non-trivial SCC containing a ref
+    // node must also contain a non-ref node."
+    assert(FirstVar != InvalidNode && "ref-only SCC cannot exist");
+
+    if (!HasRef) {
+      // Pure variable cycle: collapse offline.
+      for (uint32_t M : Members)
+        if (M != FirstVar) {
+          Result.PreMerge[M] = FirstVar;
+          ++Result.NumPreMerged;
+        }
+      continue;
+    }
+    ++Result.NumRefSccs;
+    for (uint32_t M : Members)
+      if (M >= N)
+        Result.Lazy.emplace_back(M - N, FirstVar);
+  }
+  return Result;
+}
+
+std::vector<NodeId> ag::composeReps(const std::vector<NodeId> &Inner,
+                                    const std::vector<NodeId> &Outer) {
+  assert(Inner.size() == Outer.size() && "rep table size mismatch");
+  std::vector<NodeId> Out(Inner.size());
+  for (size_t V = 0; V != Inner.size(); ++V)
+    Out[V] = Outer[Inner[V]];
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- HcdOffline.h - Hybrid Cycle Detection offline analysis ---*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline half of Hybrid Cycle Detection (Section 4.2): build an
+/// offline constraint graph with a VAR node per variable plus a REF node
+/// per dereferenced variable, with edges
+///
+///     a = b   =>  VAR(b) -> VAR(a)
+///     a = *b  =>  REF(b) -> VAR(a)
+///     *a = b  =>  VAR(b) -> REF(a)
+///
+/// (base constraints are ignored), then find SCCs with Tarjan's linear-time
+/// algorithm. SCCs of only VAR nodes are collapsed immediately; for each
+/// SCC containing REF nodes, one non-REF member b is chosen and a tuple
+/// (a, b) is recorded for every REF member *a — telling the online solver
+/// that everything in pts(a) can be preemptively collapsed with b, without
+/// any graph traversal.
+///
+/// Dereferences with non-zero call offsets are conservatively excluded from
+/// the offline graph (HCD then simply finds fewer cycles; soundness and
+/// precision are unaffected).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CORE_HCDOFFLINE_H
+#define AG_CORE_HCDOFFLINE_H
+
+#include "constraints/ConstraintSystem.h"
+
+#include <vector>
+
+namespace ag {
+
+/// Result of the HCD offline pass.
+struct HcdResult {
+  /// Representative map for variables in VAR-only SCCs: PreMerge[v] == r
+  /// means v is collapsed into r before solving starts. Identity elsewhere.
+  std::vector<NodeId> PreMerge;
+
+  /// The online table L as (n, target) pairs: when the solver processes
+  /// node n, every v in pts(n) may be collapsed with target. At most one
+  /// entry per n (stored sparse).
+  std::vector<std::pair<NodeId, NodeId>> Lazy;
+
+  /// Variables merged away offline (size of the "ant's" up-front win).
+  uint64_t NumPreMerged = 0;
+  /// Number of SCCs that contained at least one REF node.
+  uint64_t NumRefSccs = 0;
+};
+
+/// Runs the HCD offline analysis over \p CS.
+HcdResult runHcdOffline(const ConstraintSystem &CS);
+
+/// Composes two representative maps: first apply \p Inner, then \p Outer
+/// (both identity-defaulted). Used to stack OVS and HCD pre-merges.
+std::vector<NodeId> composeReps(const std::vector<NodeId> &Inner,
+                                const std::vector<NodeId> &Outer);
+
+} // namespace ag
+
+#endif // AG_CORE_HCDOFFLINE_H

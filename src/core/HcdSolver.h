@@ -1,0 +1,76 @@
+//===- HcdSolver.h - Standalone Hybrid Cycle Detection solver ---*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's standalone HCD algorithm (Figure 5): the basic dynamic
+/// transitive closure worklist of Figure 1, except that popping a node n
+/// with a lazy tuple (n, a) preemptively collapses every member of pts(n)
+/// with a. No graph traversal is ever performed — cycle knowledge comes
+/// entirely from the offline analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CORE_HCDSOLVER_H
+#define AG_CORE_HCDSOLVER_H
+
+#include "adt/Worklist.h"
+#include "core/HcdOffline.h"
+#include "core/Solver.h"
+#include "core/SolverContext.h"
+
+namespace ag {
+
+/// Standalone Hybrid Cycle Detection, templated over the points-to set
+/// representation.
+template <typename PtsPolicy> class HcdSolver {
+public:
+  HcdSolver(const ConstraintSystem &CS, SolverStats &Stats,
+            const SolverOptions &Opts, const HcdResult &Hcd,
+            const std::vector<NodeId> *SeedReps = nullptr)
+      : G(CS, Stats, SeedReps), W(Opts.Worklist) {
+    G.UseDiffResolution = Opts.DifferenceResolution;
+    for (const auto &[N, Target] : Hcd.Lazy)
+      G.HcdTargets[G.find(N)].push_back(Target);
+  }
+
+  /// Runs to fixpoint and returns the solution.
+  PointsToSolution solve() {
+    const uint32_t N = G.CS.numNodes();
+    W.grow(N);
+    for (NodeId V = 0; V != N; ++V)
+      if (G.find(V) == V && !G.Pts[V].empty())
+        W.push(V);
+
+    auto Push = [this](NodeId V) { W.push(V); };
+    while (!W.empty()) {
+      NodeId Node = G.find(W.pop());
+      ++G.Stats.WorklistPops;
+
+      Node = G.applyHcd(Node, Push);
+      G.resolveComplex(Node, Push);
+
+      // Plain propagation — no cycle detection, no traversal (Figure 5).
+      for (uint32_t Raw : G.Succs[Node]) {
+        NodeId Z = G.find(Raw);
+        if (Z == Node)
+          continue;
+        if (G.propagate(Node, Z))
+          W.push(Z);
+      }
+    }
+    return G.extractSolution();
+  }
+
+  SolverContext<PtsPolicy> &context() { return G; }
+
+private:
+  SolverContext<PtsPolicy> G;
+  Worklist W;
+};
+
+} // namespace ag
+
+#endif // AG_CORE_HCDSOLVER_H

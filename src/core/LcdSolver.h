@@ -1,0 +1,130 @@
+//===- LcdSolver.h - Lazy Cycle Detection solver ----------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Lazy Cycle Detection algorithm (Figure 2), optionally
+/// combined with Hybrid Cycle Detection (the LCD+HCD headline algorithm).
+/// Before propagating across an edge n -> z, if pts(n) == pts(z) and the
+/// edge hasn't triggered a search before, a DFS rooted at z detects and
+/// collapses cycles. The worklist is LRF-prioritized and divided into
+/// current/next halves, as described in Section 5.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CORE_LCDSOLVER_H
+#define AG_CORE_LCDSOLVER_H
+
+#include "adt/Worklist.h"
+#include "core/HcdOffline.h"
+#include "core/Solver.h"
+#include "core/SolverContext.h"
+
+#include <unordered_set>
+
+namespace ag {
+
+/// Lazy Cycle Detection (optionally +HCD), templated over the points-to
+/// set representation.
+template <typename PtsPolicy> class LcdSolver {
+public:
+  /// \p Hcd, when non-null, enables the hybrid online collapsing rule
+  /// (LCD+HCD). \p SeedReps pre-merges nodes (OVS and/or HCD offline).
+  LcdSolver(const ConstraintSystem &CS, SolverStats &Stats,
+            const SolverOptions &Opts, const HcdResult *Hcd = nullptr,
+            const std::vector<NodeId> *SeedReps = nullptr)
+      : G(CS, Stats, SeedReps), Opts(Opts), W(Opts.Worklist) {
+    G.UseDiffResolution = Opts.DifferenceResolution;
+    if (Hcd)
+      for (const auto &[N, Target] : Hcd->Lazy)
+        G.HcdTargets[G.find(N)].push_back(Target);
+  }
+
+  /// Runs to fixpoint and returns the solution.
+  PointsToSolution solve() {
+    const uint32_t N = G.CS.numNodes();
+    W.grow(N);
+    for (NodeId V = 0; V != N; ++V)
+      if (G.find(V) == V && !G.Pts[V].empty())
+        W.push(V);
+
+    auto Push = [this](NodeId V) { W.push(V); };
+    while (!W.empty()) {
+      NodeId Node = G.find(W.pop());
+      ++G.Stats.WorklistPops;
+
+      // HCD first (Figure 5's check of the lazy table L).
+      Node = G.applyHcd(Node, Push);
+
+      // Resolve the complex constraints indexed at this node.
+      G.resolveComplex(Node, Push);
+
+      // Propagate along outgoing edges, lazily sniffing for cycles.
+      bool Restart = false;
+      for (uint32_t Raw : G.Succs[Node]) {
+        NodeId Z = G.find(Raw);
+        if (Z == Node)
+          continue;
+        // The lazy trigger: identical points-to sets suggest a cycle —
+        // but never retrigger on the same edge (rule R in Figure 2). The
+        // R-set test runs first: it is a hash probe, while set equality
+        // costs a full scan exactly when the sets are equal (the common
+        // case at convergence).
+        if (!alreadyTriggered(Node, Z) && !G.Pts[Node].empty() &&
+            G.Pts[Z].equals(G.Ctx, G.Pts[Node]) &&
+            markTriggered(Node, Z)) {
+          if (G.detectAndCollapseFrom(Z) > 0) {
+            // Re-queue every merge survivor (their points-to sets grew).
+            // The edge iterator only becomes unsafe when Node itself was
+            // involved: merged away, or the survivor whose edge set was
+            // rewritten — then requeue Node and restart.
+            NodeId NewRep = G.find(Node);
+            bool NodeTouched = NewRep != Node;
+            G.drainMergeLog([&](NodeId S) {
+              W.push(S);
+              NodeTouched |= S == NewRep;
+            });
+            if (NodeTouched) {
+              W.push(NewRep);
+              Restart = true;
+              break;
+            }
+          }
+        }
+        if (G.propagate(Node, Z))
+          W.push(Z);
+      }
+      if (Restart)
+        continue;
+    }
+    return G.extractSolution();
+  }
+
+  SolverContext<PtsPolicy> &context() { return G; }
+
+private:
+  /// The R set, split into a cheap pre-test and the insertion. With
+  /// LcdEdgeOnce disabled (ablation), edges always (re)trigger.
+  bool alreadyTriggered(NodeId From, NodeId To) const {
+    if (!Opts.LcdEdgeOnce)
+      return false;
+    return Triggered.count((uint64_t(From) << 32) | To) != 0;
+  }
+  bool markTriggered(NodeId From, NodeId To) {
+    if (!Opts.LcdEdgeOnce)
+      return true;
+    Triggered.insert((uint64_t(From) << 32) | To);
+    return true;
+  }
+
+  SolverContext<PtsPolicy> G;
+  SolverOptions Opts;
+  Worklist W;
+  std::unordered_set<uint64_t> Triggered;
+};
+
+} // namespace ag
+
+#endif // AG_CORE_LCDSOLVER_H

@@ -1,0 +1,122 @@
+//===- PointsToSolution.h - Final analysis result ---------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result every solver produces: for each node, the set of memory
+/// objects it may point to. Points-to sets are stored per representative
+/// (cycle collapsing makes many nodes share one set); set elements are
+/// always *original* object ids — collapsing merges the variable role of
+/// nodes, never their identity as pointed-to locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CORE_POINTSTOSOLUTION_H
+#define AG_CORE_POINTSTOSOLUTION_H
+
+#include "adt/SparseBitVector.h"
+#include "constraints/Constraint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ag {
+
+/// A complete points-to solution over a constraint system's nodes.
+class PointsToSolution {
+public:
+  PointsToSolution() = default;
+
+  /// Creates a solution for \p NumNodes nodes, initially all empty with
+  /// every node its own representative.
+  explicit PointsToSolution(uint32_t NumNodes)
+      : Rep(NumNodes), Sets(NumNodes) {
+    for (uint32_t I = 0; I != NumNodes; ++I)
+      Rep[I] = I;
+  }
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Rep.size()); }
+
+  /// Declares that \p V shares its points-to set with \p Representative.
+  /// \p Representative must map to itself.
+  void setRep(NodeId V, NodeId Representative) {
+    assert(Rep[Representative] == Representative && "rep must be canonical");
+    Rep[V] = Representative;
+  }
+
+  /// Representative whose set entry backs \p V.
+  NodeId repOf(NodeId V) const { return Rep[V]; }
+
+  /// Mutable set of a representative (used by solvers during extraction).
+  SparseBitVector &mutableSet(NodeId Representative) {
+    assert(Rep[Representative] == Representative && "rep must be canonical");
+    return Sets[Representative];
+  }
+
+  /// The points-to set of \p V.
+  const SparseBitVector &pointsTo(NodeId V) const { return Sets[Rep[V]]; }
+
+  /// True if \p V may point to \p Obj.
+  bool pointsToObj(NodeId V, NodeId Obj) const {
+    return pointsTo(V).test(Obj);
+  }
+
+  /// May-alias query: do the two points-to sets intersect?
+  bool mayAlias(NodeId A, NodeId B) const {
+    return pointsTo(A).intersects(pointsTo(B));
+  }
+
+  /// The points-to set of \p V as a sorted vector (convenience for tests
+  /// and clients).
+  std::vector<NodeId> pointsToVector(NodeId V) const {
+    std::vector<NodeId> Out;
+    for (uint32_t O : pointsTo(V))
+      Out.push_back(O);
+    return Out;
+  }
+
+  /// Structural equality: every node has the same points-to set. This is
+  /// the cross-solver invariant the test suite leans on.
+  bool operator==(const PointsToSolution &RHS) const {
+    if (numNodes() != RHS.numNodes())
+      return false;
+    for (uint32_t V = 0; V != numNodes(); ++V)
+      if (!(pointsTo(V) == RHS.pointsTo(V)))
+        return false;
+    return true;
+  }
+  bool operator!=(const PointsToSolution &RHS) const {
+    return !(*this == RHS);
+  }
+
+  /// Sum over all nodes of |pts(node)| (each node counted, shared sets
+  /// counted repeatedly) — a standard precision/size metric.
+  uint64_t totalPointsToSize() const {
+    uint64_t Total = 0;
+    for (uint32_t V = 0; V != numNodes(); ++V)
+      Total += pointsTo(V).count();
+    return Total;
+  }
+
+  /// FNV hash of the whole solution, for quick regression comparisons.
+  uint64_t hash() const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint32_t V = 0; V != numNodes(); ++V)
+      for (uint32_t O : pointsTo(V)) {
+        H ^= (uint64_t(V) << 32) | O;
+        H *= 0x100000001b3ull;
+      }
+    return H;
+  }
+
+private:
+  std::vector<NodeId> Rep;
+  std::vector<SparseBitVector> Sets;
+};
+
+} // namespace ag
+
+#endif // AG_CORE_POINTSTOSOLUTION_H

@@ -1,0 +1,233 @@
+//===- PtsSet.h - Points-to set representation policies ---------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates two representations for points-to sets: the GCC
+/// sparse bitmap and a per-variable BDD ("we give each variable its own BDD
+/// to store its individual points-to set"), noting that switching is "a
+/// simple modification". Here the switch is a policy type: solvers are
+/// templates over a policy providing a Context (shared state — empty for
+/// bitmaps, the BDD manager for BDDs) and a Set with the operations the
+/// solvers need.
+///
+/// Policy interface:
+///   struct Policy {
+///     struct Context { explicit Context(uint32_t NumNodes); };
+///     class Set {
+///       bool insert(Context &, NodeId);        // true if newly added
+///       bool unionWith(Context &, const Set &); // true if changed
+///       bool equals(const Context &, const Set &) const;
+///       bool contains(const Context &, NodeId) const;
+///       bool empty() const;
+///       size_t size(const Context &) const;
+///       template <typename F> void forEach(const Context &, F) const;
+///       void toBitmap(const Context &, SparseBitVector &) const;
+///       void clearAndFree(Context &);           // release storage
+///       size_t memoryBytes() const;             // owned bytes (bitmaps)
+///     };
+///   };
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CORE_PTSSET_H
+#define AG_CORE_PTSSET_H
+
+#include "adt/SparseBitVector.h"
+#include "bdd/BddDomain.h"
+#include "constraints/Constraint.h"
+
+#include <memory>
+
+namespace ag {
+
+/// Sparse-bitmap points-to sets (the GCC 4.1.1 representation).
+struct BitmapPtsPolicy {
+  struct Context {
+    explicit Context(uint32_t /*NumNodes*/) {}
+  };
+
+  class Set {
+  public:
+    bool insert(Context &, NodeId N) { return Bits.set(N); }
+    bool unionWith(Context &, const Set &RHS) {
+      return Bits.unionWith(RHS.Bits);
+    }
+    bool intersectWith(Context &, const Set &RHS) {
+      return Bits.intersectWith(RHS.Bits);
+    }
+    bool equals(const Context &, const Set &RHS) const {
+      return Bits == RHS.Bits;
+    }
+    bool contains(const Context &, NodeId N) const { return Bits.test(N); }
+    bool empty() const { return Bits.empty(); }
+    size_t size(const Context &) const { return Bits.count(); }
+
+    template <typename F> void forEach(const Context &, F Fn) const {
+      for (uint32_t N : Bits)
+        Fn(static_cast<NodeId>(N));
+    }
+
+    /// Visits the elements of this set that are not in \p Exclude.
+    template <typename F>
+    void forEachDiff(const Context &, const Set &Exclude, F Fn) const {
+      SparseBitVector Diff = Bits;
+      Diff.subtract(Exclude.Bits);
+      for (uint32_t N : Diff)
+        Fn(static_cast<NodeId>(N));
+    }
+
+    void toBitmap(const Context &, SparseBitVector &Out) const {
+      Out = Bits;
+    }
+    void clearAndFree(Context &) { Bits.clear(); }
+    size_t memoryBytes() const { return Bits.memoryBytes(); }
+
+    /// Bitmap-specific accessor for fast paths.
+    const SparseBitVector &bits() const { return Bits; }
+
+  private:
+    SparseBitVector Bits;
+  };
+};
+
+/// Per-variable BDD points-to sets sharing one manager ("unlike BLQ, which
+/// stores the entire points-to solution in a single BDD, we give each
+/// variable its own BDD").
+struct BddPtsPolicy {
+  struct Context {
+    explicit Context(uint32_t NumNodes)
+        : Mgr(std::make_unique<BddManager>(1u << 12)),
+          Doms(std::make_unique<BddDomains>(*Mgr,
+                                            std::vector<uint64_t>{
+                                                std::max(NumNodes, 2u)})) {}
+
+    /// One shared manager and a single object domain.
+    std::unique_ptr<BddManager> Mgr;
+    std::unique_ptr<BddDomains> Doms;
+    static constexpr unsigned ObjDom = 0;
+  };
+
+  class Set {
+  public:
+    bool insert(Context &Ctx, NodeId N) {
+      ensure(Ctx);
+      Bdd Elem = Ctx.Doms->element(Context::ObjDom, N);
+      Bdd New = Ctx.Mgr->bddOr(Val, Elem);
+      bool Changed = New.ref() != Val.ref();
+      Val = std::move(New);
+      return Changed;
+    }
+
+    bool unionWith(Context &Ctx, const Set &RHS) {
+      if (RHS.Val.manager() == nullptr)
+        return false;
+      ensure(Ctx);
+      Bdd New = Ctx.Mgr->bddOr(Val, RHS.Val);
+      bool Changed = New.ref() != Val.ref();
+      Val = std::move(New);
+      return Changed;
+    }
+
+    bool intersectWith(Context &Ctx, const Set &RHS) {
+      if (empty())
+        return false;
+      if (RHS.Val.manager() == nullptr) {
+        bool Changed = !Val.isFalse();
+        Val = Ctx.Mgr->falseBdd();
+        return Changed;
+      }
+      Bdd New = Ctx.Mgr->bddAnd(Val, RHS.Val);
+      bool Changed = New.ref() != Val.ref();
+      Val = std::move(New);
+      return Changed;
+    }
+
+    /// Hash consing makes this O(1) — an interesting interaction with
+    /// LCD's equality heuristic.
+    bool equals(const Context &, const Set &RHS) const {
+      BddNodeRef A = Val.manager() ? Val.ref() : BddFalse;
+      BddNodeRef B = RHS.Val.manager() ? RHS.Val.ref() : BddFalse;
+      return A == B;
+    }
+
+    bool contains(const Context &Ctx, NodeId N) const {
+      if (Val.manager() == nullptr)
+        return false;
+      // Walk the element's bits down the BDD.
+      const std::vector<uint32_t> &Levels =
+          Ctx.Doms->levels(Context::ObjDom);
+      uint32_t NumBits = static_cast<uint32_t>(Levels.size());
+      BddNodeRef Cur = Val.ref();
+      for (uint32_t J = 0; J != NumBits && Cur > BddTrue; ++J) {
+        if (Ctx.Mgr->level(Cur) != Levels[J])
+          continue; // Unconstrained bit.
+        bool Bit = (N >> (NumBits - 1 - J)) & 1;
+        Cur = Bit ? Ctx.Mgr->high(Cur) : Ctx.Mgr->low(Cur);
+      }
+      return Cur != BddFalse;
+    }
+
+    bool empty() const {
+      return Val.manager() == nullptr || Val.isFalse();
+    }
+
+    size_t size(const Context &Ctx) const {
+      if (empty())
+        return 0;
+      return Ctx.Doms->countElements(Val, Context::ObjDom);
+    }
+
+    template <typename F> void forEach(const Context &Ctx, F Fn) const {
+      if (empty())
+        return;
+      // This is the bdd_allsat path the paper calls out as the main cost
+      // of the BDD representation.
+      Ctx.Doms->forEachElement(Val, Context::ObjDom, [&](uint64_t V) {
+        Fn(static_cast<NodeId>(V));
+      });
+    }
+
+    /// Visits the elements of this set that are not in \p Exclude.
+    template <typename F>
+    void forEachDiff(Context &Ctx, const Set &Exclude, F Fn) const {
+      if (empty())
+        return;
+      if (Exclude.Val.manager() == nullptr) {
+        forEach(Ctx, Fn);
+        return;
+      }
+      Bdd Diff = Ctx.Mgr->bddDiff(Val, Exclude.Val);
+      if (Diff.isFalse())
+        return;
+      Ctx.Doms->forEachElement(Diff, Context::ObjDom, [&](uint64_t V) {
+        Fn(static_cast<NodeId>(V));
+      });
+    }
+
+    void toBitmap(const Context &Ctx, SparseBitVector &Out) const {
+      Out.clear();
+      forEach(Ctx, [&](NodeId N) { Out.set(N); });
+    }
+
+    void clearAndFree(Context &) { Val = Bdd(); }
+
+    /// Storage is shared in the manager's node table; attribute nothing
+    /// per set (the table is tracked via MemCategory::BddTable).
+    size_t memoryBytes() const { return 0; }
+
+  private:
+    void ensure(Context &Ctx) {
+      if (Val.manager() == nullptr)
+        Val = Ctx.Mgr->falseBdd();
+    }
+
+    Bdd Val;
+  };
+};
+
+} // namespace ag
+
+#endif // AG_CORE_PTSSET_H

@@ -1,0 +1,452 @@
+//===- SolverContext.h - Shared online constraint graph ---------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online constraint graph shared by the explicit-closure solvers
+/// (Naive, PKH, LCD, HCD, HT): per-node points-to sets (policy-typed),
+/// copy-edge bitmaps, indexed complex constraints, a union-find of node
+/// representatives for cycle collapsing, and an online Nuutila-variant SCC
+/// ("cycles are detected using Nuutila et al.'s variant of Tarjan's
+/// algorithm, and collapsed using a union-find data structure").
+///
+/// Conventions:
+///  * Per-node arrays are indexed by original node id but only meaningful
+///    for representatives; merge() moves a loser's state into the survivor.
+///  * Edge bitmaps may hold stale (merged-away) target ids; iteration maps
+///    each target through find() and skips self references.
+///  * Points-to set *elements* are always original object ids — merging
+///    never rewrites set contents; dereference resolution maps an element
+///    through offsetTarget() and then find().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CORE_SOLVERCONTEXT_H
+#define AG_CORE_SOLVERCONTEXT_H
+
+#include "adt/SparseBitVector.h"
+#include "adt/Statistics.h"
+#include "adt/UnionFind.h"
+#include "constraints/ConstraintSystem.h"
+#include "core/PointsToSolution.h"
+#include "core/PtsSet.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ag {
+
+/// Shared state and operations for the explicit-transitive-closure solvers.
+template <typename PtsPolicy> class SolverContext {
+public:
+  using PtsSet = typename PtsPolicy::Set;
+  using PtsCtx = typename PtsPolicy::Context;
+
+  /// One indexed complex constraint: for loads, `Other = *(n+Offset)`'s
+  /// destination; for stores, the source stored through *(n+Offset).
+  struct Deref {
+    NodeId Other;
+    uint32_t Offset;
+
+    bool operator<(const Deref &RHS) const {
+      return Other != RHS.Other ? Other < RHS.Other : Offset < RHS.Offset;
+    }
+    bool operator==(const Deref &RHS) const {
+      return Other == RHS.Other && Offset == RHS.Offset;
+    }
+  };
+
+  /// A batch of complex constraints sharing one resolution frontier:
+  /// Resolved holds the points-to elements already pushed through this
+  /// batch's lists. Merging nodes concatenates groups in O(1) — each
+  /// keeps its own frontier, so nothing is ever re-resolved; groups are
+  /// consolidated back to one after the next resolveComplex pass.
+  struct DerefGroup {
+    std::vector<Deref> Loads;
+    std::vector<Deref> Stores;
+    PtsSet Resolved;
+
+    bool empty() const { return Loads.empty() && Stores.empty(); }
+  };
+
+  /// Builds the initial graph from \p CS. If \p SeedReps is given (from
+  /// OVS and/or HCD's offline pass), nodes are pre-merged so that runtime
+  /// edges to merged-away nodes are routed to their representatives.
+  /// \p ReverseEdges stores each copy edge b -> a at node a instead of b,
+  /// turning Succs into predecessor sets — the orientation the HT solver's
+  /// reachability queries need. Only HT uses this.
+  SolverContext(const ConstraintSystem &CS, SolverStats &Stats,
+                const std::vector<NodeId> *SeedReps = nullptr,
+                bool ReverseEdges = false)
+      : CS(CS), Stats(Stats), Ctx(CS.numNodes()) {
+    const uint32_t N = CS.numNodes();
+    Reps.grow(N);
+    Pts.resize(N);
+    HcdSeen.resize(N);
+    Succs.resize(N);
+    Derefs.resize(N);
+    HcdTargets.resize(N);
+    VisitEpoch.assign(N, 0);
+    DfsNum.assign(N, 0);
+    OnStackEpoch.assign(N, 0);
+
+    if (SeedReps) {
+      assert(SeedReps->size() == N && "seed rep table size mismatch");
+      for (NodeId V = 0; V != N; ++V)
+        if ((*SeedReps)[V] != V)
+          Reps.uniteInto((*SeedReps)[V], V);
+    }
+
+    for (const Constraint &C : CS.constraints()) {
+      switch (C.Kind) {
+      case ConstraintKind::AddressOf:
+        Pts[find(C.Dst)].insert(Ctx, C.Src);
+        break;
+      case ConstraintKind::Copy:
+        if (ReverseEdges)
+          addEdge(C.Dst, C.Src);
+        else
+          addEdge(C.Src, C.Dst);
+        break;
+      case ConstraintKind::Load:
+        firstGroup(find(C.Src)).Loads.push_back(Deref{C.Dst, C.Offset});
+        break;
+      case ConstraintKind::Store:
+        firstGroup(find(C.Dst)).Stores.push_back(Deref{C.Src, C.Offset});
+        break;
+      }
+    }
+  }
+
+  /// Representative of \p V.
+  NodeId find(NodeId V) { return Reps.find(V); }
+
+  /// True if \p V is currently a representative.
+  bool isRep(NodeId V) const { return Reps.isRepresentative(V); }
+
+  /// Adds the copy edge find(From) -> find(To).
+  /// \returns true if the edge is new (self edges report false).
+  bool addEdge(NodeId From, NodeId To) {
+    From = find(From);
+    To = find(To);
+    if (From == To)
+      return false;
+    if (!Succs[From].set(To))
+      return false;
+    ++Stats.EdgesAdded;
+    return true;
+  }
+
+  /// Propagates pts(find(From)) into pts(find(To)).
+  /// \returns true if the destination changed. Counts a propagation.
+  bool propagate(NodeId From, NodeId To) {
+    From = find(From);
+    To = find(To);
+    ++Stats.Propagations;
+    if (From == To)
+      return false;
+    bool Changed = Pts[To].unionWith(Ctx, Pts[From]);
+    Stats.ChangedPropagations += Changed;
+    return Changed;
+  }
+
+  /// Merges the cycle members \p A and \p B (equal points-to sets in the
+  /// final solution). \returns the surviving representative.
+  NodeId merge(NodeId A, NodeId B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    NodeId Survivor = Reps.unite(A, B);
+    NodeId Loser = Survivor == A ? B : A;
+    Pts[Survivor].unionWith(Ctx, Pts[Loser]);
+    Pts[Loser].clearAndFree(Ctx);
+    HcdSeen[Survivor].intersectWith(Ctx, HcdSeen[Loser]);
+    HcdSeen[Loser].clearAndFree(Ctx);
+    Succs[Survivor].unionWith(Succs[Loser]);
+    Succs[Loser].clear();
+    // Deref groups concatenate wholesale; each keeps its own resolution
+    // frontier so no work is repeated.
+    appendAndClear(Derefs[Survivor], Derefs[Loser]);
+    appendAndClear(HcdTargets[Survivor], HcdTargets[Loser]);
+    ++Stats.NodesCollapsed;
+    // A merge can strictly grow the survivor's points-to set (the union of
+    // the cycle members' sets), so the survivor must be rescheduled or the
+    // growth never propagates onward. Solvers drain this log after every
+    // collapse pass.
+    MergeLog.push_back(Survivor);
+    return Survivor;
+  }
+
+  /// Invokes \p Fn with the (current) representative of every merge
+  /// survivor since the last drain, then clears the log. Worklist solvers
+  /// must requeue these nodes after any cycle-collapse pass.
+  template <typename Fn> void drainMergeLog(Fn Notify) {
+    for (NodeId V : MergeLog)
+      Notify(find(V));
+    MergeLog.clear();
+  }
+
+  /// Resolves the complex constraints indexed at representative \p N: for
+  /// every element v of pts(N), adds the edges implied by N's load and
+  /// store constraints. \p Push is invoked with the representative of every
+  /// node that gained an outgoing edge (Figure 1's worklist insertions).
+  template <typename PushFn> void resolveComplex(NodeId N, PushFn Push) {
+    resolveComplex(N, Push, [](NodeId, NodeId) {});
+  }
+
+  /// As above, additionally reporting every inserted edge (from, to) to
+  /// \p OnEdge — used by solvers that maintain per-insertion structures
+  /// (Pearce et al. 2003's dynamic topological order). \p OnEdge must not
+  /// mutate the graph.
+  template <typename PushFn, typename EdgeFn>
+  void resolveComplex(NodeId N, PushFn Push, EdgeFn OnEdge) {
+    std::vector<DerefGroup> &Groups = Derefs[N];
+    if (Groups.empty())
+      return;
+    for (DerefGroup &G : Groups) {
+      if (G.empty())
+        continue;
+      // Difference resolution: only elements this group hasn't seen.
+      // (With UseDiffResolution off, Resolved stays empty and the full
+      // set re-scans on every visit — the Figure-1 literal behaviour.)
+      Pts[N].forEachDiff(Ctx, G.Resolved, [&](NodeId V) {
+        for (const Deref &D : G.Loads) {
+          NodeId T = CS.offsetTarget(V, D.Offset);
+          if (T != InvalidNode && addEdge(T, D.Other)) {
+            Push(find(T));
+            OnEdge(find(T), find(D.Other));
+          }
+        }
+        for (const Deref &D : G.Stores) {
+          NodeId T = CS.offsetTarget(V, D.Offset);
+          if (T != InvalidNode && addEdge(D.Other, T)) {
+            Push(find(D.Other));
+            OnEdge(find(D.Other), find(T));
+          }
+        }
+      });
+    }
+    // Every group is now resolved against the full current set:
+    // consolidate back to one group with a shared frontier.
+    if (Groups.size() > 1) {
+      DerefGroup &First = Groups[0];
+      for (size_t I = 1; I != Groups.size(); ++I) {
+        appendAndClear(First.Loads, Groups[I].Loads);
+        appendAndClear(First.Stores, Groups[I].Stores);
+        Groups[I].Resolved.clearAndFree(Ctx);
+      }
+      Groups.resize(1);
+      dedupDerefs(First.Loads);
+      dedupDerefs(First.Stores);
+    }
+    if (UseDiffResolution)
+      Groups[0].Resolved.unionWith(Ctx, Pts[N]);
+  }
+
+  /// HCD's online rule: if representative \p N carries lazy tuples (n, a),
+  /// preemptively collapse every member of pts(N) with a — no traversal
+  /// needed. \p Push receives each collapse survivor. \returns find(N),
+  /// which may have changed if N itself was collapsed.
+  template <typename PushFn> NodeId applyHcd(NodeId N, PushFn Push) {
+    if (HcdTargets[N].empty())
+      return N;
+    // Copy: merging appends the loser's targets to the survivor's list.
+    std::vector<NodeId> Targets = HcdTargets[N];
+    // Only members not collapsed on a previous visit need work.
+    std::vector<NodeId> Members;
+    Pts[N].forEachDiff(Ctx, HcdSeen[N],
+                       [&](NodeId V) { Members.push_back(V); });
+    if (Members.empty())
+      return N;
+    HcdSeen[N].unionWith(Ctx, Pts[N]);
+    for (NodeId T : Targets) {
+      NodeId A = find(T);
+      bool Merged = false;
+      for (NodeId V : Members) {
+        NodeId R = find(V);
+        if (R == A)
+          continue;
+        A = merge(A, R);
+        Merged = true;
+        ++Stats.HcdCollapses;
+      }
+      // Requeue the survivor only when something collapsed into it —
+      // unconditional pushes livelock once the survivor inherits a lazy
+      // tuple that names itself.
+      if (Merged)
+        Push(A);
+    }
+    return find(N);
+  }
+
+  /// Runs cycle detection over the subgraph reachable from \p Root,
+  /// collapsing every non-trivial SCC found (Nuutila-variant Tarjan).
+  /// \returns the number of merges performed.
+  uint32_t detectAndCollapseFrom(NodeId Root) {
+    ++CurrentEpoch;
+    NextDfsNum = 0;
+    ++Stats.CycleDetectAttempts;
+    return tarjanFrom(find(Root));
+  }
+
+  /// Whole-graph sweep: detects and collapses every cycle currently in the
+  /// constraint graph (PKH's periodic sweep). \returns merges performed.
+  uint32_t detectAndCollapseAll() {
+    ++CurrentEpoch;
+    NextDfsNum = 0;
+    ++Stats.CycleDetectAttempts;
+    uint32_t Merges = 0;
+    for (NodeId V = 0; V != CS.numNodes(); ++V) {
+      NodeId R = find(V);
+      if (VisitEpoch[R] != CurrentEpoch)
+        Merges += tarjanFrom(R);
+    }
+    return Merges;
+  }
+
+  /// Extracts the final solution (per-node representative + bitmap sets).
+  PointsToSolution extractSolution() {
+    const uint32_t N = CS.numNodes();
+    PointsToSolution Out(N);
+    // Pass 1: canonical representatives. PointsToSolution requires reps to
+    // be self-mapped, which union-find guarantees.
+    for (NodeId V = 0; V != N; ++V) {
+      NodeId R = find(V);
+      if (R != V)
+        Out.setRep(V, R);
+      else
+        Pts[R].toBitmap(Ctx, Out.mutableSet(R));
+    }
+    return Out;
+  }
+
+  const ConstraintSystem &CS;
+  SolverStats &Stats;
+  PtsCtx Ctx;
+  UnionFind Reps;
+  /// See SolverOptions::DifferenceResolution.
+  bool UseDiffResolution = true;
+
+  std::vector<PtsSet> Pts;
+  /// Per node: elements already collapsed by the HCD online rule.
+  std::vector<PtsSet> HcdSeen;
+  std::vector<SparseBitVector> Succs;
+  /// Per node: complex-constraint batches with resolution frontiers.
+  std::vector<std::vector<DerefGroup>> Derefs;
+  /// HCD online table: when processing node n, collapse every member of
+  /// pts(n) with each target (usually zero or one entry).
+  std::vector<std::vector<NodeId>> HcdTargets;
+
+private:
+  template <typename T>
+  static void appendAndClear(std::vector<T> &Into, std::vector<T> &From) {
+    Into.insert(Into.end(), std::make_move_iterator(From.begin()),
+                std::make_move_iterator(From.end()));
+    From.clear();
+    From.shrink_to_fit();
+  }
+
+  DerefGroup &firstGroup(NodeId N) {
+    if (Derefs[N].empty())
+      Derefs[N].emplace_back();
+    return Derefs[N].front();
+  }
+
+  /// Canonicalizes a deref list: route destinations through their current
+  /// representatives and drop duplicates (merging concatenates lists from
+  /// many members that often share constraints).
+  void dedupDerefs(std::vector<Deref> &List) {
+    if (List.size() < 2)
+      return;
+    for (Deref &D : List)
+      D.Other = find(D.Other);
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+
+  /// Iterative Tarjan from \p Root over the representative graph; collapses
+  /// completed non-trivial SCCs immediately (their members are finished, so
+  /// the rest of the search only sees the survivor through find()).
+  uint32_t tarjanFrom(NodeId Root) {
+    struct Frame {
+      NodeId Node;
+      SparseBitVector::iterator EdgeIt;
+      SparseBitVector::iterator EdgeEnd;
+    };
+    uint32_t Merges = 0;
+    std::vector<Frame> Dfs;
+    std::vector<NodeId> SccStack;
+
+    auto push = [&](NodeId V) {
+      VisitEpoch[V] = CurrentEpoch;
+      DfsNum[V] = NextDfsNum++;
+      LowLink[V] = DfsNum[V];
+      OnStackEpoch[V] = CurrentEpoch;
+      SccStack.push_back(V);
+      Dfs.push_back(Frame{V, Succs[V].begin(), Succs[V].end()});
+      ++Stats.NodesSearched;
+    };
+    if (LowLink.size() < VisitEpoch.size())
+      LowLink.resize(VisitEpoch.size());
+
+    push(Root);
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      NodeId U = F.Node;
+      if (F.EdgeIt != F.EdgeEnd) {
+        NodeId W = find(*F.EdgeIt);
+        ++F.EdgeIt;
+        if (W == U)
+          continue;
+        if (VisitEpoch[W] != CurrentEpoch) {
+          push(W);
+        } else if (OnStackEpoch[W] == CurrentEpoch &&
+                   DfsNum[W] < LowLink[U]) {
+          LowLink[U] = DfsNum[W];
+        }
+        continue;
+      }
+      Dfs.pop_back();
+      if (!Dfs.empty()) {
+        NodeId Parent = Dfs.back().Node;
+        if (LowLink[U] < LowLink[Parent])
+          LowLink[Parent] = LowLink[U];
+      }
+      if (LowLink[U] == DfsNum[U]) {
+        // U roots an SCC: pop members; collapse if non-trivial. Members
+        // above U on the stack merge into U's class; U itself is the
+        // initial survivor.
+        NodeId Survivor = U;
+        for (;;) {
+          NodeId W = SccStack.back();
+          SccStack.pop_back();
+          OnStackEpoch[W] = 0;
+          if (W == U)
+            break;
+          Survivor = merge(Survivor, W);
+          ++Merges;
+        }
+        // The survivor keeps a valid visited stamp so later edges into the
+        // collapsed SCC are treated as done.
+        VisitEpoch[Survivor] = CurrentEpoch;
+        OnStackEpoch[Survivor] = 0;
+      }
+    }
+    return Merges;
+  }
+
+  std::vector<NodeId> MergeLog;
+  std::vector<uint32_t> VisitEpoch;
+  std::vector<uint32_t> DfsNum;
+  std::vector<uint32_t> LowLink;
+  std::vector<uint32_t> OnStackEpoch;
+  uint32_t CurrentEpoch = 0;
+  uint32_t NextDfsNum = 0;
+};
+
+} // namespace ag
+
+#endif // AG_CORE_SOLVERCONTEXT_H

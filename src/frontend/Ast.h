@@ -1,0 +1,117 @@
+//===- Ast.h - Mini-C abstract syntax ---------------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the mini-C subset. The pointer analysis is flow-insensitive and
+/// field-insensitive, so the AST keeps only what constraint generation
+/// needs: declarations with pointer depth, assignment structure, address-of
+/// and dereference shapes, and calls (direct and through pointers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_FRONTEND_AST_H
+#define AG_FRONTEND_AST_H
+
+#include "frontend/Token.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ag {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression forms.
+enum class ExprKind : uint8_t {
+  Identifier, ///< Name reference.
+  Number,     ///< Integer literal (value irrelevant).
+  StringLit,  ///< String literal (a distinct memory object).
+  Null,       ///< NULL.
+  AddressOf,  ///< &lhs.
+  Deref,      ///< *lhs.
+  Member,     ///< lhs.Field (field-insensitive: same as lhs).
+  Arrow,      ///< lhs->Field (field-insensitive: same as *lhs).
+  Index,      ///< lhs[rhs] (treated as *lhs).
+  Assign,     ///< lhs = rhs.
+  Call,       ///< Callee(Args...). Callee is an expression.
+  Binary,     ///< lhs op rhs (only pointer flow matters: merge).
+  Unary,      ///< op lhs (!, -, ++, --, sizeof): no pointer value.
+  Ternary,    ///< Cond ? lhs : rhs.
+  Comma,      ///< lhs, rhs.
+};
+
+struct Expr {
+  ExprKind Kind;
+  uint32_t Line = 0;
+  TokenKind Op = TokenKind::Eof; ///< Operator for Binary expressions.
+  std::string Name;  ///< Identifier / member field name.
+  ExprPtr Lhs;       ///< First operand (also Callee for Call).
+  ExprPtr Rhs;       ///< Second operand.
+  ExprPtr Cond;      ///< Ternary condition.
+  std::vector<ExprPtr> Args; ///< Call arguments.
+
+  explicit Expr(ExprKind Kind, uint32_t Line = 0)
+      : Kind(Kind), Line(Line) {}
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Variable declaration: pointer depth counts '*'s; IsArray marks `x[N]`.
+struct VarDecl {
+  std::string Name;
+  uint32_t PointerDepth = 0;
+  bool IsArray = false;
+  ExprPtr Init; ///< Optional initializer expression.
+  uint32_t Line = 0;
+};
+
+/// Statement forms.
+enum class StmtKind : uint8_t {
+  ExprStmt, ///< E;
+  Decl,     ///< Local declarations.
+  Block,    ///< { ... }
+  If,       ///< if (Cond) Then [else Else]
+  While,    ///< while (Cond) Body
+  For,      ///< for (Init; Cond; Step) Body
+  Return,   ///< return [E];
+};
+
+struct Stmt {
+  StmtKind Kind;
+  uint32_t Line = 0;
+  ExprPtr E;          ///< ExprStmt / Return value / If-While cond.
+  ExprPtr E2;         ///< For step.
+  StmtPtr Body;       ///< Loop body / If then.
+  StmtPtr Else;       ///< If else.
+  StmtPtr InitStmt;   ///< For init.
+  std::vector<StmtPtr> Stmts;    ///< Block members.
+  std::vector<VarDecl> Decls;    ///< Decl members.
+
+  explicit Stmt(StmtKind Kind, uint32_t Line = 0)
+      : Kind(Kind), Line(Line) {}
+};
+
+/// Function definition or extern declaration.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<VarDecl> Params;
+  StmtPtr Body; ///< Null for a prototype.
+  uint32_t Line = 0;
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  std::vector<VarDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace ag
+
+#endif // AG_FRONTEND_AST_H

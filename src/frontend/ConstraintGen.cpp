@@ -1,0 +1,564 @@
+//===- ConstraintGen.cpp - Mini-C to inclusion constraints ----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ConstraintGen.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <cassert>
+#include <set>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+/// Walks the AST and emits constraints.
+class Generator {
+public:
+  Generator(const TranslationUnit &TU, GeneratedConstraints &Out,
+            const FrontendOptions &Options)
+      : TU(TU), Out(Out), CS(Out.CS), Options(Options) {}
+
+  bool run(std::string &Error);
+
+private:
+  /// An lvalue is either a variable node or one dereference of a value.
+  struct LValue {
+    NodeId Base = InvalidNode;
+    bool Deref = false;
+  };
+
+  bool declareTopLevel();
+  bool genFunctionBody(const FunctionDecl &F);
+  bool genStmt(const Stmt &S);
+  bool genDecl(const VarDecl &D, bool IsGlobal);
+
+  /// Evaluates \p E for its pointer value; returns the node holding it,
+  /// or InvalidNode after setting Error.
+  NodeId genExpr(const Expr &E);
+  /// Resolves \p E as an assignable location.
+  bool genLValue(const Expr &E, LValue &Out);
+  NodeId genCall(const Expr &E);
+
+  NodeId freshTemp(const char *Tag) {
+    return CS.addNode(std::string("tmp.") + Tag);
+  }
+
+  bool fail(uint32_t Line, const std::string &Message) {
+    if (ErrorOut && ErrorOut->empty())
+      *ErrorOut = "line " + std::to_string(Line) + ": " + Message;
+    return false;
+  }
+
+  /// Field-based mode: one global variable per field name.
+  NodeId fieldVar(const std::string &Name) {
+    auto [It, New] = FieldVars.try_emplace(Name, InvalidNode);
+    if (New) {
+      It->second = CS.addNode("field." + Name);
+      Out.Variables.try_emplace("field::" + Name, It->second);
+    }
+    return It->second;
+  }
+
+  NodeId lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return InvalidNode;
+  }
+
+  void define(const std::string &Name, NodeId Node) {
+    Scopes.back()[Name] = Node;
+    std::string Qualified =
+        CurrentFunction.empty() ? Name : CurrentFunction + "::" + Name;
+    // First definition wins in the client-facing map (shadowing in inner
+    // scopes keeps the outer entry).
+    Out.Variables.try_emplace(Qualified, Node);
+  }
+
+  /// Built-in summaries for library functions. \returns true if handled,
+  /// storing the call's value in \p Value.
+  bool genBuiltinCall(const Expr &E, const std::string &Callee,
+                      NodeId &Value);
+
+  /// Coarse summary node pair for an unknown extern function.
+  NodeId externBlobVar(const std::string &Callee);
+
+  const TranslationUnit &TU;
+  GeneratedConstraints &Out;
+  ConstraintSystem &CS;
+  FrontendOptions Options;
+  std::string *ErrorOut = nullptr;
+  std::map<std::string, NodeId> FieldVars; ///< Field-based mode only.
+
+  std::vector<std::map<std::string, NodeId>> Scopes;
+  std::string CurrentFunction;
+  NodeId CurrentFunctionObj = InvalidNode;
+  NodeId ZeroNode = InvalidNode; ///< Shared empty value (NULL, ints).
+  std::map<std::string, NodeId> ExternBlobs;
+  std::set<NodeId> ArrayNodes; ///< Array variables decay to &node.
+  unsigned StringCount = 0;
+};
+
+bool Generator::declareTopLevel() {
+  Scopes.emplace_back(); // Global scope.
+
+  // Functions first so globals' initializers and all bodies can reference
+  // them; duplicates (prototype then definition) share one object.
+  for (const FunctionDecl &F : TU.Functions) {
+    if (Out.Functions.count(F.Name))
+      continue;
+    NodeId Obj = CS.addFunction(
+        F.Name, static_cast<uint32_t>(F.Params.size()));
+    Out.Functions[F.Name] = Obj;
+  }
+  for (const VarDecl &G : TU.Globals)
+    if (!genDecl(G, /*IsGlobal=*/true))
+      return false;
+  return true;
+}
+
+bool Generator::genDecl(const VarDecl &D, bool IsGlobal) {
+  NodeId Node = CS.addNode(
+      (CurrentFunction.empty() ? "" : CurrentFunction + "::") + D.Name);
+  define(D.Name, Node);
+  if (D.IsArray)
+    ArrayNodes.insert(Node);
+  if (D.Init) {
+    NodeId V = genExpr(*D.Init);
+    if (V == InvalidNode)
+      return false;
+    CS.addCopy(Node, V);
+  }
+  (void)IsGlobal;
+  return true;
+}
+
+bool Generator::run(std::string &Error) {
+  ErrorOut = &Error;
+  ZeroNode = CS.addNode("zero");
+  if (!declareTopLevel())
+    return false;
+  for (const FunctionDecl &F : TU.Functions)
+    if (F.Body && !genFunctionBody(F))
+      return false;
+  return true;
+}
+
+bool Generator::genFunctionBody(const FunctionDecl &F) {
+  CurrentFunction = F.Name;
+  CurrentFunctionObj = Out.Functions.at(F.Name);
+  Scopes.emplace_back(); // Parameter scope.
+  for (uint32_t I = 0; I != F.Params.size(); ++I)
+    if (!F.Params[I].Name.empty())
+      define(F.Params[I].Name,
+             CurrentFunctionObj + ConstraintSystem::FunctionParamOffset +
+                 I);
+  bool Ok = genStmt(*F.Body);
+  Scopes.pop_back();
+  CurrentFunction.clear();
+  CurrentFunctionObj = InvalidNode;
+  return Ok;
+}
+
+bool Generator::genStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::ExprStmt:
+    return genExpr(*S.E) != InvalidNode;
+  case StmtKind::Decl:
+    for (const VarDecl &D : S.Decls)
+      if (!genDecl(D, /*IsGlobal=*/false))
+        return false;
+    return true;
+  case StmtKind::Block: {
+    Scopes.emplace_back();
+    for (const StmtPtr &Sub : S.Stmts)
+      if (!genStmt(*Sub)) {
+        Scopes.pop_back();
+        return false;
+      }
+    Scopes.pop_back();
+    return true;
+  }
+  case StmtKind::If:
+    if (genExpr(*S.E) == InvalidNode)
+      return false;
+    if (!genStmt(*S.Body))
+      return false;
+    if (S.Else && !genStmt(*S.Else))
+      return false;
+    return true;
+  case StmtKind::While:
+    if (genExpr(*S.E) == InvalidNode)
+      return false;
+    return genStmt(*S.Body);
+  case StmtKind::For:
+    if (S.InitStmt && !genStmt(*S.InitStmt))
+      return false;
+    if (S.E && genExpr(*S.E) == InvalidNode)
+      return false;
+    if (S.E2 && genExpr(*S.E2) == InvalidNode)
+      return false;
+    return genStmt(*S.Body);
+  case StmtKind::Return:
+    if (S.E) {
+      NodeId V = genExpr(*S.E);
+      if (V == InvalidNode)
+        return false;
+      assert(CurrentFunctionObj != InvalidNode && "return outside function");
+      CS.addCopy(CurrentFunctionObj +
+                     ConstraintSystem::FunctionReturnOffset,
+                 V);
+    }
+    return true;
+  }
+  assert(false && "unhandled statement kind");
+  return false;
+}
+
+bool Generator::genLValue(const Expr &E, LValue &LV) {
+  switch (E.Kind) {
+  case ExprKind::Identifier: {
+    NodeId N = lookup(E.Name);
+    if (N == InvalidNode)
+      return fail(E.Line, "use of undeclared identifier '" + E.Name + "'");
+    LV = LValue{N, false};
+    return true;
+  }
+  case ExprKind::Deref: {
+    NodeId Base = genExpr(*E.Lhs);
+    if (Base == InvalidNode)
+      return false;
+    LV = LValue{Base, true};
+    return true;
+  }
+  case ExprKind::Member:
+    if (Options.FieldBased) {
+      // Field-based: x.f is the one global variable `f` (unsound for C).
+      if (genExpr(*E.Lhs) == InvalidNode)
+        return false;
+      LV = LValue{fieldVar(E.Name), false};
+      return true;
+    }
+    // x.f is x, field-insensitively.
+    return genLValue(*E.Lhs, LV);
+  case ExprKind::Arrow:
+    if (Options.FieldBased) {
+      // (*z).f is also just `f` in field-based mode.
+      if (genExpr(*E.Lhs) == InvalidNode)
+        return false;
+      LV = LValue{fieldVar(E.Name), false};
+      return true;
+    }
+    [[fallthrough]];
+  case ExprKind::Index: {
+    // p->f and p[i] are *p. Index side expressions still evaluate.
+    if (E.Kind == ExprKind::Index && E.Rhs &&
+        genExpr(*E.Rhs) == InvalidNode)
+      return false;
+    NodeId Base = genExpr(*E.Lhs);
+    if (Base == InvalidNode)
+      return false;
+    LV = LValue{Base, true};
+    return true;
+  }
+  default:
+    return fail(E.Line, "expression is not assignable");
+  }
+}
+
+NodeId Generator::externBlobVar(const std::string &Callee) {
+  auto It = ExternBlobs.find(Callee);
+  if (It != ExternBlobs.end())
+    return It->second;
+  // blobvar points at a blob object; everything passed to the extern is
+  // merged into the blob and anything may come back out.
+  NodeId BlobObj = CS.addNode("extern." + Callee + ".obj");
+  NodeId BlobVar = CS.addNode("extern." + Callee);
+  CS.addAddressOf(BlobVar, BlobObj);
+  CS.addStore(BlobVar, BlobVar); // The blob may point to itself.
+  ExternBlobs[Callee] = BlobVar;
+  return BlobVar;
+}
+
+bool Generator::genBuiltinCall(const Expr &E, const std::string &Callee,
+                               NodeId &Value) {
+  auto argValue = [&](size_t I) -> NodeId {
+    if (I >= E.Args.size())
+      return ZeroNode;
+    return genExpr(*E.Args[I]);
+  };
+
+  if (Callee == "malloc" || Callee == "calloc" || Callee == "realloc" ||
+      Callee == "strdup" || Callee == "alloca") {
+    // One abstract heap object per allocation site.
+    for (const ExprPtr &Arg : E.Args)
+      if (genExpr(*Arg) == InvalidNode)
+        return true; // Error already set; Value stays invalid.
+    std::string Site = (CurrentFunction.empty() ? "<global>"
+                                                : CurrentFunction) +
+                       ":" + std::to_string(E.Line);
+    NodeId Heap = CS.addNode("heap." + Site);
+    Out.HeapObjects.try_emplace(Site, Heap);
+    NodeId Tmp = freshTemp("malloc");
+    CS.addAddressOf(Tmp, Heap);
+    if (Callee == "realloc" && !E.Args.empty()) {
+      // realloc may return its argument.
+      NodeId Old = argValue(0);
+      if (Old == InvalidNode)
+        return true;
+      CS.addCopy(Tmp, Old);
+    }
+    Value = Tmp;
+    return true;
+  }
+
+  if (Callee == "free" || Callee == "assert" || Callee == "printf" ||
+      Callee == "abort" || Callee == "exit") {
+    // Pointer-effect-free (printf's varargs are unanalyzed reads).
+    for (const ExprPtr &Arg : E.Args)
+      if (genExpr(*Arg) == InvalidNode)
+        return true;
+    Value = ZeroNode;
+    return true;
+  }
+
+  if (Callee == "memcpy" || Callee == "strcpy" || Callee == "strncpy" ||
+      Callee == "memmove") {
+    // *dst gets *src's pointers; returns dst.
+    NodeId Dst = argValue(0);
+    NodeId Src = argValue(1);
+    if (Dst == InvalidNode || Src == InvalidNode)
+      return true;
+    for (size_t I = 2; I < E.Args.size(); ++I)
+      if (genExpr(*E.Args[I]) == InvalidNode)
+        return true;
+    NodeId Tmp = freshTemp("memcpy");
+    CS.addLoad(Tmp, Src);
+    CS.addStore(Dst, Tmp);
+    Value = Dst;
+    return true;
+  }
+
+  return false; // Not a builtin.
+}
+
+NodeId Generator::genCall(const Expr &E) {
+  // Resolve the callee: a direct call to a known function yields parameter
+  // copies; anything else goes through offset dereferences on the callee's
+  // points-to set (Pearce-style indirect call handling).
+  const Expr &CalleeExpr = *E.Lhs;
+  if (CalleeExpr.Kind == ExprKind::Identifier) {
+    const std::string &Name = CalleeExpr.Name;
+    // Builtins are checked before user functions only when undeclared —
+    // defining your own malloc() overrides the stub.
+    bool IsUserFunction = Out.Functions.count(Name) > 0;
+    if (!IsUserFunction && lookup(Name) == InvalidNode) {
+      NodeId Value = InvalidNode;
+      if (genBuiltinCall(E, Name, Value))
+        return Value;
+      // Unknown extern: coarse blob summary.
+      NodeId Blob = externBlobVar(Name);
+      for (const ExprPtr &Arg : E.Args) {
+        NodeId V = genExpr(*Arg);
+        if (V == InvalidNode)
+          return InvalidNode;
+        CS.addCopy(Blob, V);
+        CS.addStore(Blob, V);
+      }
+      return Blob;
+    }
+    if (IsUserFunction) {
+      NodeId F = Out.Functions.at(Name);
+      uint32_t NumParams =
+          CS.sizeOf(F) - ConstraintSystem::FunctionParamOffset;
+      for (uint32_t I = 0; I != E.Args.size(); ++I) {
+        NodeId V = genExpr(*E.Args[I]);
+        if (V == InvalidNode)
+          return InvalidNode;
+        if (I < NumParams)
+          CS.addCopy(F + ConstraintSystem::FunctionParamOffset + I, V);
+      }
+      NodeId Ret = freshTemp("ret");
+      CS.addCopy(Ret, F + ConstraintSystem::FunctionReturnOffset);
+      return Ret;
+    }
+    // A local/global variable called as a function: indirect call below.
+  }
+
+  // Indirect call: evaluate the callee to a function-pointer value.
+  NodeId Fp = genExpr(CalleeExpr);
+  if (Fp == InvalidNode)
+    return InvalidNode;
+  for (uint32_t I = 0; I != E.Args.size(); ++I) {
+    NodeId V = genExpr(*E.Args[I]);
+    if (V == InvalidNode)
+      return InvalidNode;
+    CS.addStore(Fp, V, ConstraintSystem::FunctionParamOffset + I);
+  }
+  NodeId Ret = freshTemp("iret");
+  CS.addLoad(Ret, Fp, ConstraintSystem::FunctionReturnOffset);
+  return Ret;
+}
+
+NodeId Generator::genExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Identifier: {
+    // Function designators and arrays decay to pointers.
+    auto FIt = Out.Functions.find(E.Name);
+    if (FIt != Out.Functions.end() && lookup(E.Name) == InvalidNode) {
+      NodeId Tmp = freshTemp("fnaddr");
+      CS.addAddressOf(Tmp, FIt->second);
+      return Tmp;
+    }
+    NodeId N = lookup(E.Name);
+    if (N == InvalidNode) {
+      fail(E.Line, "use of undeclared identifier '" + E.Name + "'");
+      return InvalidNode;
+    }
+    if (ArrayNodes.count(N)) {
+      // Array-to-pointer decay: the value of `a` is &a.
+      NodeId Tmp = freshTemp("decay");
+      CS.addAddressOf(Tmp, N);
+      return Tmp;
+    }
+    return N;
+  }
+  case ExprKind::Number:
+  case ExprKind::Null:
+    return ZeroNode;
+  case ExprKind::StringLit: {
+    NodeId Obj = CS.addNode("str." + std::to_string(StringCount++));
+    NodeId Tmp = freshTemp("str");
+    CS.addAddressOf(Tmp, Obj);
+    return Tmp;
+  }
+  case ExprKind::AddressOf: {
+    LValue LV;
+    if (!genLValue(*E.Lhs, LV))
+      return InvalidNode;
+    if (LV.Deref)
+      return LV.Base; // &*p == p.
+    NodeId Tmp = freshTemp("addr");
+    CS.addAddressOf(Tmp, LV.Base);
+    return Tmp;
+  }
+  case ExprKind::Arrow:
+    if (Options.FieldBased) {
+      if (genExpr(*E.Lhs) == InvalidNode)
+        return InvalidNode;
+      return fieldVar(E.Name);
+    }
+    [[fallthrough]];
+  case ExprKind::Deref:
+  case ExprKind::Index: {
+    if (E.Kind == ExprKind::Index && E.Rhs &&
+        genExpr(*E.Rhs) == InvalidNode)
+      return InvalidNode;
+    NodeId Base = genExpr(*E.Lhs);
+    if (Base == InvalidNode)
+      return InvalidNode;
+    NodeId Tmp = freshTemp("load");
+    CS.addLoad(Tmp, Base);
+    return Tmp;
+  }
+  case ExprKind::Member:
+    if (Options.FieldBased) {
+      if (genExpr(*E.Lhs) == InvalidNode)
+        return InvalidNode;
+      return fieldVar(E.Name);
+    }
+    return genExpr(*E.Lhs); // x.f is x.
+  case ExprKind::Assign: {
+    NodeId V = genExpr(*E.Rhs);
+    if (V == InvalidNode)
+      return InvalidNode;
+    LValue LV;
+    if (!genLValue(*E.Lhs, LV))
+      return InvalidNode;
+    if (LV.Deref)
+      CS.addStore(LV.Base, V);
+    else
+      CS.addCopy(LV.Base, V);
+    return V;
+  }
+  case ExprKind::Call:
+    return genCall(E);
+  case ExprKind::Binary: {
+    NodeId L = genExpr(*E.Lhs);
+    if (L == InvalidNode)
+      return InvalidNode;
+    NodeId R = genExpr(*E.Rhs);
+    if (R == InvalidNode)
+      return InvalidNode;
+    // Pointer arithmetic keeps pointing at the same objects
+    // (field-insensitive); comparisons and logic yield integers.
+    if (E.Op == TokenKind::Plus || E.Op == TokenKind::Minus) {
+      NodeId Tmp = freshTemp("arith");
+      CS.addCopy(Tmp, L);
+      CS.addCopy(Tmp, R);
+      return Tmp;
+    }
+    return ZeroNode;
+  }
+  case ExprKind::Unary:
+    // ++p, -x, !x: the pointer value (if any) is the operand's.
+    return genExpr(*E.Lhs);
+  case ExprKind::Ternary: {
+    if (genExpr(*E.Cond) == InvalidNode)
+      return InvalidNode;
+    NodeId L = genExpr(*E.Lhs);
+    if (L == InvalidNode)
+      return InvalidNode;
+    NodeId R = genExpr(*E.Rhs);
+    if (R == InvalidNode)
+      return InvalidNode;
+    NodeId Tmp = freshTemp("sel");
+    CS.addCopy(Tmp, L);
+    CS.addCopy(Tmp, R);
+    return Tmp;
+  }
+  case ExprKind::Comma: {
+    if (genExpr(*E.Lhs) == InvalidNode)
+      return InvalidNode;
+    return genExpr(*E.Rhs);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return InvalidNode;
+}
+
+} // namespace
+
+bool ag::generateConstraints(const TranslationUnit &TU,
+                             GeneratedConstraints &Out, std::string &Error,
+                             const FrontendOptions &Options) {
+  Generator G(TU, Out, Options);
+  return G.run(Error);
+}
+
+bool ag::generateConstraintsFromSource(const std::string &Source,
+                                       GeneratedConstraints &Out,
+                                       std::string &Error,
+                                       const FrontendOptions &Options) {
+  Lexer Lex(Source);
+  std::vector<Token> Tokens;
+  if (!Lex.lexAll(Tokens)) {
+    Error = Lex.error();
+    return false;
+  }
+  Parser P(std::move(Tokens));
+  TranslationUnit TU;
+  if (!P.parseUnit(TU)) {
+    Error = P.error();
+    return false;
+  }
+  return generateConstraints(TU, Out, Error, Options);
+}

@@ -1,0 +1,343 @@
+//===- Lexer.cpp - Mini-C lexer -------------------------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ag;
+
+const char *ag::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwNull:
+    return "'NULL'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t StartLine = Line;
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Error = "line " + std::to_string(StartLine) +
+                  ": unterminated block comment";
+          return false;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    // Preprocessor lines are skipped wholesale (the subset has no macros).
+    if (C == '#' && Column == 1) {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    return true;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = Line;
+  T.Column = Column;
+  return T;
+}
+
+bool Lexer::lexOne(Token &Out) {
+  if (!skipWhitespaceAndComments())
+    return false;
+  uint32_t TokLine = Line, TokCol = Column;
+  auto finish = [&](TokenKind Kind, std::string Text = "") {
+    Out.Kind = Kind;
+    Out.Text = std::move(Text);
+    Out.Line = TokLine;
+    Out.Column = TokCol;
+    return true;
+  };
+
+  char C = peek();
+  if (C == '\0')
+    return finish(TokenKind::Eof);
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Word;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_')
+      Word += advance();
+    static const std::unordered_map<std::string, TokenKind> Keywords = {
+        {"int", TokenKind::KwInt},       {"char", TokenKind::KwChar},
+        {"void", TokenKind::KwVoid},     {"long", TokenKind::KwLong},
+        {"unsigned", TokenKind::KwUnsigned},
+        {"struct", TokenKind::KwStruct}, {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+        {"for", TokenKind::KwFor},       {"return", TokenKind::KwReturn},
+        {"sizeof", TokenKind::KwSizeof}, {"NULL", TokenKind::KwNull},
+        {"extern", TokenKind::KwExtern}, {"static", TokenKind::KwStatic},
+    };
+    auto It = Keywords.find(Word);
+    if (It != Keywords.end())
+      return finish(It->second, std::move(Word));
+    return finish(TokenKind::Identifier, std::move(Word));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Num;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '.')
+      Num += advance(); // Accept suffixes/hex loosely; value is unused.
+    return finish(TokenKind::Number, std::move(Num));
+  }
+
+  if (C == '"' || C == '\'') {
+    char Quote = advance();
+    std::string Body;
+    while (peek() != Quote) {
+      if (peek() == '\0') {
+        Error = "line " + std::to_string(TokLine) +
+                ": unterminated literal";
+        return false;
+      }
+      if (peek() == '\\')
+        Body += advance();
+      Body += advance();
+    }
+    advance();
+    return finish(TokenKind::String, std::move(Body));
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return finish(TokenKind::LParen);
+  case ')':
+    return finish(TokenKind::RParen);
+  case '{':
+    return finish(TokenKind::LBrace);
+  case '}':
+    return finish(TokenKind::RBrace);
+  case '[':
+    return finish(TokenKind::LBracket);
+  case ']':
+    return finish(TokenKind::RBracket);
+  case ';':
+    return finish(TokenKind::Semicolon);
+  case ',':
+    return finish(TokenKind::Comma);
+  case '*':
+    return finish(TokenKind::Star);
+  case '%':
+    return finish(TokenKind::Percent);
+  case '.':
+    return finish(TokenKind::Dot);
+  case '?':
+    return finish(TokenKind::Question);
+  case ':':
+    return finish(TokenKind::Colon);
+  case '/':
+    return finish(TokenKind::Slash);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return finish(TokenKind::AmpAmp);
+    }
+    return finish(TokenKind::Amp);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return finish(TokenKind::PipePipe);
+    }
+    Error = "line " + std::to_string(TokLine) + ": unsupported '|'";
+    return false;
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return finish(TokenKind::EqEq);
+    }
+    return finish(TokenKind::Assign);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return finish(TokenKind::NotEq);
+    }
+    return finish(TokenKind::Not);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return finish(TokenKind::LessEq);
+    }
+    return finish(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return finish(TokenKind::GreaterEq);
+    }
+    return finish(TokenKind::Greater);
+  case '+':
+    if (peek() == '+') {
+      advance();
+      return finish(TokenKind::PlusPlus);
+    }
+    return finish(TokenKind::Plus);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return finish(TokenKind::Arrow);
+    }
+    if (peek() == '-') {
+      advance();
+      return finish(TokenKind::MinusMinus);
+    }
+    return finish(TokenKind::Minus);
+  default:
+    Error = "line " + std::to_string(TokLine) + ": unexpected character '" +
+            std::string(1, C) + "'";
+    return false;
+  }
+}
+
+bool Lexer::lexAll(std::vector<Token> &Out) {
+  for (;;) {
+    Token T;
+    if (!lexOne(T))
+      return false;
+    Out.push_back(T);
+    if (T.Kind == TokenKind::Eof)
+      return true;
+  }
+}

@@ -1,0 +1,46 @@
+//===- Lexer.h - Mini-C lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_FRONTEND_LEXER_H
+#define AG_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace ag {
+
+/// Hand-written lexer for the mini-C subset. Handles identifiers, integer
+/// literals, string/char literals, `//` and `/* */` comments, and the
+/// operator set in TokenKind. Unknown characters produce an error.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the whole input. \returns false and sets error() on failure;
+  /// on success \p Out ends with an Eof token.
+  bool lexAll(std::vector<Token> &Out);
+
+  const std::string &error() const { return Error; }
+
+private:
+  Token makeToken(TokenKind Kind, std::string Text = "");
+  bool lexOne(Token &Out);
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool skipWhitespaceAndComments();
+
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  std::string Error;
+};
+
+} // namespace ag
+
+#endif // AG_FRONTEND_LEXER_H

@@ -1,0 +1,569 @@
+//===- Parser.cpp - Mini-C recursive-descent parser -----------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace ag;
+
+Parser::Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof.
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::fail(const std::string &Message) {
+  if (Error.empty())
+    Error = "line " + std::to_string(peek().Line) + ": " + Message;
+  return false;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  return fail(std::string("expected ") + tokenKindName(Kind) + " " +
+              Context + ", found " + tokenKindName(peek().Kind));
+}
+
+bool Parser::atTypeStart() const {
+  switch (peek().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwChar:
+  case TokenKind::KwVoid:
+  case TokenKind::KwLong:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwStruct:
+  case TokenKind::KwExtern:
+  case TokenKind::KwStatic:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::parseTypePrefix() {
+  // Storage classes.
+  while (accept(TokenKind::KwExtern) || accept(TokenKind::KwStatic)) {
+  }
+  if (accept(TokenKind::KwStruct)) {
+    if (!expect(TokenKind::Identifier, "after 'struct'"))
+      return false;
+    return true;
+  }
+  bool SawBase = false;
+  while (accept(TokenKind::KwInt) || accept(TokenKind::KwChar) ||
+         accept(TokenKind::KwVoid) || accept(TokenKind::KwLong) ||
+         accept(TokenKind::KwUnsigned))
+    SawBase = true;
+  if (!SawBase)
+    return fail("expected a type");
+  return true;
+}
+
+bool Parser::parseDeclarators(std::vector<VarDecl> &Out) {
+  do {
+    VarDecl D;
+    D.Line = peek().Line;
+    while (accept(TokenKind::Star))
+      ++D.PointerDepth;
+    if (!check(TokenKind::Identifier))
+      return fail("expected identifier in declaration");
+    D.Name = advance().Text;
+    if (accept(TokenKind::LBracket)) {
+      D.IsArray = true;
+      accept(TokenKind::Number); // Optional size.
+      if (!expect(TokenKind::RBracket, "after array size"))
+        return false;
+    }
+    if (accept(TokenKind::Assign)) {
+      D.Init = parseAssignment();
+      if (!D.Init)
+        return false;
+    }
+    Out.push_back(std::move(D));
+  } while (accept(TokenKind::Comma));
+  return true;
+}
+
+bool Parser::parseGlobalOrFunction(TranslationUnit &Out) {
+  if (accept(TokenKind::KwStruct)) {
+    // struct-definition: struct Name { decls... };  (fields ignored) or a
+    // struct-typed variable declaration.
+    if (!expect(TokenKind::Identifier, "after 'struct'"))
+      return false;
+    if (accept(TokenKind::LBrace)) {
+      // Skip the member list: the analysis is field-insensitive.
+      int Depth = 1;
+      while (Depth > 0) {
+        if (check(TokenKind::Eof))
+          return fail("unterminated struct definition");
+        if (accept(TokenKind::LBrace))
+          ++Depth;
+        else if (accept(TokenKind::RBrace))
+          --Depth;
+        else
+          advance();
+      }
+      if (!expect(TokenKind::Semicolon, "after struct definition"))
+        return false;
+      return true;
+    }
+    // Fall through to declarators of a struct-typed variable.
+  } else if (!parseTypePrefix()) {
+    return false;
+  }
+
+  // Distinguish function definitions/prototypes from globals: stars, an
+  // identifier, then '('.
+  size_t Save = Pos;
+  uint32_t Stars = 0;
+  while (accept(TokenKind::Star))
+    ++Stars;
+  if (check(TokenKind::Identifier) &&
+      peek(1).is(TokenKind::LParen)) {
+    FunctionDecl F;
+    F.Line = peek().Line;
+    F.Name = advance().Text;
+    advance(); // '('
+    if (!check(TokenKind::RParen)) {
+      do {
+        if (accept(TokenKind::KwVoid) && check(TokenKind::RParen))
+          break; // (void)
+        if (atTypeStart()) {
+          if (!parseTypePrefix())
+            return false;
+        }
+        VarDecl P;
+        P.Line = peek().Line;
+        while (accept(TokenKind::Star))
+          ++P.PointerDepth;
+        if (check(TokenKind::Identifier))
+          P.Name = advance().Text;
+        if (accept(TokenKind::LBracket)) {
+          P.IsArray = true;
+          accept(TokenKind::Number);
+          if (!expect(TokenKind::RBracket, "in parameter"))
+            return false;
+        }
+        F.Params.push_back(std::move(P));
+      } while (accept(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "after parameters"))
+      return false;
+    if (accept(TokenKind::Semicolon)) {
+      Out.Functions.push_back(std::move(F)); // Prototype.
+      return true;
+    }
+    if (!parseBlock(F.Body))
+      return false;
+    Out.Functions.push_back(std::move(F));
+    return true;
+  }
+
+  // Global variable declaration(s).
+  Pos = Save;
+  std::vector<VarDecl> Decls;
+  if (!parseDeclarators(Decls))
+    return false;
+  if (!expect(TokenKind::Semicolon, "after global declaration"))
+    return false;
+  for (VarDecl &D : Decls)
+    Out.Globals.push_back(std::move(D));
+  return true;
+}
+
+bool Parser::parseUnit(TranslationUnit &Out) {
+  while (!check(TokenKind::Eof))
+    if (!parseGlobalOrFunction(Out))
+      return false;
+  return true;
+}
+
+bool Parser::parseBlock(StmtPtr &Out) {
+  if (!expect(TokenKind::LBrace, "to open a block"))
+    return false;
+  auto Block = std::make_unique<Stmt>(StmtKind::Block, peek().Line);
+  while (!check(TokenKind::RBrace)) {
+    if (check(TokenKind::Eof))
+      return fail("unterminated block");
+    StmtPtr S;
+    if (!parseStmt(S))
+      return false;
+    Block->Stmts.push_back(std::move(S));
+  }
+  advance(); // '}'
+  Out = std::move(Block);
+  return true;
+}
+
+bool Parser::parseStmt(StmtPtr &Out) {
+  uint32_t Line = peek().Line;
+  if (check(TokenKind::LBrace))
+    return parseBlock(Out);
+
+  if (atTypeStart() || (check(TokenKind::KwStruct))) {
+    auto Decl = std::make_unique<Stmt>(StmtKind::Decl, Line);
+    if (!parseTypePrefix())
+      return false;
+    if (!parseDeclarators(Decl->Decls))
+      return false;
+    if (!expect(TokenKind::Semicolon, "after declaration"))
+      return false;
+    Out = std::move(Decl);
+    return true;
+  }
+
+  if (accept(TokenKind::KwIf)) {
+    auto If = std::make_unique<Stmt>(StmtKind::If, Line);
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return false;
+    If->E = parseExpr();
+    if (!If->E)
+      return false;
+    if (!expect(TokenKind::RParen, "after condition"))
+      return false;
+    if (!parseStmt(If->Body))
+      return false;
+    if (accept(TokenKind::KwElse))
+      if (!parseStmt(If->Else))
+        return false;
+    Out = std::move(If);
+    return true;
+  }
+
+  if (accept(TokenKind::KwWhile)) {
+    auto While = std::make_unique<Stmt>(StmtKind::While, Line);
+    if (!expect(TokenKind::LParen, "after 'while'"))
+      return false;
+    While->E = parseExpr();
+    if (!While->E)
+      return false;
+    if (!expect(TokenKind::RParen, "after condition"))
+      return false;
+    if (!parseStmt(While->Body))
+      return false;
+    Out = std::move(While);
+    return true;
+  }
+
+  if (accept(TokenKind::KwFor)) {
+    auto For = std::make_unique<Stmt>(StmtKind::For, Line);
+    if (!expect(TokenKind::LParen, "after 'for'"))
+      return false;
+    if (!check(TokenKind::Semicolon)) {
+      if (atTypeStart()) {
+        auto Decl = std::make_unique<Stmt>(StmtKind::Decl, Line);
+        if (!parseTypePrefix() || !parseDeclarators(Decl->Decls))
+          return false;
+        For->InitStmt = std::move(Decl);
+      } else {
+        auto ES = std::make_unique<Stmt>(StmtKind::ExprStmt, Line);
+        ES->E = parseExpr();
+        if (!ES->E)
+          return false;
+        For->InitStmt = std::move(ES);
+      }
+    }
+    if (!expect(TokenKind::Semicolon, "after for-init"))
+      return false;
+    if (!check(TokenKind::Semicolon)) {
+      For->E = parseExpr();
+      if (!For->E)
+        return false;
+    }
+    if (!expect(TokenKind::Semicolon, "after for-condition"))
+      return false;
+    if (!check(TokenKind::RParen)) {
+      For->E2 = parseExpr();
+      if (!For->E2)
+        return false;
+    }
+    if (!expect(TokenKind::RParen, "after for-step"))
+      return false;
+    if (!parseStmt(For->Body))
+      return false;
+    Out = std::move(For);
+    return true;
+  }
+
+  if (accept(TokenKind::KwReturn)) {
+    auto Ret = std::make_unique<Stmt>(StmtKind::Return, Line);
+    if (!check(TokenKind::Semicolon)) {
+      Ret->E = parseExpr();
+      if (!Ret->E)
+        return false;
+    }
+    if (!expect(TokenKind::Semicolon, "after return"))
+      return false;
+    Out = std::move(Ret);
+    return true;
+  }
+
+  if (accept(TokenKind::Semicolon)) {
+    Out = std::make_unique<Stmt>(StmtKind::Block, Line); // Empty.
+    return true;
+  }
+
+  auto ES = std::make_unique<Stmt>(StmtKind::ExprStmt, Line);
+  ES->E = parseExpr();
+  if (!ES->E)
+    return false;
+  if (!expect(TokenKind::Semicolon, "after expression"))
+    return false;
+  Out = std::move(ES);
+  return true;
+}
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseTernary();
+  if (!Lhs)
+    return nullptr;
+  if (accept(TokenKind::Assign)) {
+    auto E = std::make_unique<Expr>(ExprKind::Assign, Lhs->Line);
+    E->Lhs = std::move(Lhs);
+    E->Rhs = parseAssignment(); // Right-associative.
+    if (!E->Rhs)
+      return nullptr;
+    return E;
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr Cond = parseBinary(0);
+  if (!Cond)
+    return nullptr;
+  if (!accept(TokenKind::Question))
+    return Cond;
+  auto E = std::make_unique<Expr>(ExprKind::Ternary, Cond->Line);
+  E->Cond = std::move(Cond);
+  E->Lhs = parseAssignment();
+  if (!E->Lhs)
+    return nullptr;
+  if (!expect(TokenKind::Colon, "in ternary"))
+    return nullptr;
+  E->Rhs = parseTernary();
+  if (!E->Rhs)
+    return nullptr;
+  return E;
+}
+
+static int binaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEq:
+  case TokenKind::GreaterEq:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  for (;;) {
+    int Prec = binaryPrecedence(peek().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return Lhs;
+    TokenKind Op = advance().Kind;
+    ExprPtr Rhs = parseBinary(Prec + 1);
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<Expr>(ExprKind::Binary, Lhs->Line);
+    E->Op = Op;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  uint32_t Line = peek().Line;
+  if (accept(TokenKind::Star)) {
+    auto E = std::make_unique<Expr>(ExprKind::Deref, Line);
+    E->Lhs = parseUnary();
+    return E->Lhs ? std::move(E) : nullptr;
+  }
+  if (accept(TokenKind::Amp)) {
+    auto E = std::make_unique<Expr>(ExprKind::AddressOf, Line);
+    E->Lhs = parseUnary();
+    return E->Lhs ? std::move(E) : nullptr;
+  }
+  if (accept(TokenKind::Not) || accept(TokenKind::Minus) ||
+      accept(TokenKind::Plus) || accept(TokenKind::PlusPlus) ||
+      accept(TokenKind::MinusMinus)) {
+    auto E = std::make_unique<Expr>(ExprKind::Unary, Line);
+    E->Lhs = parseUnary();
+    return E->Lhs ? std::move(E) : nullptr;
+  }
+  if (accept(TokenKind::KwSizeof)) {
+    // sizeof(type) or sizeof expr — value is an integer either way.
+    if (accept(TokenKind::LParen)) {
+      int Depth = 1;
+      while (Depth > 0 && !check(TokenKind::Eof)) {
+        if (accept(TokenKind::LParen))
+          ++Depth;
+        else if (accept(TokenKind::RParen))
+          --Depth;
+        else
+          advance();
+      }
+    } else if (!parseUnary()) {
+      return nullptr;
+    }
+    return std::make_unique<Expr>(ExprKind::Number, Line);
+  }
+  // Casts: '(' type ... ')' unary.
+  if (check(TokenKind::LParen)) {
+    TokenKind Next = peek(1).Kind;
+    if (Next == TokenKind::KwInt || Next == TokenKind::KwChar ||
+        Next == TokenKind::KwVoid || Next == TokenKind::KwLong ||
+        Next == TokenKind::KwUnsigned || Next == TokenKind::KwStruct) {
+      advance(); // '('
+      if (!parseTypePrefix())
+        return nullptr;
+      while (accept(TokenKind::Star)) {
+      }
+      if (!expect(TokenKind::RParen, "after cast"))
+        return nullptr;
+      return parseUnary(); // The cast is a no-op for pointer flow.
+    }
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  for (;;) {
+    uint32_t Line = peek().Line;
+    if (accept(TokenKind::Dot)) {
+      if (!check(TokenKind::Identifier)) {
+        fail("expected field name after '.'");
+        return nullptr;
+      }
+      auto M = std::make_unique<Expr>(ExprKind::Member, Line);
+      M->Name = advance().Text;
+      M->Lhs = std::move(E);
+      E = std::move(M);
+      continue;
+    }
+    if (accept(TokenKind::Arrow)) {
+      if (!check(TokenKind::Identifier)) {
+        fail("expected field name after '->'");
+        return nullptr;
+      }
+      auto M = std::make_unique<Expr>(ExprKind::Arrow, Line);
+      M->Name = advance().Text;
+      M->Lhs = std::move(E);
+      E = std::move(M);
+      continue;
+    }
+    if (accept(TokenKind::LBracket)) {
+      auto Ix = std::make_unique<Expr>(ExprKind::Index, Line);
+      Ix->Lhs = std::move(E);
+      Ix->Rhs = parseExpr();
+      if (!Ix->Rhs || !expect(TokenKind::RBracket, "after index"))
+        return nullptr;
+      E = std::move(Ix);
+      continue;
+    }
+    if (accept(TokenKind::LParen)) {
+      auto Call = std::make_unique<Expr>(ExprKind::Call, Line);
+      Call->Lhs = std::move(E);
+      if (!check(TokenKind::RParen)) {
+        do {
+          ExprPtr Arg = parseAssignment();
+          if (!Arg)
+            return nullptr;
+          Call->Args.push_back(std::move(Arg));
+        } while (accept(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "after call arguments"))
+        return nullptr;
+      E = std::move(Call);
+      continue;
+    }
+    if (accept(TokenKind::PlusPlus) || accept(TokenKind::MinusMinus)) {
+      auto U = std::make_unique<Expr>(ExprKind::Unary, Line);
+      U->Lhs = std::move(E);
+      E = std::move(U);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  uint32_t Line = peek().Line;
+  if (check(TokenKind::Identifier)) {
+    auto E = std::make_unique<Expr>(ExprKind::Identifier, Line);
+    E->Name = advance().Text;
+    return E;
+  }
+  if (check(TokenKind::Number)) {
+    advance();
+    return std::make_unique<Expr>(ExprKind::Number, Line);
+  }
+  if (check(TokenKind::String)) {
+    auto E = std::make_unique<Expr>(ExprKind::StringLit, Line);
+    E->Name = advance().Text;
+    return E;
+  }
+  if (accept(TokenKind::KwNull))
+    return std::make_unique<Expr>(ExprKind::Null, Line);
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokenKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  fail(std::string("unexpected ") + tokenKindName(peek().Kind) +
+       " in expression");
+  return nullptr;
+}

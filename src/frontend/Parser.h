@@ -1,0 +1,71 @@
+//===- Parser.h - Mini-C recursive-descent parser ---------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_FRONTEND_PARSER_H
+#define AG_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace ag {
+
+/// Recursive-descent parser for the mini-C subset:
+///
+///   unit     := (struct-def | global-decl | function)*
+///   function := type stars IDENT '(' params ')' (';' | block)
+///   stmt     := decl ';' | expr ';' | block | if | while | for | return
+///   expr     := C expression subset (assignment right-associative, calls,
+///               unary * & ! - ++ --, member/./->, [], ternary, comma in
+///               for-steps, binary arithmetic/comparison)
+///
+/// Struct definitions are recorded but fields are not tracked (the
+/// analysis is field-insensitive).
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens);
+
+  /// Parses a whole translation unit. \returns false and sets error() on
+  /// the first syntax error.
+  bool parseUnit(TranslationUnit &Out);
+
+  const std::string &error() const { return Error; }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  bool fail(const std::string &Message);
+
+  /// True if the upcoming tokens start a type (declaration).
+  bool atTypeStart() const;
+  /// Consumes type keywords (struct tag included). \returns false on error.
+  bool parseTypePrefix();
+
+  bool parseGlobalOrFunction(TranslationUnit &Out);
+  bool parseDeclarators(std::vector<VarDecl> &Out);
+  bool parseBlock(StmtPtr &Out);
+  bool parseStmt(StmtPtr &Out);
+  ExprPtr parseExpr();           // Comma-free assignment expression.
+  ExprPtr parseAssignment();
+  ExprPtr parseTernary();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace ag
+
+#endif // AG_FRONTEND_PARSER_H

@@ -1,0 +1,90 @@
+//===- Token.h - Mini-C token definitions -----------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for the mini-C frontend that stands in for the paper's CIL-based
+/// constraint generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_FRONTEND_TOKEN_H
+#define AG_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ag {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  Number,
+  String,
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwVoid,
+  KwLong,
+  KwUnsigned,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwSizeof,
+  KwNull,
+  KwExtern,
+  KwStatic,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Star,
+  Amp,
+  Assign,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Dot,
+  Arrow,
+  EqEq,
+  NotEq,
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Not,
+  Question,
+  Colon,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Returns a printable name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token with source position (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text; ///< Identifier spelling / number text / string body.
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace ag
+
+#endif // AG_FRONTEND_TOKEN_H

@@ -1,0 +1,269 @@
+//===- HtSolver.h - Heintze-Tardieu pre-transitive solver -------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Heintze-Tardieu algorithm the paper evaluates (field-insensitive):
+/// the constraint graph is kept in pre-transitive form — only original and
+/// complex-constraint-derived copy edges, no transitive edges — and
+/// indirect constraints are resolved via cached reachability queries.
+/// A query computes pts(n) = orig(n) ∪ ⋃ pts(pred) by DFS over predecessor
+/// edges, detecting and collapsing cycles as a side-effect (Nuutila-variant
+/// Tarjan). Caches are valid within one query epoch; each solver round
+/// starts a fresh epoch because new edges may have invalidated results —
+/// the "unavoidable redundant work" the paper describes. Optionally
+/// combined with HCD (HT+HCD).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_HTSOLVER_H
+#define AG_SOLVERS_HTSOLVER_H
+
+#include "core/HcdOffline.h"
+#include "core/Solver.h"
+#include "core/SolverContext.h"
+
+#include <vector>
+
+namespace ag {
+
+/// The HT baseline (and HT+HCD), templated over the points-to
+/// representation.
+///
+/// Note on orientation: the shared context is built with ReverseEdges, so
+/// G.Succs[u] holds u's *predecessors* (nodes whose points-to sets flow
+/// into u), which is the direction the reachability queries walk.
+template <typename PtsPolicy> class HtSolver {
+  using Ctx = SolverContext<PtsPolicy>;
+  using PtsSet = typename PtsPolicy::Set;
+
+public:
+  HtSolver(const ConstraintSystem &CS, SolverStats &Stats,
+           const SolverOptions &Opts = SolverOptions(),
+           const HcdResult *Hcd = nullptr,
+           const std::vector<NodeId> *SeedReps = nullptr)
+      : G(CS, Stats, SeedReps, /*ReverseEdges=*/true) {
+    (void)Opts;
+    if (Hcd)
+      HcdLazy = Hcd->Lazy;
+    const uint32_t N = CS.numNodes();
+    CachePts.resize(N);
+    CacheEpoch.assign(N, 0);
+    VisitEpoch.assign(N, 0);
+    DfsNum.assign(N, 0);
+    LowLink.assign(N, 0);
+    OnStackEpoch.assign(N, 0);
+  }
+
+  /// Runs to fixpoint and returns the solution.
+  PointsToSolution solve() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      ++Epoch;
+      // Resolve every complex constraint against fresh reachability
+      // queries; new edges are found or the fixpoint is proven.
+      for (const Constraint &C : G.CS.constraints()) {
+        if (C.Kind == ConstraintKind::Load) {
+          NodeId Base = G.find(C.Src);
+          query(Base);
+          bool Local = false;
+          CachePts[G.find(Base)].forEach(G.Ctx, [&](NodeId V) {
+            NodeId T = G.CS.offsetTarget(V, C.Offset);
+            // Predecessor edge: pts(v+k) flows into dst.
+            if (T != InvalidNode && G.addEdge(C.Dst, T))
+              Local = true;
+          });
+          Changed |= Local;
+        } else if (C.Kind == ConstraintKind::Store) {
+          NodeId Base = G.find(C.Dst);
+          query(Base);
+          bool Local = false;
+          CachePts[G.find(Base)].forEach(G.Ctx, [&](NodeId V) {
+            NodeId T = G.CS.offsetTarget(V, C.Offset);
+            // Predecessor edge: pts(src) flows into v+k.
+            if (T != InvalidNode && G.addEdge(T, C.Src))
+              Local = true;
+          });
+          Changed |= Local;
+        }
+      }
+      // HT+HCD: apply the lazy collapses between queries (never inside a
+      // DFS, whose frames must stay valid).
+      for (const auto &[Node, Target] : HcdLazy) {
+        NodeId N = G.find(Node);
+        query(N);
+        N = G.find(N);
+        std::vector<NodeId> Members;
+        CachePts[N].forEach(G.Ctx, [&](NodeId V) { Members.push_back(V); });
+        NodeId A = G.find(Target);
+        for (NodeId V : Members) {
+          NodeId R = G.find(V);
+          if (R == A)
+            continue;
+          A = mergeWithCache(A, R);
+          ++G.Stats.HcdCollapses;
+          Changed = true;
+        }
+      }
+    }
+    // Final pass: compute the full closure for every node.
+    ++Epoch;
+    const uint32_t N = G.CS.numNodes();
+    PointsToSolution Out(N);
+    for (NodeId V = 0; V != N; ++V)
+      query(G.find(V));
+    for (NodeId V = 0; V != N; ++V) {
+      NodeId R = G.find(V);
+      if (R != V)
+        Out.setRep(V, R);
+      else
+        CachePts[R].toBitmap(G.Ctx, Out.mutableSet(R));
+    }
+    return Out;
+  }
+
+  SolverContext<PtsPolicy> &context() { return G; }
+
+private:
+  /// Merges two nodes, keeping the cache coherent: if both caches are
+  /// valid this epoch the survivor gets their union, otherwise the
+  /// survivor's cache is invalidated (recomputed on next query).
+  NodeId mergeWithCache(NodeId A, NodeId B) {
+    A = G.find(A);
+    B = G.find(B);
+    if (A == B)
+      return A;
+    bool BothValid = CacheEpoch[A] == Epoch && CacheEpoch[B] == Epoch;
+    NodeId Survivor = G.merge(A, B);
+    NodeId Loser = Survivor == A ? B : A;
+    if (BothValid) {
+      CachePts[Survivor].unionWith(G.Ctx, CachePts[Loser]);
+      CacheEpoch[Survivor] = Epoch;
+    } else {
+      CacheEpoch[Survivor] = 0;
+    }
+    CachePts[Loser].clearAndFree(G.Ctx);
+    CacheEpoch[Loser] = 0;
+    return Survivor;
+  }
+
+  /// Computes (and caches) pts of representative \p Root for this epoch:
+  /// iterative Tarjan over predecessor edges, collapsing cycles found on
+  /// the way (the side-effect cycle detection of HT).
+  void query(NodeId Root) {
+    Root = G.find(Root);
+    if (CacheEpoch[Root] == Epoch)
+      return;
+
+    struct Frame {
+      NodeId U;
+      SparseBitVector::iterator It;
+      SparseBitVector::iterator End;
+      NodeId PendingChild;
+    };
+    std::vector<Frame> Dfs;
+    std::vector<NodeId> SccStack;
+
+    auto push = [&](NodeId U) {
+      VisitEpoch[U] = Epoch;
+      DfsNum[U] = NextDfsNum++;
+      LowLink[U] = DfsNum[U];
+      OnStackEpoch[U] = Epoch;
+      SccStack.push_back(U);
+      // Seed the partial result with the original (address-of) set.
+      CachePts[U] = G.Pts[U];
+      Dfs.push_back(
+          Frame{U, G.Succs[U].begin(), G.Succs[U].end(), InvalidNode});
+      ++G.Stats.NodesSearched;
+    };
+    push(Root);
+
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      NodeId U = F.U;
+      if (F.PendingChild != InvalidNode) {
+        // A child subtree finished; absorb its cache if its SCC completed
+        // (otherwise it's in U's own SCC and merges later).
+        NodeId C = G.find(F.PendingChild);
+        F.PendingChild = InvalidNode;
+        if (CacheEpoch[C] == Epoch && C != U) {
+          ++G.Stats.Propagations;
+          G.Stats.ChangedPropagations +=
+              CachePts[U].unionWith(G.Ctx, CachePts[C]);
+        }
+      }
+      if (F.It != F.End) {
+        NodeId P = G.find(*F.It);
+        ++F.It;
+        if (P == U)
+          continue;
+        if (CacheEpoch[P] == Epoch) {
+          ++G.Stats.Propagations;
+          G.Stats.ChangedPropagations +=
+              CachePts[U].unionWith(G.Ctx, CachePts[P]);
+          continue;
+        }
+        if (VisitEpoch[P] == Epoch) {
+          assert(OnStackEpoch[P] == Epoch &&
+                 "finished node must have a valid cache");
+          if (DfsNum[P] < LowLink[U])
+            LowLink[U] = DfsNum[P];
+          continue;
+        }
+        push(P);
+        continue;
+      }
+      // U's edges exhausted: finish the frame.
+      Dfs.pop_back();
+      if (!Dfs.empty()) {
+        Frame &Parent = Dfs.back();
+        if (LowLink[U] < LowLink[Parent.U])
+          LowLink[Parent.U] = LowLink[U];
+        Parent.PendingChild = U;
+      }
+      if (LowLink[U] == DfsNum[U]) {
+        // U roots an SCC: fold member caches into U's slot and collapse
+        // the members (HT's side-effect cycle detection).
+        for (;;) {
+          NodeId W = SccStack.back();
+          SccStack.pop_back();
+          OnStackEpoch[W] = 0;
+          if (W == U)
+            break;
+          CachePts[U].unionWith(G.Ctx, CachePts[W]);
+          CachePts[W].clearAndFree(G.Ctx);
+          G.merge(U, W);
+        }
+        // Relocate U's finished cache to the representative the
+        // union-find elected.
+        NodeId R = G.find(U);
+        if (R != U) {
+          CachePts[R] = std::move(CachePts[U]);
+          CachePts[U] = PtsSet();
+        }
+        CacheEpoch[R] = Epoch;
+        VisitEpoch[R] = Epoch;
+        OnStackEpoch[R] = 0;
+      }
+    }
+  }
+
+  SolverContext<PtsPolicy> G;
+  std::vector<std::pair<NodeId, NodeId>> HcdLazy;
+
+  std::vector<PtsSet> CachePts;
+  std::vector<uint32_t> CacheEpoch;
+  std::vector<uint32_t> VisitEpoch;
+  std::vector<uint32_t> DfsNum;
+  std::vector<uint32_t> LowLink;
+  std::vector<uint32_t> OnStackEpoch;
+  uint32_t Epoch = 0;
+  uint32_t NextDfsNum = 0;
+};
+
+} // namespace ag
+
+#endif // AG_SOLVERS_HTSOLVER_H

@@ -1,0 +1,69 @@
+//===- NaiveSolver.h - Figure 1 dynamic transitive closure ------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 1: the basic worklist algorithm maintaining the
+/// explicit dynamic transitive closure with no cycle detection at all.
+/// Present as a readable specification and as the oracle the property
+/// tests compare every optimized solver against. (The paper notes that
+/// without cycle detection the larger benchmarks run out of memory — this
+/// solver is for small and medium inputs.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_NAIVESOLVER_H
+#define AG_SOLVERS_NAIVESOLVER_H
+
+#include "adt/Worklist.h"
+#include "core/Solver.h"
+#include "core/SolverContext.h"
+
+namespace ag {
+
+/// The Figure-1 baseline, templated over the points-to representation.
+template <typename PtsPolicy> class NaiveSolver {
+public:
+  NaiveSolver(const ConstraintSystem &CS, SolverStats &Stats,
+              const SolverOptions &Opts = SolverOptions(),
+              const std::vector<NodeId> *SeedReps = nullptr)
+      : G(CS, Stats, SeedReps), W(Opts.Worklist) {
+    G.UseDiffResolution = Opts.DifferenceResolution;
+  }
+
+  /// Runs to fixpoint and returns the solution.
+  PointsToSolution solve() {
+    const uint32_t N = G.CS.numNodes();
+    W.grow(N);
+    for (NodeId V = 0; V != N; ++V)
+      if (G.find(V) == V && !G.Pts[V].empty())
+        W.push(V);
+
+    auto Push = [this](NodeId V) { W.push(V); };
+    while (!W.empty()) {
+      NodeId Node = G.find(W.pop());
+      ++G.Stats.WorklistPops;
+      G.resolveComplex(Node, Push);
+      for (uint32_t Raw : G.Succs[Node]) {
+        NodeId Z = G.find(Raw);
+        if (Z == Node)
+          continue;
+        if (G.propagate(Node, Z))
+          W.push(Z);
+      }
+    }
+    return G.extractSolution();
+  }
+
+  SolverContext<PtsPolicy> &context() { return G; }
+
+private:
+  SolverContext<PtsPolicy> G;
+  Worklist W;
+};
+
+} // namespace ag
+
+#endif // AG_SOLVERS_NAIVESOLVER_H

@@ -1,0 +1,106 @@
+//===- PkhSolver.h - Pearce-Kelly-Hankin periodic-sweep solver --*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pearce et al. algorithm the paper evaluates: an explicit-closure
+/// worklist solver where, "rather than detect cycles at every edge
+/// insertion, the entire constraint graph is periodically swept to detect
+/// and collapse any cycles that have formed since the last sweep". The
+/// sweep runs at the start of every worklist round; within a round, nodes
+/// are processed with no cycle detection. Optionally combined with HCD
+/// (PKH+HCD).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_PKHSOLVER_H
+#define AG_SOLVERS_PKHSOLVER_H
+
+#include "core/HcdOffline.h"
+#include "core/Solver.h"
+#include "core/SolverContext.h"
+
+#include <vector>
+
+namespace ag {
+
+/// The PKH baseline (and PKH+HCD), templated over the points-to
+/// representation.
+template <typename PtsPolicy> class PkhSolver {
+public:
+  PkhSolver(const ConstraintSystem &CS, SolverStats &Stats,
+            const SolverOptions &Opts = SolverOptions(),
+            const HcdResult *Hcd = nullptr,
+            const std::vector<NodeId> *SeedReps = nullptr)
+      : G(CS, Stats, SeedReps) {
+    G.UseDiffResolution = Opts.DifferenceResolution;
+    if (Hcd)
+      for (const auto &[N, Target] : Hcd->Lazy)
+        G.HcdTargets[G.find(N)].push_back(Target);
+  }
+
+  /// Runs to fixpoint and returns the solution.
+  PointsToSolution solve() {
+    const uint32_t N = G.CS.numNodes();
+    InRound.assign(N, 0);
+    std::vector<NodeId> Current, Next;
+    uint32_t Round = 0;
+
+    auto Push = [&](NodeId V) {
+      V = G.find(V);
+      if (InRound[V] != Round + 1) {
+        InRound[V] = Round + 1;
+        Next.push_back(V);
+      }
+    };
+
+    ++Round;
+    for (NodeId V = 0; V != N; ++V)
+      if (G.find(V) == V && !G.Pts[V].empty())
+        Push(V);
+    Current.swap(Next);
+
+    while (!Current.empty()) {
+      // The periodic sweep: collapse everything that cycled since last
+      // round. Survivors' points-to sets grew; requeue them.
+      G.detectAndCollapseAll();
+      G.drainMergeLog(Push);
+      ++Round;
+      for (NodeId Raw : Current) {
+        NodeId Node = G.find(Raw);
+        if (Processed.size() < N)
+          Processed.resize(N, 0);
+        if (Processed[Node] == Round)
+          continue; // Merged with an already-processed node this round.
+        Processed[Node] = Round;
+        ++G.Stats.WorklistPops;
+
+        Node = G.applyHcd(Node, Push);
+        G.resolveComplex(Node, Push);
+        for (uint32_t RawSucc : G.Succs[Node]) {
+          NodeId Z = G.find(RawSucc);
+          if (Z == Node)
+            continue;
+          if (G.propagate(Node, Z))
+            Push(Z);
+        }
+      }
+      Current.clear();
+      Current.swap(Next);
+    }
+    return G.extractSolution();
+  }
+
+  SolverContext<PtsPolicy> &context() { return G; }
+
+private:
+  SolverContext<PtsPolicy> G;
+  std::vector<uint32_t> InRound;
+  std::vector<uint32_t> Processed;
+};
+
+} // namespace ag
+
+#endif // AG_SOLVERS_PKHSOLVER_H

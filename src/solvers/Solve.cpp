@@ -1,0 +1,116 @@
+//===- Solve.cpp - One-call solver entry point ----------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Solve.h"
+
+#include "core/HcdSolver.h"
+#include "core/LcdSolver.h"
+#include "solvers/BlqSolver.h"
+#include "solvers/HtSolver.h"
+#include "solvers/NaiveSolver.h"
+#include "solvers/PkhSolver.h"
+
+#include <cassert>
+
+using namespace ag;
+
+const char *ag::solverKindName(SolverKind Kind) {
+  switch (Kind) {
+  case SolverKind::Naive:
+    return "Naive";
+  case SolverKind::HT:
+    return "HT";
+  case SolverKind::PKH:
+    return "PKH";
+  case SolverKind::BLQ:
+    return "BLQ";
+  case SolverKind::LCD:
+    return "LCD";
+  case SolverKind::HCD:
+    return "HCD";
+  case SolverKind::HTHCD:
+    return "HT+HCD";
+  case SolverKind::PKHHCD:
+    return "PKH+HCD";
+  case SolverKind::BLQHCD:
+    return "BLQ+HCD";
+  case SolverKind::LCDHCD:
+    return "LCD+HCD";
+  }
+  assert(false && "invalid solver kind");
+  return "?";
+}
+
+namespace {
+
+template <typename Policy>
+PointsToSolution dispatch(const ConstraintSystem &CS, SolverKind Kind,
+                          SolverStats &Stats, const SolverOptions &Opts,
+                          const HcdResult *Hcd,
+                          const std::vector<NodeId> *Seeds) {
+  switch (Kind) {
+  case SolverKind::Naive:
+    return NaiveSolver<Policy>(CS, Stats, Opts, Seeds).solve();
+  case SolverKind::HT:
+    return HtSolver<Policy>(CS, Stats, Opts, nullptr, Seeds).solve();
+  case SolverKind::HTHCD:
+    return HtSolver<Policy>(CS, Stats, Opts, Hcd, Seeds).solve();
+  case SolverKind::PKH:
+    return PkhSolver<Policy>(CS, Stats, Opts, nullptr, Seeds).solve();
+  case SolverKind::PKHHCD:
+    return PkhSolver<Policy>(CS, Stats, Opts, Hcd, Seeds).solve();
+  case SolverKind::LCD:
+    return LcdSolver<Policy>(CS, Stats, Opts, nullptr, Seeds).solve();
+  case SolverKind::LCDHCD:
+    return LcdSolver<Policy>(CS, Stats, Opts, Hcd, Seeds).solve();
+  case SolverKind::HCD:
+    assert(Hcd && "standalone HCD requires the offline result");
+    return HcdSolver<Policy>(CS, Stats, Opts, *Hcd, Seeds).solve();
+  case SolverKind::BLQ:
+  case SolverKind::BLQHCD:
+    break; // Handled by the caller (not templated on Policy).
+  }
+  assert(false && "unreachable solver dispatch");
+  return PointsToSolution(CS.numNodes());
+}
+
+} // namespace
+
+PointsToSolution ag::solve(const ConstraintSystem &CS, SolverKind Kind,
+                           PtsRepr Repr, SolverStats *StatsOut,
+                           const SolverOptions &Opts,
+                           const std::vector<NodeId> *SeedReps,
+                           const HcdResult *Hcd) {
+  SolverStats LocalStats;
+  SolverStats &Stats = StatsOut ? *StatsOut : LocalStats;
+
+  // Run (or adopt) the HCD offline analysis and fold its variable-only
+  // SCCs into the seed representatives.
+  HcdResult OwnedHcd;
+  std::vector<NodeId> ComposedSeeds;
+  const std::vector<NodeId> *Seeds = SeedReps;
+  if (usesHcd(Kind)) {
+    if (!Hcd) {
+      OwnedHcd = runHcdOffline(CS);
+      Hcd = &OwnedHcd;
+    }
+    Stats.NodesCollapsed += Hcd->NumPreMerged;
+    if (SeedReps)
+      ComposedSeeds = composeReps(*SeedReps, Hcd->PreMerge);
+    else
+      ComposedSeeds = Hcd->PreMerge;
+    Seeds = &ComposedSeeds;
+  }
+
+  if (Kind == SolverKind::BLQ || Kind == SolverKind::BLQHCD)
+    return BlqSolver(CS, Stats, Opts,
+                     Kind == SolverKind::BLQHCD ? Hcd : nullptr, Seeds)
+        .solve();
+
+  if (Repr == PtsRepr::Bitmap)
+    return dispatch<BitmapPtsPolicy>(CS, Kind, Stats, Opts, Hcd, Seeds);
+  return dispatch<BddPtsPolicy>(CS, Kind, Stats, Opts, Hcd, Seeds);
+}

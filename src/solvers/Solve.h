@@ -1,0 +1,56 @@
+//===- Solve.h - One-call solver entry point --------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's main entry point: run any of the paper's nine algorithms
+/// (plus the naive oracle) over a constraint system and get the points-to
+/// solution. Handles the HCD offline pass and representative seeding from
+/// offline analyses.
+///
+/// Typical use:
+/// \code
+///   ConstraintSystem CS = ...;
+///   OvsResult Ovs = runOfflineVariableSubstitution(CS);
+///   SolverStats Stats;
+///   PointsToSolution Sol = solve(Ovs.Reduced, SolverKind::LCDHCD,
+///                                PtsRepr::Bitmap, &Stats, {}, &Ovs.Rep);
+///   bool Aliases = Sol.mayAlias(P, Q);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_SOLVE_H
+#define AG_SOLVERS_SOLVE_H
+
+#include "constraints/ConstraintSystem.h"
+#include "core/HcdOffline.h"
+#include "core/PointsToSolution.h"
+#include "core/Solver.h"
+
+#include "adt/Statistics.h"
+
+namespace ag {
+
+/// Solves \p CS with algorithm \p Kind using representation \p Repr.
+///
+/// \param StatsOut optional behaviour counters (Section 5.3 metrics).
+/// \param Opts tuning knobs; defaults match the paper's configuration.
+/// \param SeedReps optional pre-merge map (e.g. OvsResult::Rep) whose
+///        representatives solvers must respect.
+/// \param Hcd optional precomputed HCD offline result; when \p Kind uses
+///        HCD and this is null, the offline pass runs internally (its time
+///        is then included — pass it explicitly to time it separately, as
+///        Table 3 reports it).
+PointsToSolution solve(const ConstraintSystem &CS, SolverKind Kind,
+                       PtsRepr Repr = PtsRepr::Bitmap,
+                       SolverStats *StatsOut = nullptr,
+                       const SolverOptions &Opts = SolverOptions(),
+                       const std::vector<NodeId> *SeedReps = nullptr,
+                       const HcdResult *Hcd = nullptr);
+
+} // namespace ag
+
+#endif // AG_SOLVERS_SOLVE_H

@@ -1,0 +1,181 @@
+//===- SteensgaardSolver.cpp - Unification-based pointer analysis ---------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/SteensgaardSolver.h"
+
+#include "adt/UnionFind.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+/// The unification engine: classes with at most one pointee class each.
+class Steensgaard {
+public:
+  Steensgaard(const ConstraintSystem &CS, SteensgaardStats &Stats)
+      : CS(CS), Stats(Stats), Classes(CS.numNodes()),
+        Pointee(CS.numNodes(), InvalidNode) {}
+
+  PointsToSolution run() {
+    // Unification cannot express per-offset slots: fold every sized
+    // object's slots into one class so offset dereferences stay sound.
+    for (NodeId V = 0; V != CS.numNodes(); ++V)
+      for (uint32_t I = 1, E = CS.sizeOf(V); I < E; ++I)
+        unify(V, V + I);
+
+    // Sweep the constraints to a fixpoint. Each pass applies every rule
+    // whose operands have materialized; unification is monotone, so the
+    // number of passes is small.
+    bool AnyChange = true;
+    while (AnyChange) {
+      AnyChange = false;
+      ++Stats.Passes;
+      for (const Constraint &C : CS.constraints())
+        AnyChange |= apply(C);
+    }
+
+    return extract();
+  }
+
+private:
+  NodeId find(NodeId V) { return Classes.find(V); }
+
+  NodeId pointee(NodeId V) {
+    NodeId P = Pointee[find(V)];
+    return P == InvalidNode ? InvalidNode : find(P);
+  }
+
+  /// Sets (or unifies) \p C's pointee class to \p P.
+  /// \returns true if anything changed.
+  bool setPointee(NodeId C, NodeId P) {
+    C = find(C);
+    P = find(P);
+    NodeId Cur = pointee(C);
+    if (Cur == InvalidNode) {
+      Pointee[C] = P;
+      return true;
+    }
+    if (Cur == P)
+      return false;
+    return unify(Cur, P);
+  }
+
+  /// Unifies the classes of \p A and \p B, recursively unifying pointees
+  /// (iteratively, to stay safe on cyclic type structures).
+  /// \returns true if any merge happened.
+  bool unify(NodeId A, NodeId B) {
+    bool Changed = false;
+    std::vector<std::pair<NodeId, NodeId>> Work = {{A, B}};
+    while (!Work.empty()) {
+      auto [X, Y] = Work.back();
+      Work.pop_back();
+      X = find(X);
+      Y = find(Y);
+      if (X == Y)
+        continue;
+      NodeId Px = Pointee[X] == InvalidNode ? InvalidNode : find(Pointee[X]);
+      NodeId Py = Pointee[Y] == InvalidNode ? InvalidNode : find(Pointee[Y]);
+      NodeId S = Classes.unite(X, Y);
+      ++Stats.Unifications;
+      Changed = true;
+      if (Px != InvalidNode && Py != InvalidNode) {
+        Pointee[S] = Px;
+        Work.emplace_back(Px, Py);
+      } else if (Px != InvalidNode || Py != InvalidNode) {
+        Pointee[S] = Px != InvalidNode ? Px : Py;
+      } else {
+        Pointee[S] = InvalidNode;
+      }
+    }
+    return Changed;
+  }
+
+  bool apply(const Constraint &C) {
+    switch (C.Kind) {
+    case ConstraintKind::AddressOf:
+      // a = &b: b's class is in a's pointee class.
+      return setPointee(C.Dst, C.Src);
+    case ConstraintKind::Copy: {
+      // a = b: pts(a) ⊇ pts(b); with unification, share the pointee.
+      NodeId Pb = pointee(C.Src);
+      if (Pb == InvalidNode)
+        return false; // Nothing flows yet; later passes catch it.
+      return setPointee(C.Dst, Pb);
+    }
+    case ConstraintKind::Load: {
+      // a = *(b+k): pts(a) ⊇ pts(*b) (offsets pre-folded).
+      NodeId Pb = pointee(C.Src);
+      if (Pb == InvalidNode)
+        return false;
+      NodeId Pp = pointee(Pb);
+      if (Pp == InvalidNode)
+        return false;
+      return setPointee(C.Dst, Pp);
+    }
+    case ConstraintKind::Store: {
+      // *(a+k) = b: pts(*a) ⊇ pts(b).
+      NodeId Pa = pointee(C.Dst);
+      NodeId Pb = pointee(C.Src);
+      if (Pa == InvalidNode || Pb == InvalidNode)
+        return false;
+      return setPointee(Pa, Pb);
+    }
+    }
+    assert(false && "invalid constraint kind");
+    return false;
+  }
+
+  PointsToSolution extract() {
+    const uint32_t N = CS.numNodes();
+    // Objects that can appear in points-to sets, bucketed by class.
+    std::vector<std::vector<NodeId>> ClassObjects(N);
+    std::vector<bool> AddrTaken(N, false);
+    for (const Constraint &C : CS.constraints())
+      if (C.Kind == ConstraintKind::AddressOf)
+        for (uint32_t I = 0, E = CS.sizeOf(C.Src); I != E; ++I)
+          AddrTaken[C.Src + I] = true;
+    for (NodeId V = 0; V != N; ++V)
+      if (AddrTaken[V])
+        ClassObjects[find(V)].push_back(V);
+
+    PointsToSolution Out(N);
+    // One shared set per pointee class: first node with that pointee
+    // becomes the solution representative.
+    std::vector<NodeId> ClassRep(N, InvalidNode);
+    for (NodeId V = 0; V != N; ++V) {
+      NodeId P = pointee(V);
+      if (P == InvalidNode)
+        continue; // Empty set.
+      if (ClassRep[P] == InvalidNode) {
+        ClassRep[P] = V;
+        SparseBitVector &Set = Out.mutableSet(V);
+        for (NodeId O : ClassObjects[P])
+          Set.set(O);
+      } else {
+        Out.setRep(V, ClassRep[P]);
+      }
+    }
+    return Out;
+  }
+
+  const ConstraintSystem &CS;
+  SteensgaardStats &Stats;
+  UnionFind Classes;
+  std::vector<NodeId> Pointee;
+};
+
+} // namespace
+
+PointsToSolution ag::solveSteensgaard(const ConstraintSystem &CS,
+                                      SteensgaardStats *Stats) {
+  SteensgaardStats Local;
+  Steensgaard S(CS, Stats ? *Stats : Local);
+  return S.run();
+}

@@ -1,0 +1,50 @@
+//===- SteensgaardSolver.h - Unification-based pointer analysis -*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steensgaard's near-linear-time unification-based pointer analysis
+/// (POPL 1996) — the fast-but-imprecise alternative the paper positions
+/// inclusion-based analysis against: "While Steensgaard's analysis has
+/// much greater imprecision than inclusion-based analysis … inclusion-
+/// based pointer analysis is a better choice … if it can be made to run
+/// in reasonable time". Implemented here so the precision gap the paper's
+/// argument rests on can be measured (see bench_precision).
+///
+/// Model: every node belongs to an equivalence class (union-find); each
+/// class has at most one pointee class. Assignments unify pointee classes
+/// instead of propagating sets, so the result is a coarse superset of the
+/// inclusion-based solution. Call-offset slots of a sized object are
+/// pre-unified (unification cannot track offsets), which keeps offset
+/// dereferences sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_STEENSGAARDSOLVER_H
+#define AG_SOLVERS_STEENSGAARDSOLVER_H
+
+#include "constraints/ConstraintSystem.h"
+#include "core/PointsToSolution.h"
+
+namespace ag {
+
+/// Statistics from a Steensgaard run.
+struct SteensgaardStats {
+  uint64_t Unifications = 0; ///< Class merges performed.
+  uint64_t Passes = 0;       ///< Constraint sweeps until fixpoint.
+};
+
+/// Runs Steensgaard's analysis over \p CS.
+///
+/// The returned solution is object-level compatible with the inclusion-
+/// based solvers' output (elements are original address-taken object
+/// ids), and is always a superset of theirs — the property
+/// tests/SteensgaardTest.cpp checks.
+PointsToSolution solveSteensgaard(const ConstraintSystem &CS,
+                                  SteensgaardStats *Stats = nullptr);
+
+} // namespace ag
+
+#endif // AG_SOLVERS_STEENSGAARDSOLVER_H

@@ -1,0 +1,363 @@
+//===- WorkloadGen.cpp - Synthetic constraint-system generator ------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/WorkloadGen.h"
+
+#include "adt/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ag;
+
+ConstraintSystem ag::generateRandom(const RandomSpec &Spec) {
+  Rng R(Spec.Seed);
+  ConstraintSystem CS;
+
+  std::vector<NodeId> Vars, Objs, Funs;
+  for (uint32_t I = 0; I != Spec.NumVars; ++I)
+    Vars.push_back(CS.addNode("v" + std::to_string(I)));
+  for (uint32_t I = 0; I != Spec.NumObjs; ++I)
+    Objs.push_back(CS.addNode("o" + std::to_string(I)));
+  for (uint32_t I = 0; I != Spec.NumFuns; ++I)
+    Funs.push_back(
+        CS.addFunction("f" + std::to_string(I), 1 + I % 3));
+
+  if (Vars.empty() || Objs.empty())
+    return CS;
+
+  auto anyVar = [&] { return Vars[R.nextBelow(Vars.size())]; };
+  auto anyObj = [&] {
+    // Objects can themselves be pointers; mix vars and objs as sources of
+    // copies etc. but address-of targets are objects/functions.
+    uint64_t Pick = R.nextBelow(Objs.size() + Funs.size());
+    return Pick < Objs.size() ? Objs[Pick] : Funs[Pick - Objs.size()];
+  };
+  auto anyNode = [&]() -> NodeId {
+    uint64_t Pick = R.nextBelow(Vars.size() + Objs.size());
+    return Pick < Vars.size() ? Vars[Pick] : Objs[Pick - Vars.size()];
+  };
+  // Guarantee a dereferenced variable a non-empty points-to set.
+  auto saturate = [&](NodeId Base) {
+    if (Spec.SaturateDerefs)
+      CS.addAddressOf(Base, anyObj());
+  };
+
+  for (uint32_t I = 0; I != Spec.NumAddressOf; ++I)
+    CS.addAddressOf(anyNode(), anyObj());
+  for (uint32_t I = 0; I != Spec.NumCopies; ++I)
+    CS.addCopy(anyNode(), anyNode());
+  for (uint32_t I = 0; I != Spec.NumLoads; ++I) {
+    NodeId Base = anyNode();
+    saturate(Base);
+    CS.addLoad(anyNode(), Base);
+  }
+  for (uint32_t I = 0; I != Spec.NumStores; ++I) {
+    NodeId Base = anyNode();
+    saturate(Base);
+    CS.addStore(Base, anyNode());
+  }
+
+  // Explicit copy cycles (collapse fodder).
+  for (uint32_t I = 0; I != Spec.NumCycles; ++I) {
+    uint32_t Len =
+        2 + static_cast<uint32_t>(R.nextBelow(
+                std::max<uint32_t>(Spec.MaxCycleLen, 2) - 1));
+    std::vector<NodeId> Ring;
+    for (uint32_t J = 0; J != Len; ++J)
+      Ring.push_back(anyNode());
+    for (uint32_t J = 0; J != Len; ++J)
+      CS.addCopy(Ring[(J + 1) % Len], Ring[J]);
+  }
+
+  // Indirect calls through function pointers: fp = &f; then parameter
+  // stores and return loads at offsets.
+  for (uint32_t I = 0; I != Spec.NumIndirectCalls && !Funs.empty(); ++I) {
+    NodeId Fp = anyVar();
+    NodeId F = Funs[R.nextBelow(Funs.size())];
+    CS.addAddressOf(Fp, F);
+    uint32_t NumParams = CS.sizeOf(F) - ConstraintSystem::FunctionParamOffset;
+    for (uint32_t P = 0; P != NumParams; ++P)
+      if (R.nextBool(0.7))
+        CS.addStore(Fp, anyNode(),
+                    ConstraintSystem::FunctionParamOffset + P);
+    if (R.nextBool(0.7))
+      CS.addLoad(anyVar(), Fp, ConstraintSystem::FunctionReturnOffset);
+  }
+  return CS;
+}
+
+ConstraintSystem ag::generateBenchmark(const BenchmarkSpec &Spec) {
+  Rng R(Spec.Seed);
+  ConstraintSystem CS;
+
+  // --- Global address-taken objects (and a few global pointer vars).
+  std::vector<NodeId> Globals;
+  for (uint32_t I = 0; I != Spec.NumGlobals; ++I)
+    Globals.push_back(CS.addNode(Spec.Name + ".g" + std::to_string(I)));
+
+  // --- Functions: object + locals + heap sites.
+  struct Function {
+    NodeId Obj;
+    uint32_t NumParams;
+    std::vector<NodeId> Locals;
+    std::vector<NodeId> HeapSites;
+  };
+  std::vector<Function> Funs;
+  Funs.reserve(Spec.NumFunctions);
+  for (uint32_t I = 0; I != Spec.NumFunctions; ++I) {
+    Function F;
+    F.NumParams = 1 + static_cast<uint32_t>(R.nextBelow(4));
+    F.Obj = CS.addFunction(Spec.Name + ".f" + std::to_string(I),
+                           F.NumParams);
+    for (uint32_t V = 0; V != Spec.VarsPerFunction; ++V)
+      F.Locals.push_back(CS.addNode());
+    for (uint32_t H = 0; H != Spec.HeapSitesPerFunction; ++H)
+      F.HeapSites.push_back(CS.addNode());
+    Funs.push_back(std::move(F));
+  }
+  if (Funs.empty())
+    return CS;
+
+  auto anyGlobal = [&] { return Globals[R.nextBelow(Globals.size())]; };
+
+  // --- Per-function bodies.
+  for (Function &F : Funs) {
+    auto local = [&] { return F.Locals[R.nextBelow(F.Locals.size())]; };
+    // Contiguous target pools: the global runs this function's pointers
+    // mostly point into (see BenchmarkSpec::TargetPoolsPerFunction).
+    std::vector<uint32_t> PoolStarts;
+    for (uint32_t I = 0; I != std::max(1u, Spec.TargetPoolsPerFunction);
+         ++I)
+      PoolStarts.push_back(
+          static_cast<uint32_t>(R.nextBelow(Globals.size())));
+    auto pooledGlobal = [&] {
+      uint32_t Start = PoolStarts[R.nextBelow(PoolStarts.size())];
+      uint32_t Width = std::max(1u, Spec.TargetPoolWidth);
+      return Globals[(Start + R.nextBelow(Width)) % Globals.size()];
+    };
+    auto localOrParam = [&]() -> NodeId {
+      uint64_t Pick = R.nextBelow(F.Locals.size() + F.NumParams);
+      if (Pick < F.Locals.size())
+        return F.Locals[Pick];
+      return F.Obj + ConstraintSystem::FunctionParamOffset +
+             static_cast<uint32_t>(Pick - F.Locals.size());
+    };
+
+    // Address-of: locals point at globals, heap sites, other locals.
+    uint32_t NumAddr = static_cast<uint32_t>(
+        Spec.AddressFan * F.Locals.size() + R.nextBelow(2));
+    for (uint32_t I = 0; I != NumAddr; ++I) {
+      double Kind = R.nextDouble();
+      NodeId Target;
+      if (Kind < 0.45)
+        Target = pooledGlobal();
+      else if (Kind < 0.7 && !F.HeapSites.empty())
+        Target = F.HeapSites[R.nextBelow(F.HeapSites.size())];
+      else
+        Target = local();
+      CS.addAddressOf(localOrParam(), Target);
+    }
+
+    // Copies: mostly within the function, some through globals.
+    uint32_t NumCopy = static_cast<uint32_t>(
+        Spec.CopyPerVar * F.Locals.size());
+    for (uint32_t I = 0; I != NumCopy; ++I) {
+      if (R.nextBool(0.12))
+        CS.addCopy(localOrParam(), anyGlobal());
+      else if (R.nextBool(0.12))
+        CS.addCopy(anyGlobal(), localOrParam());
+      else
+        CS.addCopy(localOrParam(), localOrParam());
+    }
+
+    // Loads and stores.
+    uint32_t NumDeref = static_cast<uint32_t>(
+        Spec.LoadStorePerVar * F.Locals.size());
+    for (uint32_t I = 0; I != NumDeref; ++I) {
+      NodeId Base = localOrParam();
+      // Keep dereferenced pointers non-empty (see RandomSpec note).
+      CS.addAddressOf(Base, pooledGlobal());
+      if (R.nextBool(0.5))
+        CS.addLoad(localOrParam(), Base);
+      else
+        CS.addStore(Base, localOrParam());
+    }
+
+    // Compiler-temporary chains: v -> t1 -> ... -> tk -> w. Single-use
+    // temporaries like these dominate CIL output and are what OVS merges.
+    uint32_t NumChains = static_cast<uint32_t>(
+        Spec.TempChainsPerVar * F.Locals.size());
+    for (uint32_t I = 0; I != NumChains; ++I) {
+      NodeId Prev = localOrParam();
+      uint32_t Len = 1 + static_cast<uint32_t>(
+                             R.nextBelow(Spec.TempChainLength));
+      for (uint32_t J = 0; J != Len; ++J) {
+        NodeId T = CS.addNode();
+        CS.addCopy(T, Prev);
+        Prev = T;
+      }
+      CS.addCopy(localOrParam(), Prev);
+    }
+
+    // Online cycles: a ring of copies closed through a dereference, so
+    // the cycle appears only after the complex constraints resolve.
+    uint32_t NumOnlineCycles = static_cast<uint32_t>(
+        Spec.OnlineCyclesPerFunction + R.nextDouble());
+    for (uint32_t I = 0; I != NumOnlineCycles; ++I) {
+      NodeId Base = localOrParam();
+      CS.addAddressOf(Base, pooledGlobal());
+      uint32_t Len = 1 + static_cast<uint32_t>(R.nextBelow(
+                             std::max(1u, Spec.OnlineCycleLength)));
+      NodeId First = localOrParam();
+      NodeId Prev = First;
+      for (uint32_t J = 0; J != Len; ++J) {
+        NodeId Next = local();
+        CS.addCopy(Next, Prev);
+        Prev = Next;
+      }
+      // Close the ring through *Base: store the tail, load the head.
+      CS.addStore(Base, Prev);
+      CS.addLoad(First, Base);
+    }
+
+    // Copy cycles within the function (online collapse fodder).
+    uint32_t NumCycleVars = static_cast<uint32_t>(
+        Spec.CycleFraction * F.Locals.size());
+    if (NumCycleVars >= 2) {
+      std::vector<NodeId> Ring;
+      for (uint32_t I = 0; I != NumCycleVars; ++I)
+        Ring.push_back(local());
+      for (uint32_t I = 0; I != NumCycleVars; ++I)
+        CS.addCopy(Ring[(I + 1) % NumCycleVars], Ring[I]);
+    }
+  }
+
+  // --- Calls.
+  for (Function &F : Funs) {
+    auto localOrParam = [&]() -> NodeId {
+      uint64_t Pick = R.nextBelow(F.Locals.size() + F.NumParams);
+      if (Pick < F.Locals.size())
+        return F.Locals[Pick];
+      return F.Obj + ConstraintSystem::FunctionParamOffset +
+             static_cast<uint32_t>(Pick - F.Locals.size());
+    };
+    size_t CallerIdx = static_cast<size_t>(&F - Funs.data());
+    for (uint32_t CallNo = 0; CallNo != Spec.CallsPerFunction; ++CallNo) {
+      // Call-graph locality: most calls target nearby functions (real
+      // call graphs are modular), which also keeps the edge relations
+      // BDD-compressible for BLQ, as real inputs are.
+      size_t CalleeIdx;
+      if (R.nextBool(0.8)) {
+        int64_t Delta = static_cast<int64_t>(R.nextBelow(17)) - 8;
+        int64_t Raw = static_cast<int64_t>(CallerIdx) + Delta;
+        CalleeIdx = static_cast<size_t>(
+            std::clamp<int64_t>(Raw, 0, Funs.size() - 1));
+      } else {
+        CalleeIdx = R.nextBelow(Funs.size());
+      }
+      const Function &Callee = Funs[CalleeIdx];
+      if (R.nextDouble() < Spec.IndirectCallFraction) {
+        // fp = &callee; args through *(fp+off); ret from *(fp+1).
+        NodeId Fp = localOrParam();
+        CS.addAddressOf(Fp, Callee.Obj);
+        for (uint32_t P = 0; P != Callee.NumParams; ++P)
+          CS.addStore(Fp, localOrParam(),
+                      ConstraintSystem::FunctionParamOffset + P);
+        CS.addLoad(localOrParam(), Fp,
+                   ConstraintSystem::FunctionReturnOffset);
+      } else {
+        // Direct call: plain copies into parameter slots, out of return.
+        for (uint32_t P = 0; P != Callee.NumParams; ++P)
+          CS.addCopy(Callee.Obj + ConstraintSystem::FunctionParamOffset + P,
+                     localOrParam());
+        CS.addCopy(localOrParam(),
+                   Callee.Obj + ConstraintSystem::FunctionReturnOffset);
+      }
+    }
+    // Returns: the function's return slot gets a local.
+    CS.addCopy(F.Obj + ConstraintSystem::FunctionReturnOffset,
+               localOrParam());
+  }
+  return CS;
+}
+
+std::vector<BenchmarkSpec> ag::paperSuites(double Scale) {
+  // Function counts are tuned so the generated reduced-constraint counts
+  // sit roughly at paper_counts/8 at Scale=1, preserving the suite-to-
+  // suite proportions of Table 2. Wine gets a larger AddressFan: the paper
+  // highlights its order-of-magnitude larger final graph and average
+  // points-to set size as the reason it solves far slower than Linux.
+  auto scaled = [&](uint32_t N) {
+    return std::max<uint32_t>(2, static_cast<uint32_t>(N * Scale));
+  };
+  std::vector<BenchmarkSpec> Suites;
+
+  BenchmarkSpec Emacs;
+  Emacs.Name = "emacs";
+  Emacs.Seed = 101;
+  Emacs.NumFunctions = scaled(110);
+  Emacs.NumGlobals = scaled(260);
+  Emacs.IndirectCallFraction = 0.06;
+  Emacs.AddressFan = 0.35;
+  Suites.push_back(Emacs);
+
+  BenchmarkSpec Ghostscript;
+  Ghostscript.Name = "ghostscript";
+  Ghostscript.Seed = 102;
+  Ghostscript.NumFunctions = scaled(330);
+  Ghostscript.NumGlobals = scaled(700);
+  Ghostscript.IndirectCallFraction = 0.12;
+  Ghostscript.LoadStorePerVar = 1.1;
+  Ghostscript.AddressFan = 0.45;
+  Suites.push_back(Ghostscript);
+
+  BenchmarkSpec Gimp;
+  Gimp.Name = "gimp";
+  Gimp.Seed = 103;
+  Gimp.NumFunctions = scaled(470);
+  Gimp.NumGlobals = scaled(900);
+  Gimp.IndirectCallFraction = 0.1;
+  Gimp.LoadStorePerVar = 1.0;
+  Gimp.AddressFan = 0.5;
+  Suites.push_back(Gimp);
+
+  BenchmarkSpec Insight;
+  Insight.Name = "insight";
+  Insight.Seed = 104;
+  Insight.NumFunctions = scaled(420);
+  Insight.NumGlobals = scaled(800);
+  Insight.IndirectCallFraction = 0.11;
+  Insight.LoadStorePerVar = 1.1;
+  Insight.AddressFan = 0.55;
+  Suites.push_back(Insight);
+
+  BenchmarkSpec Wine;
+  Wine.Name = "wine";
+  Wine.Seed = 105;
+  Wine.NumFunctions = scaled(800);
+  Wine.NumGlobals = scaled(1500);
+  Wine.IndirectCallFraction = 0.12;
+  Wine.LoadStorePerVar = 1.0;
+  Wine.AddressFan = 1.6; // The big-points-to-sets benchmark.
+  Wine.TargetPoolWidth = 48;
+  Wine.TargetPoolsPerFunction = 5;
+  Wine.CycleFraction = 0.09;
+  Suites.push_back(Wine);
+
+  BenchmarkSpec Linux;
+  Linux.Name = "linux";
+  Linux.Seed = 106;
+  Linux.NumFunctions = scaled(1000);
+  Linux.NumGlobals = scaled(1800);
+  Linux.IndirectCallFraction = 0.14;
+  Linux.LoadStorePerVar = 1.2;
+  Linux.AddressFan = 0.45;
+  Linux.CycleFraction = 0.08;
+  Suites.push_back(Linux);
+
+  return Suites;
+}

@@ -1,0 +1,122 @@
+//===- BddDomainTest.cpp - Tests for finite-domain BDD encoding -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/BddDomain.h"
+
+#include "adt/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ag;
+
+namespace {
+
+TEST(BddDomains, LevelsInterleave) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {256, 256, 256});
+  // 8 bits each, three domains: bit j of domain d at level 3j + d.
+  for (unsigned D = 0; D != 3; ++D) {
+    const std::vector<uint32_t> &L = Doms.levels(D);
+    ASSERT_EQ(L.size(), 8u);
+    for (uint32_t J = 0; J != 8; ++J)
+      EXPECT_EQ(L[J], J * 3 + D);
+  }
+  EXPECT_EQ(Mgr.numVars(), 24u);
+}
+
+TEST(BddDomains, DifferentSizesShareBitPitch) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {1000, 4});
+  EXPECT_EQ(Doms.levels(0).size(), 10u);
+  EXPECT_EQ(Doms.levels(1).size(), 2u);
+  EXPECT_EQ(Doms.size(0), 1000u);
+}
+
+TEST(BddDomains, ElementEncodeDecodeRoundTrip) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {300});
+  for (uint64_t V : {0ull, 1ull, 2ull, 127ull, 128ull, 255ull, 299ull}) {
+    Bdd E = Doms.element(0, V);
+    std::vector<uint64_t> Elems;
+    Doms.forEachElement(E, 0, [&](uint64_t X) { Elems.push_back(X); });
+    ASSERT_EQ(Elems.size(), 1u) << V;
+    EXPECT_EQ(Elems[0], V);
+    EXPECT_EQ(Doms.countElements(E, 0), 1u);
+  }
+}
+
+TEST(BddDomains, SetSemantics) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {64});
+  Rng R(9);
+  Bdd Set = Mgr.falseBdd();
+  std::set<uint64_t> Oracle;
+  for (int I = 0; I != 40; ++I) {
+    uint64_t V = R.nextBelow(64);
+    Set = Mgr.bddOr(Set, Doms.element(0, V));
+    Oracle.insert(V);
+  }
+  EXPECT_EQ(Doms.countElements(Set, 0), Oracle.size());
+  std::set<uint64_t> Seen;
+  Doms.forEachElement(Set, 0, [&](uint64_t X) { Seen.insert(X); });
+  EXPECT_EQ(Seen, Oracle);
+}
+
+TEST(BddDomains, PairsAndRelations) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {16, 16});
+  Bdd Rel = Mgr.falseBdd();
+  std::set<std::pair<uint64_t, uint64_t>> Oracle;
+  Rng R(21);
+  for (int I = 0; I != 25; ++I) {
+    uint64_t A = R.nextBelow(16), B = R.nextBelow(16);
+    Rel = Mgr.bddOr(Rel, Mgr.bddAnd(Doms.element(0, A),
+                                    Doms.element(1, B)));
+    Oracle.emplace(A, B);
+  }
+  EXPECT_EQ(Doms.countPairs(Rel, 0, 1), Oracle.size());
+  std::set<std::pair<uint64_t, uint64_t>> Seen;
+  Doms.forEachPair(Rel, 0, 1, [&](uint64_t A, uint64_t B) {
+    Seen.emplace(A, B);
+  });
+  EXPECT_EQ(Seen, Oracle);
+}
+
+TEST(BddDomains, PairingRenamesDomains) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {32, 32});
+  Bdd E0 = Doms.element(0, 13);
+  Bdd E1 = Doms.element(1, 13);
+  Bdd Renamed = Mgr.replace(E0, Doms.pairing(0, 1));
+  EXPECT_EQ(Renamed.ref(), E1.ref());
+}
+
+TEST(BddDomains, QuantifyOneDomainOfARelation) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {8, 8});
+  // Rel = {(1,5), (2,5), (2,6)}; exist domain 0 -> {5, 6}.
+  Bdd Rel = Mgr.falseBdd();
+  for (auto [A, B] : {std::pair{1, 5}, {2, 5}, {2, 6}})
+    Rel = Mgr.bddOr(Rel, Mgr.bddAnd(Doms.element(0, A),
+                                    Doms.element(1, B)));
+  Bdd Proj = Mgr.exist(Rel, Doms.varSet(0));
+  std::set<uint64_t> Seen;
+  Doms.forEachElement(Proj, 1, [&](uint64_t X) { Seen.insert(X); });
+  EXPECT_EQ(Seen, (std::set<uint64_t>{5, 6}));
+}
+
+TEST(BddDomains, RangeConstraint) {
+  BddManager Mgr(1024);
+  BddDomains Doms(Mgr, {10}); // 4 bits encode 0..15; only 0..9 valid.
+  Bdd Range = Doms.rangeConstraint(0);
+  EXPECT_EQ(Doms.countElements(Range, 0), 10u);
+  for (uint64_t V = 0; V != 10; ++V)
+    EXPECT_FALSE(Mgr.bddAnd(Range, Doms.element(0, V)).isFalse()) << V;
+}
+
+} // namespace

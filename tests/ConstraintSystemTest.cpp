@@ -1,0 +1,165 @@
+//===- ConstraintSystemTest.cpp - Tests for the constraint container ------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "constraints/ConstraintSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+TEST(ConstraintSystem, AddNodeAssignsDenseIds) {
+  ConstraintSystem CS;
+  EXPECT_EQ(CS.addNode("a"), 0u);
+  EXPECT_EQ(CS.addNode("b"), 1u);
+  EXPECT_EQ(CS.numNodes(), 2u);
+  EXPECT_EQ(CS.nameOf(0), "a");
+  EXPECT_EQ(CS.sizeOf(0), 1u);
+}
+
+TEST(ConstraintSystem, SizedNodesReserveInteriorSlots) {
+  ConstraintSystem CS;
+  NodeId S = CS.addNode("struct", 3);
+  NodeId Next = CS.addNode("after");
+  EXPECT_EQ(S, 0u);
+  EXPECT_EQ(Next, 3u) << "interior slots occupy ids";
+  EXPECT_EQ(CS.sizeOf(S), 3u);
+  EXPECT_EQ(CS.sizeOf(S + 1), 1u);
+  EXPECT_EQ(CS.offsetTarget(S, 0), S);
+  EXPECT_EQ(CS.offsetTarget(S, 2), S + 2);
+  EXPECT_EQ(CS.offsetTarget(S, 3), InvalidNode);
+  EXPECT_EQ(CS.offsetTarget(Next, 1), InvalidNode);
+}
+
+TEST(ConstraintSystem, FunctionLayout) {
+  ConstraintSystem CS;
+  NodeId F = CS.addFunction("f", 2);
+  EXPECT_TRUE(CS.isFunction(F));
+  EXPECT_EQ(CS.sizeOf(F), 4u) << "fun + ret + 2 params";
+  EXPECT_EQ(CS.nameOf(F + ConstraintSystem::FunctionReturnOffset), "f.ret");
+  EXPECT_EQ(CS.nameOf(F + ConstraintSystem::FunctionParamOffset), "f.arg0");
+  EXPECT_EQ(CS.nameOf(F + ConstraintSystem::FunctionParamOffset + 1),
+            "f.arg1");
+}
+
+TEST(ConstraintSystem, DeduplicatesConstraints) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode("a"), B = CS.addNode("b");
+  CS.addCopy(A, B);
+  CS.addCopy(A, B);
+  CS.addAddressOf(A, B);
+  CS.addAddressOf(A, B);
+  CS.addLoad(A, B, 1);
+  CS.addLoad(A, B, 1);
+  CS.addLoad(A, B, 2); // Different offset: kept.
+  EXPECT_EQ(CS.constraints().size(), 4u);
+}
+
+TEST(ConstraintSystem, DropsSelfCopies) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode("a");
+  CS.addCopy(A, A);
+  EXPECT_TRUE(CS.constraints().empty());
+}
+
+TEST(ConstraintSystem, CountKind) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode(), B = CS.addNode();
+  CS.addAddressOf(A, B);
+  CS.addCopy(A, B);
+  CS.addCopy(B, A);
+  CS.addStore(A, B);
+  EXPECT_EQ(CS.countKind(ConstraintKind::AddressOf), 1u);
+  EXPECT_EQ(CS.countKind(ConstraintKind::Copy), 2u);
+  EXPECT_EQ(CS.countKind(ConstraintKind::Load), 0u);
+  EXPECT_EQ(CS.countKind(ConstraintKind::Store), 1u);
+}
+
+TEST(ConstraintSystem, SerializeParseRoundTrip) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode("alpha");
+  NodeId F = CS.addFunction("fun", 1);
+  NodeId O = CS.addNode("obj", 2);
+  CS.addAddressOf(A, O);
+  CS.addCopy(A, F);
+  CS.addLoad(A, F, ConstraintSystem::FunctionReturnOffset);
+  CS.addStore(F, A, ConstraintSystem::FunctionParamOffset);
+
+  std::string Text = CS.serialize();
+  ConstraintSystem Parsed;
+  std::string Error;
+  ASSERT_TRUE(ConstraintSystem::parse(Text, Parsed, Error)) << Error;
+
+  EXPECT_EQ(Parsed.numNodes(), CS.numNodes());
+  EXPECT_EQ(Parsed.nameOf(A), "alpha");
+  EXPECT_TRUE(Parsed.isFunction(F));
+  EXPECT_EQ(Parsed.sizeOf(O), 2u);
+  ASSERT_EQ(Parsed.constraints().size(), CS.constraints().size());
+  for (size_t I = 0; I != CS.constraints().size(); ++I)
+    EXPECT_TRUE(Parsed.constraints()[I] == CS.constraints()[I]) << I;
+  // Round-trip is a fixpoint.
+  EXPECT_EQ(Parsed.serialize(), Text);
+}
+
+TEST(ConstraintSystem, ParseRejectsMalformedInput) {
+  ConstraintSystem Out;
+  std::string Error;
+  EXPECT_FALSE(ConstraintSystem::parse("node 0", Out, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+
+  ConstraintSystem Out2;
+  EXPECT_FALSE(ConstraintSystem::parse("node 5 1 gap", Out2, Error))
+      << "sparse ids must be rejected";
+
+  ConstraintSystem Out3;
+  EXPECT_FALSE(ConstraintSystem::parse("node 0 1 a\ncopy 0 7", Out3, Error))
+      << "dangling node reference must be rejected";
+
+  ConstraintSystem Out4;
+  EXPECT_FALSE(
+      ConstraintSystem::parse("node 0 1 a\nfrobnicate 0 0", Out4, Error));
+}
+
+TEST(ConstraintSystem, ParseToleratesCommentsAndBlanks) {
+  ConstraintSystem Out;
+  std::string Error;
+  ASSERT_TRUE(ConstraintSystem::parse(
+      "# header\n\nnode 0 1 a\nnode 1 1 b\n# mid\ncopy 0 1\n", Out, Error))
+      << Error;
+  EXPECT_EQ(Out.numNodes(), 2u);
+  EXPECT_EQ(Out.constraints().size(), 1u);
+}
+
+TEST(ConstraintSystem, FileRoundTrip) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode("a"), B = CS.addNode("b");
+  CS.addAddressOf(A, B);
+  std::string Path = testing::TempDir() + "/ag_cs_roundtrip.txt";
+  ASSERT_TRUE(CS.writeToFile(Path));
+  ConstraintSystem Back;
+  std::string Error;
+  ASSERT_TRUE(ConstraintSystem::readFromFile(Path, Back, Error)) << Error;
+  EXPECT_EQ(Back.serialize(), CS.serialize());
+
+  ConstraintSystem Missing;
+  EXPECT_FALSE(ConstraintSystem::readFromFile("/nonexistent/zz", Missing,
+                                              Error));
+}
+
+TEST(ConstraintSystem, CloneNodeTable) {
+  ConstraintSystem CS;
+  CS.addNode("a");
+  NodeId F = CS.addFunction("f", 1);
+  CS.addCopy(F, 0);
+  ConstraintSystem Clone = CS.cloneNodeTable();
+  EXPECT_EQ(Clone.numNodes(), CS.numNodes());
+  EXPECT_TRUE(Clone.isFunction(F));
+  EXPECT_EQ(Clone.nameOf(0), "a");
+  EXPECT_TRUE(Clone.constraints().empty());
+}
+
+} // namespace

@@ -1,0 +1,458 @@
+//===- FrontendTest.cpp - Mini-C frontend tests ---------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ConstraintGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include "solvers/Solve.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<Token> lexOk(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<Token> Tokens;
+  EXPECT_TRUE(L.lexAll(Tokens)) << L.error();
+  return Tokens;
+}
+
+TEST(Lexer, BasicTokens) {
+  std::vector<Token> T = lexOk("int *p = &x;");
+  ASSERT_EQ(T.size(), 8u); // incl. Eof.
+  EXPECT_TRUE(T[0].is(TokenKind::KwInt));
+  EXPECT_TRUE(T[1].is(TokenKind::Star));
+  EXPECT_TRUE(T[2].is(TokenKind::Identifier));
+  EXPECT_EQ(T[2].Text, "p");
+  EXPECT_TRUE(T[3].is(TokenKind::Assign));
+  EXPECT_TRUE(T[4].is(TokenKind::Amp));
+  EXPECT_TRUE(T[5].is(TokenKind::Identifier));
+  EXPECT_TRUE(T[6].is(TokenKind::Semicolon));
+  EXPECT_TRUE(T[7].is(TokenKind::Eof));
+}
+
+TEST(Lexer, CommentsAndPreprocessorLines) {
+  std::vector<Token> T = lexOk(
+      "#include <stdio.h>\n// line comment\n/* block\ncomment */int x;");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T[0].is(TokenKind::KwInt));
+}
+
+TEST(Lexer, MultiCharOperators) {
+  std::vector<Token> T =
+      lexOk("a -> b == c != d && e || f <= g >= h ++ --");
+  std::vector<TokenKind> Kinds;
+  for (const Token &Tok : T)
+    if (!Tok.is(TokenKind::Identifier))
+      Kinds.push_back(Tok.Kind);
+  EXPECT_EQ(Kinds,
+            (std::vector<TokenKind>{
+                TokenKind::Arrow, TokenKind::EqEq, TokenKind::NotEq,
+                TokenKind::AmpAmp, TokenKind::PipePipe, TokenKind::LessEq,
+                TokenKind::GreaterEq, TokenKind::PlusPlus,
+                TokenKind::MinusMinus, TokenKind::Eof}));
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  std::vector<Token> T = lexOk("int\nx\n;\n");
+  EXPECT_EQ(T[0].Line, 1u);
+  EXPECT_EQ(T[1].Line, 2u);
+  EXPECT_EQ(T[2].Line, 3u);
+}
+
+TEST(Lexer, RejectsUnterminatedLiterals) {
+  Lexer L("char *s = \"oops");
+  std::vector<Token> Tokens;
+  EXPECT_FALSE(L.lexAll(Tokens));
+  EXPECT_NE(L.error().find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, StringsAndChars) {
+  std::vector<Token> T = lexOk("\"hello \\\" quoted\" 'c'");
+  ASSERT_GE(T.size(), 2u);
+  EXPECT_TRUE(T[0].is(TokenKind::String));
+  EXPECT_TRUE(T[1].is(TokenKind::String));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TranslationUnit parseOk(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<Token> Tokens;
+  EXPECT_TRUE(L.lexAll(Tokens)) << L.error();
+  Parser P(std::move(Tokens));
+  TranslationUnit TU;
+  EXPECT_TRUE(P.parseUnit(TU)) << P.error();
+  return TU;
+}
+
+std::string parseError(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<Token> Tokens;
+  if (!L.lexAll(Tokens))
+    return L.error();
+  Parser P(std::move(Tokens));
+  TranslationUnit TU;
+  EXPECT_FALSE(P.parseUnit(TU)) << "expected a parse failure";
+  return P.error();
+}
+
+TEST(Parser, GlobalsAndPointerDepth) {
+  TranslationUnit TU = parseOk("int x; int *p, **pp; char buf[16];");
+  ASSERT_EQ(TU.Globals.size(), 4u);
+  EXPECT_EQ(TU.Globals[0].PointerDepth, 0u);
+  EXPECT_EQ(TU.Globals[1].PointerDepth, 1u);
+  EXPECT_EQ(TU.Globals[2].PointerDepth, 2u);
+  EXPECT_TRUE(TU.Globals[3].IsArray);
+}
+
+TEST(Parser, FunctionsAndParams) {
+  TranslationUnit TU =
+      parseOk("int *f(int *a, char **b) { return a; }\nvoid g(void);");
+  ASSERT_EQ(TU.Functions.size(), 2u);
+  EXPECT_EQ(TU.Functions[0].Name, "f");
+  ASSERT_EQ(TU.Functions[0].Params.size(), 2u);
+  EXPECT_EQ(TU.Functions[0].Params[1].PointerDepth, 2u);
+  EXPECT_NE(TU.Functions[0].Body, nullptr);
+  EXPECT_EQ(TU.Functions[1].Body, nullptr) << "prototype has no body";
+  EXPECT_TRUE(TU.Functions[1].Params.empty());
+}
+
+TEST(Parser, StructDefinitionSkipsFields) {
+  TranslationUnit TU = parseOk(
+      "struct list { struct list *next; int v; };\nstruct list head;");
+  ASSERT_EQ(TU.Globals.size(), 1u);
+  EXPECT_EQ(TU.Globals[0].Name, "head");
+}
+
+TEST(Parser, ControlFlowStatements) {
+  TranslationUnit TU = parseOk(
+      "void f(int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) { if (i == 2) i = 3; else i = 4; }\n"
+      "  while (n) n = n - 1;\n"
+      "  return;\n"
+      "}\n");
+  ASSERT_EQ(TU.Functions.size(), 1u);
+  const Stmt &Body = *TU.Functions[0].Body;
+  ASSERT_EQ(Body.Stmts.size(), 4u);
+  EXPECT_EQ(Body.Stmts[1]->Kind, StmtKind::For);
+  EXPECT_EQ(Body.Stmts[2]->Kind, StmtKind::While);
+  EXPECT_EQ(Body.Stmts[3]->Kind, StmtKind::Return);
+}
+
+TEST(Parser, ExpressionShapes) {
+  TranslationUnit TU = parseOk(
+      "void f(int **pp, int *p, int x) {\n"
+      "  p = *pp;\n"
+      "  *pp = p;\n"
+      "  p = &x;\n"
+      "  x = p ? x : *p;\n"
+      "  p = (int *)pp;\n"
+      "  x = p->v;\n"
+      "  x = p[2];\n"
+      "}\n");
+  ASSERT_EQ(TU.Functions.size(), 1u);
+  EXPECT_EQ(TU.Functions[0].Body->Stmts.size(), 7u);
+}
+
+TEST(Parser, CallsParseAsPostfix) {
+  TranslationUnit TU = parseOk(
+      "int g(int x);\n"
+      "int h; // function pointers are plain vars in the subset\n"
+      "void f() { g(1); h(2, 3); }\n");
+  ASSERT_EQ(TU.Functions.size(), 2u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  std::string E = parseError("int x;\nint f( {\n");
+  EXPECT_NE(E.find("line 2"), std::string::npos) << E;
+}
+
+TEST(Parser, RejectsGarbage) {
+  EXPECT_FALSE(parseError("int x = ;").empty());
+  EXPECT_FALSE(parseError("void f() { return 1 }").empty());
+  EXPECT_FALSE(parseError("void f() { x = ( ; }").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint generation
+//===----------------------------------------------------------------------===//
+
+GeneratedConstraints genOk(const std::string &Src) {
+  GeneratedConstraints Out;
+  std::string Error;
+  EXPECT_TRUE(generateConstraintsFromSource(Src, Out, Error)) << Error;
+  return Out;
+}
+
+PointsToSolution solveSource(const std::string &Src,
+                             GeneratedConstraints &Gen) {
+  Gen = genOk(Src);
+  return solve(Gen.CS, SolverKind::LCDHCD);
+}
+
+TEST(ConstraintGen, AddressAndCopy) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x; int *p; int *q;\n"
+      "void main() { p = &x; q = p; }\n",
+      G);
+  NodeId P = G.Variables.at("p"), Q = G.Variables.at("q"),
+         X = G.Variables.at("x");
+  EXPECT_TRUE(S.pointsToObj(P, X));
+  EXPECT_TRUE(S.pointsToObj(Q, X));
+}
+
+TEST(ConstraintGen, LoadsAndStores) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x; int *p; int **pp; int *q;\n"
+      "void main() { p = &x; pp = &p; q = *pp; *pp = q; }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("q"), G.Variables.at("x")));
+  EXPECT_TRUE(
+      S.pointsToObj(G.Variables.at("pp"), G.Variables.at("p")));
+}
+
+TEST(ConstraintGen, FieldInsensitivity) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "struct S { int *a; int *b; };\n"
+      "struct S s; int x; int *out;\n"
+      "void main() { s.a = &x; out = s.b; }\n",
+      G);
+  // Field-insensitive: s.a and s.b are both just s.
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("out"), G.Variables.at("x")));
+}
+
+TEST(ConstraintGen, ArrowIsDeref) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "struct S { int *f; };\n"
+      "struct S s; struct S *ps; int x; int *out;\n"
+      "void main() { ps = &s; ps->f = &x; out = ps->f; }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("out"), G.Variables.at("x")));
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("s"), G.Variables.at("x")))
+      << "the store lands in s itself (field-insensitive)";
+}
+
+TEST(ConstraintGen, DirectCallsFlowThroughParams) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int *id(int *a) { return a; }\n"
+      "int x; int *r;\n"
+      "void main() { r = id(&x); }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("r"), G.Variables.at("x")));
+}
+
+TEST(ConstraintGen, IndirectCallsResolveMultipleTargets) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x; int y;\n"
+      "int *fx(int *a) { return a; }\n"
+      "int *fy(int *a) { return &y; }\n"
+      "int *fp; int *r;\n"
+      "void main(int pick) {\n"
+      "  if (pick) fp = fx; else fp = fy;\n"
+      "  r = fp(&x);\n"
+      "}\n",
+      G);
+  NodeId R = G.Variables.at("r");
+  EXPECT_TRUE(S.pointsToObj(R, G.Variables.at("x"))) << "via fx";
+  EXPECT_TRUE(S.pointsToObj(R, G.Variables.at("y"))) << "via fy";
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("fp"), G.Functions.at("fx")));
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("fp"), G.Functions.at("fy")));
+}
+
+TEST(ConstraintGen, FunctionPointerViaVariable) {
+  // The subset models function pointers as plain variables assigned a
+  // function name; calls through them are indirect.
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x;\n"
+      "int *get(int *a) { return a; }\n"
+      "int *fp; int *r;\n"
+      "void main() { fp = get; r = fp(&x); }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("fp"), G.Functions.at("get")));
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("r"), G.Variables.at("x")));
+}
+
+TEST(ConstraintGen, MallocMakesPerSiteHeapObjects) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int *a; int *b;\n"
+      "void main() {\n"
+      "  a = malloc(4);\n"
+      "  b = malloc(4);\n"
+      "}\n",
+      G);
+  NodeId A = G.Variables.at("a"), B = G.Variables.at("b");
+  EXPECT_EQ(S.pointsTo(A).count(), 1u);
+  EXPECT_EQ(S.pointsTo(B).count(), 1u);
+  EXPECT_FALSE(S.mayAlias(A, B))
+      << "distinct malloc sites are distinct objects";
+  EXPECT_EQ(G.HeapObjects.size(), 2u);
+}
+
+TEST(ConstraintGen, MemcpySummaryTransfersPointees) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x; int *p; int *q; int **sp; int **dp;\n"
+      "void main() { p = &x; sp = &p; dp = &q; memcpy(dp, sp, 8); }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("q"), G.Variables.at("x")))
+      << "memcpy must move *src pointers into *dst";
+}
+
+TEST(ConstraintGen, UnknownExternIsConservative) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x; int *p; int *r;\n"
+      "void main() { p = &x; r = mystery(p); }\n",
+      G);
+  // The blob summary must at least let the argument flow back out.
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("r"), G.Variables.at("x")));
+}
+
+TEST(ConstraintGen, ArraysDecayToAddresses) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int buf[8]; int *p;\n"
+      "void main() { p = buf; }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("p"), G.Variables.at("buf")));
+}
+
+TEST(ConstraintGen, StringLiteralsAreObjects) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "char *s; char *t;\n"
+      "void main() { s = \"alpha\"; t = \"beta\"; }\n",
+      G);
+  EXPECT_EQ(S.pointsTo(G.Variables.at("s")).count(), 1u);
+  EXPECT_FALSE(S.mayAlias(G.Variables.at("s"), G.Variables.at("t")));
+}
+
+TEST(ConstraintGen, ScopingAndShadowing) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int g; int *p;\n"
+      "void main() {\n"
+      "  int x;\n"
+      "  { int *p2; p2 = &x; p = p2; }\n"
+      "  p = &g;\n"
+      "}\n",
+      G);
+  NodeId P = G.Variables.at("p");
+  EXPECT_TRUE(S.pointsToObj(P, G.Variables.at("g")));
+  EXPECT_TRUE(S.pointsToObj(P, G.Variables.at("main::x")));
+}
+
+TEST(ConstraintGen, UndeclaredIdentifierIsAnError) {
+  GeneratedConstraints Out;
+  std::string Error;
+  EXPECT_FALSE(generateConstraintsFromSource(
+      "void main() { ghost = 1; }", Out, Error));
+  EXPECT_NE(Error.find("undeclared"), std::string::npos) << Error;
+}
+
+TEST(ConstraintGen, UnassignableLhsIsAnError) {
+  GeneratedConstraints Out;
+  std::string Error;
+  EXPECT_FALSE(generateConstraintsFromSource(
+      "void f(int a, int b) { (a + b) = 3; }", Out, Error));
+  EXPECT_NE(Error.find("not assignable"), std::string::npos) << Error;
+}
+
+TEST(ConstraintGen, TernaryMergesBothArms) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int x; int y; int *p;\n"
+      "void main(int c) { p = c ? &x : &y; }\n",
+      G);
+  NodeId P = G.Variables.at("p");
+  EXPECT_TRUE(S.pointsToObj(P, G.Variables.at("x")));
+  EXPECT_TRUE(S.pointsToObj(P, G.Variables.at("y")));
+}
+
+TEST(ConstraintGen, PointerArithmeticPreservesTargets) {
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "int buf[8]; int *p; int *q;\n"
+      "void main() { p = buf; q = p + 3; }\n",
+      G);
+  EXPECT_TRUE(S.pointsToObj(G.Variables.at("q"), G.Variables.at("buf")));
+}
+
+TEST(ConstraintGen, RecursiveListProgram) {
+  // A linked-list builder: classic pointer-analysis smoke test.
+  GeneratedConstraints G;
+  PointsToSolution S = solveSource(
+      "struct node { struct node *next; };\n"
+      "struct node *head;\n"
+      "void push() {\n"
+      "  struct node *n;\n"
+      "  n = malloc(8);\n"
+      "  n->next = head;\n"
+      "  head = n;\n"
+      "}\n"
+      "struct node *pop() {\n"
+      "  struct node *n;\n"
+      "  n = head;\n"
+      "  head = n->next;\n"
+      "  return n;\n"
+      "}\n",
+      G);
+  NodeId Head = G.Variables.at("head");
+  ASSERT_EQ(G.HeapObjects.size(), 1u);
+  NodeId Heap = G.HeapObjects.begin()->second;
+  EXPECT_TRUE(S.pointsToObj(Head, Heap));
+  // The heap node's next field (the heap node itself, field-insensitively)
+  // may point back to another list cell.
+  EXPECT_TRUE(S.pointsToObj(Heap, Heap));
+}
+
+TEST(ConstraintGen, AllSolversAgreeOnRealProgram) {
+  GeneratedConstraints G = genOk(
+      "struct node { struct node *next; int *data; };\n"
+      "struct node *head; int g1; int g2;\n"
+      "int *pick(int *a, int *b) { return a ? a : b; }\n"
+      "void build() {\n"
+      "  struct node *n;\n"
+      "  int i;\n"
+      "  for (i = 0; i < 10; i++) {\n"
+      "    n = malloc(16);\n"
+      "    n->data = pick(&g1, &g2);\n"
+      "    n->next = head;\n"
+      "    head = n;\n"
+      "  }\n"
+      "}\n"
+      "int *sum() {\n"
+      "  struct node *n; int *acc;\n"
+      "  acc = NULL;\n"
+      "  for (n = head; n; n = n->next)\n"
+      "    acc = n->data;\n"
+      "  return acc;\n"
+      "}\n");
+  PointsToSolution Oracle = solve(G.CS, SolverKind::Naive);
+  for (SolverKind K : AllSolverKinds)
+    EXPECT_TRUE(solve(G.CS, K) == Oracle) << solverKindName(K);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- FuzzTest.cpp - Robustness fuzzing of the text interfaces -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized robustness tests: mutated constraint files and mini-C source
+/// must never crash the parsers — they either parse (and then solve
+/// without issue) or fail with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/Rng.h"
+#include "frontend/ConstraintGen.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+std::string mutate(std::string Text, Rng &R, int Edits) {
+  for (int I = 0; I != Edits && !Text.empty(); ++I) {
+    size_t Pos = R.nextBelow(Text.size());
+    switch (R.nextBelow(4)) {
+    case 0: // Flip a character.
+      Text[Pos] = static_cast<char>(32 + R.nextBelow(95));
+      break;
+    case 1: // Delete a span.
+      Text.erase(Pos, 1 + R.nextBelow(8));
+      break;
+    case 2: // Duplicate a span.
+      Text.insert(Pos, Text.substr(Pos, 1 + R.nextBelow(8)));
+      break;
+    case 3: // Insert digits (ids are numeric).
+      Text.insert(Pos, std::to_string(R.nextBelow(100000)));
+      break;
+    }
+  }
+  return Text;
+}
+
+class FuzzSeeds : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeeds, MutatedConstraintFilesNeverCrash) {
+  RandomSpec Spec;
+  Spec.Seed = GetParam();
+  Spec.NumVars = 20;
+  std::string Base = generateRandom(Spec).serialize();
+  Rng R(GetParam() * 37);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    std::string Text = mutate(Base, R, 1 + Trial % 6);
+    ConstraintSystem CS;
+    std::string Error;
+    if (ConstraintSystem::parse(Text, CS, Error)) {
+      // Anything that parses must solve cleanly.
+      PointsToSolution S = solve(CS, SolverKind::LCDHCD);
+      (void)S;
+    } else {
+      EXPECT_FALSE(Error.empty()) << "failures must carry a diagnostic";
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedMiniCNeverCrashes) {
+  const char *Base = R"(
+struct s { struct s *next; int *p; };
+struct s *head; int g;
+int *grab(int *a) { return a ? a : &g; }
+void main() {
+  struct s *n;
+  n = malloc(16);
+  n->p = grab(&g);
+  n->next = head;
+  head = n;
+}
+)";
+  Rng R(GetParam() * 41 + 1);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    std::string Text = mutate(Base, R, 1 + Trial % 8);
+    GeneratedConstraints Out;
+    std::string Error;
+    if (generateConstraintsFromSource(Text, Out, Error)) {
+      PointsToSolution S = solve(Out.CS, SolverKind::LCDHCD);
+      (void)S;
+    } else {
+      EXPECT_FALSE(Error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, testing::Range<uint64_t>(1, 9));
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- IntegrationTest.cpp - Whole-pipeline end-to-end tests --------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end runs of the full pipeline — mini-C source, constraint
+/// generation, serialization round trip, OVS, HCD offline, every solver —
+/// on a realistic multi-function program, checking both concrete facts and
+/// cross-solver agreement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "constraints/OfflineVariableSubstitution.h"
+#include "frontend/ConstraintGen.h"
+#include "solvers/Solve.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+const char *EventLoopProgram = R"(
+// An event-loop program: registry of handlers, queue of events carrying
+// payloads, a dispatcher that calls through function pointers.
+struct event { struct event *next; int *payload; int kind; };
+struct handler { int *state; };
+
+struct event *queue_head;
+struct handler read_handler;
+struct handler write_handler;
+int read_state;
+int write_state;
+int shared_buffer;
+
+int *handlers[8];
+
+int *on_read(int *payload) {
+  read_handler.state = payload;
+  return payload;
+}
+
+int *on_write(int *payload) {
+  write_handler.state = &shared_buffer;
+  return &write_state;
+}
+
+void register_handlers() {
+  handlers[0] = on_read;
+  handlers[1] = on_write;
+  read_handler.state = &read_state;
+}
+
+void enqueue(int *payload, int kind) {
+  struct event *e;
+  e = malloc(24);
+  e->payload = payload;
+  e->kind = kind;
+  e->next = queue_head;
+  queue_head = e;
+}
+
+int *dispatch_one() {
+  struct event *e;
+  int *h;
+  int *result;
+  e = queue_head;
+  if (!e)
+    return NULL;
+  queue_head = e->next;
+  h = handlers[e->kind];
+  result = h(e->payload);
+  return result;
+}
+
+void main_loop() {
+  int *r;
+  enqueue(&shared_buffer, 0);
+  enqueue(&write_state, 1);
+  while (queue_head) {
+    r = dispatch_one();
+  }
+}
+)";
+
+class Pipeline : public testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Gen = new GeneratedConstraints();
+    std::string Error;
+    ASSERT_TRUE(
+        generateConstraintsFromSource(EventLoopProgram, *Gen, Error))
+        << Error;
+    Oracle = new PointsToSolution(solve(Gen->CS, SolverKind::Naive));
+  }
+  static void TearDownTestSuite() {
+    delete Gen;
+    delete Oracle;
+    Gen = nullptr;
+    Oracle = nullptr;
+  }
+
+  static GeneratedConstraints *Gen;
+  static PointsToSolution *Oracle;
+};
+
+GeneratedConstraints *Pipeline::Gen = nullptr;
+PointsToSolution *Pipeline::Oracle = nullptr;
+
+TEST_F(Pipeline, ProgramFactsHold) {
+  const PointsToSolution &S = *Oracle;
+  NodeId Queue = Gen->Variables.at("queue_head");
+  ASSERT_EQ(Gen->HeapObjects.size(), 1u);
+  NodeId Event = Gen->HeapObjects.begin()->second;
+  EXPECT_TRUE(S.pointsToObj(Queue, Event)) << "queue holds heap events";
+
+  // The handler table resolves to both handlers.
+  NodeId Handlers = Gen->Variables.at("handlers");
+  EXPECT_TRUE(S.pointsToObj(Handlers, Gen->Functions.at("on_read")));
+  EXPECT_TRUE(S.pointsToObj(Handlers, Gen->Functions.at("on_write")));
+
+  // The dispatch result can be any payload or handler return.
+  NodeId R = Gen->Variables.at("main_loop::r");
+  EXPECT_TRUE(S.pointsToObj(R, Gen->Variables.at("shared_buffer")));
+  EXPECT_TRUE(S.pointsToObj(R, Gen->Variables.at("write_state")));
+
+  // read_handler's state can be any enqueued payload (flow-insensitive).
+  NodeId ReadHandler = Gen->Variables.at("read_handler");
+  EXPECT_TRUE(S.pointsToObj(ReadHandler, Gen->Variables.at("read_state")));
+  EXPECT_TRUE(
+      S.pointsToObj(ReadHandler, Gen->Variables.at("shared_buffer")));
+}
+
+TEST_F(Pipeline, EverySolverAgreesOnTheProgram) {
+  for (SolverKind K : AllSolverKinds) {
+    EXPECT_TRUE(solve(Gen->CS, K, PtsRepr::Bitmap) == *Oracle)
+        << solverKindName(K) << "/bitmap";
+    if (K != SolverKind::BLQ && K != SolverKind::BLQHCD)
+      EXPECT_TRUE(solve(Gen->CS, K, PtsRepr::Bdd) == *Oracle)
+          << solverKindName(K) << "/bdd";
+  }
+}
+
+TEST_F(Pipeline, SerializationPreservesTheSolution) {
+  std::string Text = Gen->CS.serialize();
+  ConstraintSystem Back;
+  std::string Error;
+  ASSERT_TRUE(ConstraintSystem::parse(Text, Back, Error)) << Error;
+  EXPECT_TRUE(solve(Back, SolverKind::LCDHCD) == *Oracle);
+}
+
+TEST_F(Pipeline, OvsPlusHcdPipelineMatches) {
+  OvsResult Ovs = runOfflineVariableSubstitution(Gen->CS);
+  HcdResult Hcd = runHcdOffline(Ovs.Reduced);
+  SolverStats Stats;
+  PointsToSolution S =
+      solve(Ovs.Reduced, SolverKind::LCDHCD, PtsRepr::Bitmap, &Stats,
+            SolverOptions(), &Ovs.Rep, &Hcd);
+  EXPECT_TRUE(S == *Oracle);
+}
+
+TEST_F(Pipeline, SolutionIsSoundForDirectAssignments) {
+  // Every `a = &b` in the constraint system must be reflected.
+  for (const Constraint &C : Gen->CS.constraints())
+    if (C.Kind == ConstraintKind::AddressOf)
+      EXPECT_TRUE(Oracle->pointsToObj(C.Dst, C.Src));
+  // Every copy a = b implies pts(a) ⊇ pts(b).
+  for (const Constraint &C : Gen->CS.constraints())
+    if (C.Kind == ConstraintKind::Copy)
+      EXPECT_TRUE(Oracle->pointsTo(C.Dst).contains(Oracle->pointsTo(C.Src)))
+          << "copy " << C.Dst << " <- " << C.Src;
+}
+
+TEST_F(Pipeline, SolutionIsClosedUnderComplexConstraints) {
+  // Fixpoint check: loads/stores fully resolved (invariant of any sound
+  // and complete solver).
+  const ConstraintSystem &CS = Gen->CS;
+  for (const Constraint &C : CS.constraints()) {
+    if (C.Kind == ConstraintKind::Load) {
+      for (NodeId V : Oracle->pointsToVector(C.Src)) {
+        NodeId T = CS.offsetTarget(V, C.Offset);
+        if (T != InvalidNode)
+          EXPECT_TRUE(Oracle->pointsTo(C.Dst).contains(Oracle->pointsTo(T)))
+              << "unresolved load";
+      }
+    } else if (C.Kind == ConstraintKind::Store) {
+      for (NodeId V : Oracle->pointsToVector(C.Dst)) {
+        NodeId T = CS.offsetTarget(V, C.Offset);
+        if (T != InvalidNode)
+          EXPECT_TRUE(Oracle->pointsTo(T).contains(Oracle->pointsTo(C.Src)))
+              << "unresolved store";
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- Pkh03Test.cpp - Pearce 2003 solver tests ---------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Pkh03Solver.h"
+
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+template <typename Policy>
+PointsToSolution runPkh03(const ConstraintSystem &CS,
+                          SolverStats *StatsOut = nullptr) {
+  SolverStats Local;
+  Pkh03Solver<Policy> Solver(CS, StatsOut ? *StatsOut : Local);
+  return Solver.solve();
+}
+
+TEST(Pkh03, BasicLoadStore) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode("a"), B = CS.addNode("b"), P = CS.addNode("p"),
+         O = CS.addNode("o");
+  CS.addAddressOf(B, O);
+  CS.addAddressOf(P, B);
+  CS.addLoad(A, P);
+  PointsToSolution S = runPkh03<BitmapPtsPolicy>(CS);
+  EXPECT_EQ(S.pointsToVector(A), (std::vector<NodeId>{O}));
+}
+
+TEST(Pkh03, CollapsesOnlineCycles) {
+  // p = &a; *p = b; b = *p — the cycle forms only online.
+  ConstraintSystem CS;
+  NodeId P = CS.addNode("p"), A = CS.addNode("a"), B = CS.addNode("b"),
+         O = CS.addNode("o");
+  CS.addAddressOf(P, A);
+  CS.addStore(P, B);
+  CS.addLoad(B, P);
+  CS.addAddressOf(B, O);
+  SolverStats Stats;
+  PointsToSolution S = runPkh03<BitmapPtsPolicy>(CS, &Stats);
+  EXPECT_EQ(S.pointsToVector(A), (std::vector<NodeId>{O}));
+  EXPECT_EQ(S.pointsToVector(B), (std::vector<NodeId>{O}));
+  EXPECT_GT(Stats.NodesCollapsed, 0u) << "the online cycle must collapse";
+}
+
+TEST(Pkh03, InitialCyclesHandled) {
+  ConstraintSystem CS;
+  NodeId A = CS.addNode("a"), B = CS.addNode("b"), C = CS.addNode("c"),
+         O = CS.addNode("o");
+  CS.addCopy(B, A);
+  CS.addCopy(C, B);
+  CS.addCopy(A, C);
+  CS.addAddressOf(A, O);
+  PointsToSolution S = runPkh03<BitmapPtsPolicy>(CS);
+  for (NodeId V : {A, B, C})
+    EXPECT_EQ(S.pointsToVector(V), (std::vector<NodeId>{O}));
+}
+
+class Pkh03Property : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(Pkh03Property, MatchesOracleBothRepresentations) {
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 29 + 7;
+  Spec.NumLoads = 20;
+  Spec.NumStores = 20;
+  Spec.NumCycles = GetParam() % 5;
+  ConstraintSystem CS = generateRandom(Spec);
+  PointsToSolution Oracle = solve(CS, SolverKind::Naive);
+  EXPECT_TRUE(runPkh03<BitmapPtsPolicy>(CS) == Oracle) << "bitmap";
+  EXPECT_TRUE(runPkh03<BddPtsPolicy>(CS) == Oracle) << "bdd";
+}
+
+TEST_P(Pkh03Property, MatchesOracleOnProgramShapedWorkload) {
+  BenchmarkSpec Spec;
+  Spec.Seed = GetParam() * 31;
+  Spec.NumFunctions = 8;
+  Spec.VarsPerFunction = 8;
+  Spec.NumGlobals = 12;
+  ConstraintSystem CS = generateBenchmark(Spec);
+  PointsToSolution Oracle = solve(CS, SolverKind::Naive);
+  SolverStats Stats;
+  EXPECT_TRUE(runPkh03<BitmapPtsPolicy>(CS, &Stats) == Oracle);
+  // The hallmark of the 2003 algorithm: order maintenance triggers on
+  // violating insertions.
+  EXPECT_GT(Stats.CycleDetectAttempts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Pkh03Property,
+                         testing::Range<uint64_t>(1, 9));
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- PropertyTest.cpp - Analysis-level property tests -------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic properties of inclusion-based pointer analysis, checked over
+/// randomized systems: monotonicity under constraint addition, determinism,
+/// fixpoint closure, and cycle-collapse precision (invariant 2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "constraints/OfflineVariableSubstitution.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include "adt/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+class AnalysisProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnalysisProperty, MonotoneUnderConstraintAddition) {
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 3 + 1;
+  ConstraintSystem A = generateRandom(Spec);
+  ConstraintSystem B = A; // Copy, then add more constraints.
+  Rng R(GetParam() * 7 + 5);
+  for (int I = 0; I != 10; ++I) {
+    NodeId X = static_cast<NodeId>(R.nextBelow(B.numNodes()));
+    NodeId Y = static_cast<NodeId>(R.nextBelow(B.numNodes()));
+    switch (R.nextBelow(3)) {
+    case 0:
+      B.addAddressOf(X, Y);
+      break;
+    case 1:
+      B.addCopy(X, Y);
+      break;
+    case 2:
+      B.addLoad(X, Y);
+      break;
+    }
+  }
+  PointsToSolution SA = solve(A, SolverKind::LCDHCD);
+  PointsToSolution SB = solve(B, SolverKind::LCDHCD);
+  for (NodeId V = 0; V != A.numNodes(); ++V)
+    EXPECT_TRUE(SB.pointsTo(V).contains(SA.pointsTo(V)))
+        << "adding constraints shrank pts(" << V << ")";
+}
+
+TEST_P(AnalysisProperty, DeterministicAcrossRuns) {
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 11;
+  ConstraintSystem CS = generateRandom(Spec);
+  uint64_t H1 = solve(CS, SolverKind::LCDHCD).hash();
+  uint64_t H2 = solve(CS, SolverKind::LCDHCD).hash();
+  uint64_t H3 = solve(CS, SolverKind::HT).hash();
+  EXPECT_EQ(H1, H2);
+  EXPECT_EQ(H1, H3);
+}
+
+TEST_P(AnalysisProperty, SolutionIsAFixpoint) {
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 13 + 2;
+  ConstraintSystem CS = generateRandom(Spec);
+  PointsToSolution S = solve(CS, SolverKind::LCDHCD);
+  for (const Constraint &C : CS.constraints()) {
+    switch (C.Kind) {
+    case ConstraintKind::AddressOf:
+      EXPECT_TRUE(S.pointsToObj(C.Dst, C.Src));
+      break;
+    case ConstraintKind::Copy:
+      EXPECT_TRUE(S.pointsTo(C.Dst).contains(S.pointsTo(C.Src)));
+      break;
+    case ConstraintKind::Load:
+      for (NodeId V : S.pointsToVector(C.Src)) {
+        NodeId T = CS.offsetTarget(V, C.Offset);
+        if (T != InvalidNode)
+          EXPECT_TRUE(S.pointsTo(C.Dst).contains(S.pointsTo(T)));
+      }
+      break;
+    case ConstraintKind::Store:
+      for (NodeId V : S.pointsToVector(C.Dst)) {
+        NodeId T = CS.offsetTarget(V, C.Offset);
+        if (T != InvalidNode)
+          EXPECT_TRUE(S.pointsTo(T).contains(S.pointsTo(C.Src)));
+      }
+      break;
+    }
+  }
+}
+
+TEST_P(AnalysisProperty, HcdLazyTuplesAreConsistentAtFixpoint) {
+  // Invariant 4 (practical form): after solving with HCD, every collapse
+  // the lazy tuples caused kept the solution equal to the oracle — and
+  // for populated chains, pts(v) == pts(b) really holds.
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 17 + 3;
+  Spec.NumLoads = 25;
+  Spec.NumStores = 25;
+  ConstraintSystem CS = generateRandom(Spec);
+  HcdResult Hcd = runHcdOffline(CS);
+  PointsToSolution S = solve(CS, SolverKind::Naive);
+  PointsToSolution WithHcd = solve(CS, SolverKind::HCD);
+  EXPECT_TRUE(WithHcd == S);
+}
+
+TEST_P(AnalysisProperty, CollapsedCycleMembersShareSets) {
+  // Invariant 2: nodes one solver merged must have equal sets in the
+  // oracle too (collapse is precision-preserving).
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 19 + 4;
+  Spec.NumCycles = 5;
+  ConstraintSystem CS = generateRandom(Spec);
+  SolverStats Stats;
+  PointsToSolution Lcd = solve(CS, SolverKind::LCD, PtsRepr::Bitmap,
+                               &Stats);
+  PointsToSolution Oracle = solve(CS, SolverKind::Naive);
+  for (NodeId V = 0; V != CS.numNodes(); ++V) {
+    NodeId R = Lcd.repOf(V);
+    if (R == V)
+      continue;
+    EXPECT_TRUE(Oracle.pointsTo(V) == Oracle.pointsTo(R))
+        << "collapsed " << V << " with " << R
+        << " but their oracle sets differ";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisProperty,
+                         testing::Range<uint64_t>(1, 11));
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- PtsSetTest.cpp - Points-to set policy tests ------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed tests run against both points-to set policies: the two
+/// representations must behave identically as sets (invariant 5 of
+/// DESIGN.md), so every test here is representation-generic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PtsSet.h"
+
+#include "adt/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ag;
+
+namespace {
+
+template <typename Policy> class PtsSetTyped : public testing::Test {
+protected:
+  PtsSetTyped() : Ctx(4096) {}
+  typename Policy::Context Ctx;
+};
+
+using Policies = testing::Types<BitmapPtsPolicy, BddPtsPolicy>;
+TYPED_TEST_SUITE(PtsSetTyped, Policies);
+
+TYPED_TEST(PtsSetTyped, EmptyBasics) {
+  typename TypeParam::Set S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(this->Ctx), 0u);
+  EXPECT_FALSE(S.contains(this->Ctx, 7));
+  int Count = 0;
+  S.forEach(this->Ctx, [&](NodeId) { ++Count; });
+  EXPECT_EQ(Count, 0);
+}
+
+TYPED_TEST(PtsSetTyped, InsertReportsChange) {
+  typename TypeParam::Set S;
+  EXPECT_TRUE(S.insert(this->Ctx, 42));
+  EXPECT_FALSE(S.insert(this->Ctx, 42));
+  EXPECT_TRUE(S.insert(this->Ctx, 7));
+  EXPECT_TRUE(S.contains(this->Ctx, 42));
+  EXPECT_TRUE(S.contains(this->Ctx, 7));
+  EXPECT_FALSE(S.contains(this->Ctx, 8));
+  EXPECT_EQ(S.size(this->Ctx), 2u);
+}
+
+TYPED_TEST(PtsSetTyped, UnionWith) {
+  typename TypeParam::Set A, B;
+  A.insert(this->Ctx, 1);
+  A.insert(this->Ctx, 2);
+  B.insert(this->Ctx, 2);
+  B.insert(this->Ctx, 3000);
+  EXPECT_TRUE(A.unionWith(this->Ctx, B));
+  EXPECT_FALSE(A.unionWith(this->Ctx, B)) << "idempotent";
+  EXPECT_EQ(A.size(this->Ctx), 3u);
+  EXPECT_TRUE(A.contains(this->Ctx, 3000));
+  // Union with an empty (default) set is a no-op.
+  typename TypeParam::Set Empty;
+  EXPECT_FALSE(A.unionWith(this->Ctx, Empty));
+}
+
+TYPED_TEST(PtsSetTyped, IntersectWith) {
+  typename TypeParam::Set A, B;
+  for (NodeId V : {1u, 2u, 3u, 100u})
+    A.insert(this->Ctx, V);
+  for (NodeId V : {2u, 100u, 999u})
+    B.insert(this->Ctx, V);
+  EXPECT_TRUE(A.intersectWith(this->Ctx, B));
+  EXPECT_EQ(A.size(this->Ctx), 2u);
+  EXPECT_TRUE(A.contains(this->Ctx, 2));
+  EXPECT_TRUE(A.contains(this->Ctx, 100));
+  typename TypeParam::Set Empty;
+  EXPECT_TRUE(A.intersectWith(this->Ctx, Empty));
+  EXPECT_TRUE(A.empty());
+}
+
+TYPED_TEST(PtsSetTyped, EqualsIsStructural) {
+  typename TypeParam::Set A, B;
+  EXPECT_TRUE(A.equals(this->Ctx, B)) << "two empties are equal";
+  A.insert(this->Ctx, 5);
+  EXPECT_FALSE(A.equals(this->Ctx, B));
+  B.insert(this->Ctx, 5);
+  EXPECT_TRUE(A.equals(this->Ctx, B));
+  A.insert(this->Ctx, 6);
+  B.insert(this->Ctx, 7);
+  EXPECT_FALSE(A.equals(this->Ctx, B));
+}
+
+TYPED_TEST(PtsSetTyped, ForEachVisitsSorted) {
+  typename TypeParam::Set S;
+  for (NodeId V : {900u, 3u, 77u, 4000u})
+    S.insert(this->Ctx, V);
+  std::vector<NodeId> Seen;
+  S.forEach(this->Ctx, [&](NodeId V) { Seen.push_back(V); });
+  EXPECT_EQ(Seen, (std::vector<NodeId>{3, 77, 900, 4000}));
+}
+
+TYPED_TEST(PtsSetTyped, ForEachDiff) {
+  typename TypeParam::Set S, Exclude;
+  for (NodeId V : {1u, 2u, 3u, 4u})
+    S.insert(this->Ctx, V);
+  Exclude.insert(this->Ctx, 2);
+  Exclude.insert(this->Ctx, 4);
+  Exclude.insert(this->Ctx, 99); // Not in S: irrelevant.
+  std::vector<NodeId> Seen;
+  S.forEachDiff(this->Ctx, Exclude,
+                [&](NodeId V) { Seen.push_back(V); });
+  EXPECT_EQ(Seen, (std::vector<NodeId>{1, 3}));
+  // Diff against empty = full iteration.
+  typename TypeParam::Set Empty;
+  Seen.clear();
+  S.forEachDiff(this->Ctx, Empty, [&](NodeId V) { Seen.push_back(V); });
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TYPED_TEST(PtsSetTyped, ToBitmapRoundTrip) {
+  typename TypeParam::Set S;
+  for (NodeId V : {0u, 64u, 129u, 4000u})
+    S.insert(this->Ctx, V);
+  SparseBitVector Bits;
+  S.toBitmap(this->Ctx, Bits);
+  EXPECT_EQ(Bits.count(), 4u);
+  for (NodeId V : {0u, 64u, 129u, 4000u})
+    EXPECT_TRUE(Bits.test(V));
+}
+
+TYPED_TEST(PtsSetTyped, ClearAndFree) {
+  typename TypeParam::Set S;
+  S.insert(this->Ctx, 10);
+  S.clearAndFree(this->Ctx);
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(this->Ctx, 10)) << "reusable after clear";
+}
+
+TYPED_TEST(PtsSetTyped, RandomizedAgainstStdSet) {
+  Rng R(99);
+  typename TypeParam::Set S;
+  std::set<NodeId> Oracle;
+  for (int Step = 0; Step != 600; ++Step) {
+    NodeId V = static_cast<NodeId>(R.nextBelow(4096));
+    switch (R.nextBelow(3)) {
+    case 0:
+      EXPECT_EQ(S.insert(this->Ctx, V), Oracle.insert(V).second);
+      break;
+    case 1:
+      EXPECT_EQ(S.contains(this->Ctx, V), Oracle.count(V) > 0);
+      break;
+    case 2:
+      EXPECT_EQ(S.size(this->Ctx), Oracle.size());
+      break;
+    }
+  }
+  std::vector<NodeId> Seen;
+  S.forEach(this->Ctx, [&](NodeId V) { Seen.push_back(V); });
+  EXPECT_EQ(Seen, std::vector<NodeId>(Oracle.begin(), Oracle.end()));
+}
+
+TEST(BddPtsSpecific, EqualityIsPointerEquality) {
+  // The property LCD exploits: with hash-consing, two equal sets share a
+  // node, so the equality check is O(1) — build the same set two ways.
+  BddPtsPolicy::Context Ctx(1024);
+  BddPtsPolicy::Set A, B;
+  for (NodeId V : {5u, 10u, 15u})
+    A.insert(Ctx, V);
+  for (NodeId V : {15u, 5u, 10u})
+    B.insert(Ctx, V);
+  EXPECT_TRUE(A.equals(Ctx, B));
+}
+
+} // namespace

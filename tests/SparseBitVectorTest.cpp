@@ -1,0 +1,323 @@
+//===- SparseBitVectorTest.cpp - Tests for the GCC-style bitmap -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/SparseBitVector.h"
+
+#include "adt/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+std::vector<uint32_t> toVector(const SparseBitVector &V) {
+  std::vector<uint32_t> Out;
+  for (uint32_t X : V)
+    Out.push_back(X);
+  return Out;
+}
+
+TEST(SparseBitVector, EmptyBasics) {
+  SparseBitVector V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.count(), 0u);
+  EXPECT_FALSE(V.test(0));
+  EXPECT_FALSE(V.test(12345));
+  EXPECT_EQ(V.begin(), V.end());
+  EXPECT_EQ(V.memoryBytes(), 0u);
+}
+
+TEST(SparseBitVector, SetAndTest) {
+  SparseBitVector V;
+  EXPECT_TRUE(V.set(5));
+  EXPECT_FALSE(V.set(5)) << "second set of same bit reports no change";
+  EXPECT_TRUE(V.test(5));
+  EXPECT_FALSE(V.test(4));
+  EXPECT_FALSE(V.test(6));
+  EXPECT_EQ(V.count(), 1u);
+  EXPECT_FALSE(V.empty());
+}
+
+TEST(SparseBitVector, SetAcrossElementBoundaries) {
+  SparseBitVector V;
+  // 128-bit elements: exercise bits around the boundaries.
+  for (uint32_t Bit : {0u, 63u, 64u, 127u, 128u, 129u, 255u, 256u, 1000000u})
+    EXPECT_TRUE(V.set(Bit));
+  for (uint32_t Bit : {0u, 63u, 64u, 127u, 128u, 129u, 255u, 256u, 1000000u})
+    EXPECT_TRUE(V.test(Bit));
+  for (uint32_t Bit : {1u, 62u, 65u, 126u, 130u, 254u, 257u, 999999u})
+    EXPECT_FALSE(V.test(Bit));
+  EXPECT_EQ(V.count(), 9u);
+}
+
+TEST(SparseBitVector, OutOfOrderInsertionIteratesSorted) {
+  SparseBitVector V;
+  V.set(500);
+  V.set(3);
+  V.set(250);
+  V.set(90);
+  EXPECT_EQ(toVector(V), (std::vector<uint32_t>{3, 90, 250, 500}));
+}
+
+TEST(SparseBitVector, Reset) {
+  SparseBitVector V;
+  V.set(10);
+  V.set(200);
+  EXPECT_TRUE(V.reset(10));
+  EXPECT_FALSE(V.reset(10)) << "resetting a clear bit reports no change";
+  EXPECT_FALSE(V.test(10));
+  EXPECT_TRUE(V.test(200));
+  EXPECT_TRUE(V.reset(200));
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.memoryBytes(), 0u) << "empty elements must be freed";
+}
+
+TEST(SparseBitVector, FindFirst) {
+  SparseBitVector V;
+  V.set(700);
+  EXPECT_EQ(V.findFirst(), 700u);
+  V.set(65);
+  EXPECT_EQ(V.findFirst(), 65u);
+  V.set(64);
+  EXPECT_EQ(V.findFirst(), 64u);
+  V.set(3);
+  EXPECT_EQ(V.findFirst(), 3u);
+}
+
+TEST(SparseBitVector, UnionWith) {
+  SparseBitVector A, B;
+  A.set(1);
+  A.set(300);
+  B.set(1);
+  B.set(200);
+  B.set(100000);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(toVector(A), (std::vector<uint32_t>{1, 200, 300, 100000}));
+  EXPECT_FALSE(A.unionWith(B)) << "second union is a no-op";
+  SparseBitVector Empty;
+  EXPECT_FALSE(A.unionWith(Empty));
+  EXPECT_TRUE(Empty.unionWith(A));
+  EXPECT_TRUE(Empty == A);
+}
+
+TEST(SparseBitVector, IntersectWith) {
+  SparseBitVector A, B;
+  for (uint32_t X : {1u, 5u, 130u, 260u, 1000u})
+    A.set(X);
+  for (uint32_t X : {5u, 130u, 999u, 2000u})
+    B.set(X);
+  EXPECT_TRUE(A.intersectWith(B));
+  EXPECT_EQ(toVector(A), (std::vector<uint32_t>{5, 130}));
+  EXPECT_FALSE(A.intersectWith(B));
+  SparseBitVector Empty;
+  EXPECT_TRUE(A.intersectWith(Empty));
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(SparseBitVector, Subtract) {
+  SparseBitVector A, B;
+  for (uint32_t X : {1u, 5u, 130u, 260u})
+    A.set(X);
+  B.set(5);
+  B.set(260);
+  B.set(7777);
+  EXPECT_TRUE(A.subtract(B));
+  EXPECT_EQ(toVector(A), (std::vector<uint32_t>{1, 130}));
+  EXPECT_FALSE(A.subtract(B));
+}
+
+TEST(SparseBitVector, UnionWithMinus) {
+  SparseBitVector A, B, X;
+  A.set(1);
+  B.set(1);
+  B.set(2);
+  B.set(300);
+  B.set(400);
+  X.set(300);
+  X.set(1);
+  EXPECT_TRUE(A.unionWithMinus(B, X));
+  EXPECT_EQ(toVector(A), (std::vector<uint32_t>{1, 2, 400}));
+  EXPECT_FALSE(A.unionWithMinus(B, X));
+}
+
+TEST(SparseBitVector, IntersectsAndContains) {
+  SparseBitVector A, B;
+  A.set(10);
+  A.set(500);
+  B.set(500);
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_TRUE(A.contains(B));
+  EXPECT_FALSE(B.contains(A));
+  B.set(11);
+  EXPECT_FALSE(A.contains(B));
+  SparseBitVector C;
+  C.set(999);
+  EXPECT_FALSE(A.intersects(C));
+  SparseBitVector Empty;
+  EXPECT_FALSE(A.intersects(Empty));
+  EXPECT_TRUE(A.contains(Empty));
+}
+
+TEST(SparseBitVector, EqualityAndCopies) {
+  SparseBitVector A;
+  for (uint32_t X : {7u, 70u, 700u, 7000u})
+    A.set(X);
+  SparseBitVector B(A);
+  EXPECT_TRUE(A == B);
+  B.reset(70);
+  EXPECT_TRUE(A != B);
+  B = A;
+  EXPECT_TRUE(A == B);
+  SparseBitVector C(std::move(B));
+  EXPECT_TRUE(A == C);
+  EXPECT_TRUE(B.empty()); // NOLINT: moved-from is specified empty here.
+}
+
+TEST(SparseBitVector, SelfAssignment) {
+  SparseBitVector A;
+  A.set(42);
+  A = *&A;
+  EXPECT_TRUE(A.test(42));
+  EXPECT_EQ(A.count(), 1u);
+}
+
+TEST(SparseBitVector, MemoryAccounting) {
+  uint64_t Before =
+      MemTracker::instance().currentBytes(MemCategory::Bitmap);
+  {
+    SparseBitVector V;
+    for (uint32_t I = 0; I != 1000; ++I)
+      V.set(I * 1000);
+    EXPECT_GT(MemTracker::instance().currentBytes(MemCategory::Bitmap),
+              Before);
+    EXPECT_GT(V.memoryBytes(), 0u);
+  }
+  EXPECT_EQ(MemTracker::instance().currentBytes(MemCategory::Bitmap),
+            Before)
+      << "destructor must return all bytes";
+}
+
+/// Property test: a SparseBitVector behaves exactly like std::set under a
+/// random operation sequence (invariant 6 in DESIGN.md).
+class SparseBitVectorProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseBitVectorProperty, MatchesStdSet) {
+  Rng R(GetParam());
+  SparseBitVector V;
+  std::set<uint32_t> Oracle;
+  constexpr uint32_t Universe = 2000;
+
+  for (int Step = 0; Step != 2000; ++Step) {
+    uint32_t X = static_cast<uint32_t>(R.nextBelow(Universe));
+    switch (R.nextBelow(6)) {
+    case 0:
+    case 1: // set (biased: sets are usually grown)
+      EXPECT_EQ(V.set(X), Oracle.insert(X).second);
+      break;
+    case 2:
+      EXPECT_EQ(V.reset(X), Oracle.erase(X) > 0);
+      break;
+    case 3:
+      EXPECT_EQ(V.test(X), Oracle.count(X) > 0);
+      break;
+    case 4: { // bulk union with a small random set
+      SparseBitVector Other;
+      std::set<uint32_t> OtherOracle;
+      for (int I = 0; I != 8; ++I) {
+        uint32_t Y = static_cast<uint32_t>(R.nextBelow(Universe));
+        Other.set(Y);
+        OtherOracle.insert(Y);
+      }
+      size_t OldSize = Oracle.size();
+      Oracle.insert(OtherOracle.begin(), OtherOracle.end());
+      EXPECT_EQ(V.unionWith(Other), Oracle.size() != OldSize);
+      break;
+    }
+    case 5:
+      EXPECT_EQ(V.count(), Oracle.size());
+      break;
+    }
+  }
+  EXPECT_EQ(toVector(V),
+            std::vector<uint32_t>(Oracle.begin(), Oracle.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseBitVectorProperty,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Property: bulk operations agree with element-wise set algebra.
+class SparseBitVectorAlgebra : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseBitVectorAlgebra, BulkOpsMatchSetAlgebra) {
+  Rng R(GetParam() * 977);
+  auto randomSet = [&](std::set<uint32_t> &S, SparseBitVector &V) {
+    int N = 1 + static_cast<int>(R.nextBelow(60));
+    for (int I = 0; I != N; ++I) {
+      uint32_t X = static_cast<uint32_t>(R.nextBelow(500));
+      S.insert(X);
+      V.set(X);
+    }
+  };
+  std::set<uint32_t> SA, SB;
+  SparseBitVector A, B;
+  randomSet(SA, A);
+  randomSet(SB, B);
+
+  // Union.
+  {
+    SparseBitVector U = A;
+    U.unionWith(B);
+    std::set<uint32_t> SU = SA;
+    SU.insert(SB.begin(), SB.end());
+    EXPECT_EQ(toVector(U), std::vector<uint32_t>(SU.begin(), SU.end()));
+  }
+  // Intersection.
+  {
+    SparseBitVector I = A;
+    I.intersectWith(B);
+    std::vector<uint32_t> SI;
+    for (uint32_t X : SA)
+      if (SB.count(X))
+        SI.push_back(X);
+    EXPECT_EQ(toVector(I), SI);
+  }
+  // Difference.
+  {
+    SparseBitVector D = A;
+    D.subtract(B);
+    std::vector<uint32_t> SD;
+    for (uint32_t X : SA)
+      if (!SB.count(X))
+        SD.push_back(X);
+    EXPECT_EQ(toVector(D), SD);
+  }
+  // unionWithMinus == union of (B - A-as-exclusion).
+  {
+    SparseBitVector M = A;
+    M.unionWithMinus(B, A);
+    SparseBitVector U = A;
+    U.unionWith(B);
+    EXPECT_TRUE(M == U) << "excluding existing bits can't change result";
+  }
+  // intersects/contains consistency.
+  {
+    SparseBitVector I = A;
+    I.intersectWith(B);
+    EXPECT_EQ(A.intersects(B), !I.empty());
+    SparseBitVector U = A;
+    bool Grew = U.unionWith(B);
+    EXPECT_EQ(A.contains(B), !Grew) << "B ⊆ A iff A ∪ B == A";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseBitVectorAlgebra,
+                         testing::Range<uint64_t>(1, 17));
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- SteensgaardTest.cpp - Unification analysis tests -------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/SteensgaardSolver.h"
+
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace ag;
+
+namespace {
+
+TEST(Steensgaard, SimpleAddressOf) {
+  ConstraintSystem CS;
+  NodeId P = CS.addNode("p"), O = CS.addNode("o");
+  CS.addAddressOf(P, O);
+  PointsToSolution S = solveSteensgaard(CS);
+  EXPECT_EQ(S.pointsToVector(P), (std::vector<NodeId>{O}));
+}
+
+TEST(Steensgaard, UnificationMergesBothDirections) {
+  // The textbook imprecision: p = &x; q = &y; p = q;
+  // Andersen: pts(p) = {x, y}, pts(q) = {y}.
+  // Steensgaard: unifying pointees makes pts(q) = {x, y} too.
+  ConstraintSystem CS;
+  NodeId P = CS.addNode("p"), Q = CS.addNode("q"), X = CS.addNode("x"),
+         Y = CS.addNode("y");
+  CS.addAddressOf(P, X);
+  CS.addAddressOf(Q, Y);
+  CS.addCopy(P, Q);
+  PointsToSolution Steens = solveSteensgaard(CS);
+  PointsToSolution Andersen = solve(CS, SolverKind::LCDHCD);
+
+  EXPECT_EQ(Andersen.pointsToVector(Q), (std::vector<NodeId>{Y}));
+  EXPECT_EQ(Steens.pointsToVector(Q), (std::vector<NodeId>{X, Y}))
+      << "unification must have merged the pointee classes";
+  EXPECT_TRUE(Steens.pointsTo(P).contains(Andersen.pointsTo(P)));
+}
+
+TEST(Steensgaard, LoadsAndStores) {
+  // p = &b; o = &x; *p = o; a = *p.
+  ConstraintSystem CS;
+  NodeId P = CS.addNode("p"), B = CS.addNode("b"), O = CS.addNode("o"),
+         X = CS.addNode("x"), A = CS.addNode("a");
+  CS.addAddressOf(P, B);
+  CS.addAddressOf(O, X);
+  CS.addStore(P, O);
+  CS.addLoad(A, P);
+  PointsToSolution S = solveSteensgaard(CS);
+  EXPECT_TRUE(S.pointsToObj(B, X));
+  EXPECT_TRUE(S.pointsToObj(A, X));
+}
+
+TEST(Steensgaard, OffsetSlotsAreFolded) {
+  // Unification can't track offsets, so function slots fold together —
+  // coarse but sound: whatever Andersen derives must be included.
+  ConstraintSystem CS;
+  NodeId F = CS.addFunction("f", 1);
+  NodeId Fp = CS.addNode("fp"), Arg = CS.addNode("arg"),
+         R = CS.addNode("r"), O = CS.addNode("o");
+  CS.addCopy(F + ConstraintSystem::FunctionReturnOffset,
+             F + ConstraintSystem::FunctionParamOffset);
+  CS.addAddressOf(Fp, F);
+  CS.addAddressOf(Arg, O);
+  CS.addStore(Fp, Arg, ConstraintSystem::FunctionParamOffset);
+  CS.addLoad(R, Fp, ConstraintSystem::FunctionReturnOffset);
+  PointsToSolution Steens = solveSteensgaard(CS);
+  PointsToSolution Andersen = solve(CS, SolverKind::LCDHCD);
+  for (NodeId V = 0; V != CS.numNodes(); ++V)
+    EXPECT_TRUE(Steens.pointsTo(V).contains(Andersen.pointsTo(V))) << V;
+  EXPECT_TRUE(Steens.pointsToObj(R, O));
+}
+
+class SteensgaardProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SteensgaardProperty, IsASoundSupersetOfAndersen) {
+  RandomSpec Spec;
+  Spec.Seed = GetParam() * 23 + 1;
+  Spec.NumLoads = 20;
+  Spec.NumStores = 20;
+  ConstraintSystem CS = generateRandom(Spec);
+  SteensgaardStats Stats;
+  PointsToSolution Steens = solveSteensgaard(CS, &Stats);
+  PointsToSolution Andersen = solve(CS, SolverKind::Naive);
+  for (NodeId V = 0; V != CS.numNodes(); ++V)
+    EXPECT_TRUE(Steens.pointsTo(V).contains(Andersen.pointsTo(V)))
+        << "Steensgaard dropped facts for node " << V << " (seed "
+        << GetParam() << ")";
+  EXPECT_GT(Stats.Passes, 0u);
+}
+
+TEST_P(SteensgaardProperty, CoarserThanAndersenOnBenchmarks) {
+  BenchmarkSpec Spec;
+  Spec.Seed = GetParam();
+  Spec.NumFunctions = 10;
+  Spec.VarsPerFunction = 8;
+  Spec.NumGlobals = 16;
+  ConstraintSystem CS = generateBenchmark(Spec);
+  PointsToSolution Steens = solveSteensgaard(CS);
+  PointsToSolution Andersen = solve(CS, SolverKind::LCDHCD);
+  EXPECT_GE(Steens.totalPointsToSize(), Andersen.totalPointsToSize())
+      << "unification can only lose precision";
+  for (NodeId V = 0; V != CS.numNodes(); ++V)
+    ASSERT_TRUE(Steens.pointsTo(V).contains(Andersen.pointsTo(V))) << V;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteensgaardProperty,
+                         testing::Range<uint64_t>(1, 9));
+
+} // namespace
