@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_bench_harness.dir/BenchHarness.cpp.o"
+  "CMakeFiles/ag_bench_harness.dir/BenchHarness.cpp.o.d"
+  "libag_bench_harness.a"
+  "libag_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

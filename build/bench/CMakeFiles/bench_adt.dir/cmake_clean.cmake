@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adt.dir/bench_adt.cpp.o"
+  "CMakeFiles/bench_adt.dir/bench_adt.cpp.o.d"
+  "bench_adt"
+  "bench_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

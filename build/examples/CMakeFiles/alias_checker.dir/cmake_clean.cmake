@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_checker.dir/alias_checker.cpp.o"
+  "CMakeFiles/alias_checker.dir/alias_checker.cpp.o.d"
+  "alias_checker"
+  "alias_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

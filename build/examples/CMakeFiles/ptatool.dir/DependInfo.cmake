@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ptatool.cpp" "examples/CMakeFiles/ptatool.dir/ptatool.cpp.o" "gcc" "examples/CMakeFiles/ptatool.dir/ptatool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/ag_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ag_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ag_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ag_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/ag_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/ag_adt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

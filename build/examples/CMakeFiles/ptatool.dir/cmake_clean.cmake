@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptatool.dir/ptatool.cpp.o"
+  "CMakeFiles/ptatool.dir/ptatool.cpp.o.d"
+  "ptatool"
+  "ptatool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptatool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

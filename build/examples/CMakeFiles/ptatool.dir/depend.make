@@ -1,0 +1,2 @@
+# Empty dependencies file for ptatool.
+# This may be replaced when dependencies are built.

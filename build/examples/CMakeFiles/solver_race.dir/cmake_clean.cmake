@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_race.dir/solver_race.cpp.o"
+  "CMakeFiles/solver_race.dir/solver_race.cpp.o.d"
+  "solver_race"
+  "solver_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_adt.dir/SparseBitVector.cpp.o"
+  "CMakeFiles/ag_adt.dir/SparseBitVector.cpp.o.d"
+  "libag_adt.a"
+  "libag_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/Bdd.cpp" "src/bdd/CMakeFiles/ag_bdd.dir/Bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/ag_bdd.dir/Bdd.cpp.o.d"
+  "/root/repo/src/bdd/BddDomain.cpp" "src/bdd/CMakeFiles/ag_bdd.dir/BddDomain.cpp.o" "gcc" "src/bdd/CMakeFiles/ag_bdd.dir/BddDomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adt/CMakeFiles/ag_adt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

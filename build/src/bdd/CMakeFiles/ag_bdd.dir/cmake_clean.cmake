@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_bdd.dir/Bdd.cpp.o"
+  "CMakeFiles/ag_bdd.dir/Bdd.cpp.o.d"
+  "CMakeFiles/ag_bdd.dir/BddDomain.cpp.o"
+  "CMakeFiles/ag_bdd.dir/BddDomain.cpp.o.d"
+  "libag_bdd.a"
+  "libag_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_constraints.dir/ConstraintSystem.cpp.o"
+  "CMakeFiles/ag_constraints.dir/ConstraintSystem.cpp.o.d"
+  "CMakeFiles/ag_constraints.dir/OfflineVariableSubstitution.cpp.o"
+  "CMakeFiles/ag_constraints.dir/OfflineVariableSubstitution.cpp.o.d"
+  "libag_constraints.a"
+  "libag_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

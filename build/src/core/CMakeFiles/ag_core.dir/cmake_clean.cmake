@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_core.dir/HcdOffline.cpp.o"
+  "CMakeFiles/ag_core.dir/HcdOffline.cpp.o.d"
+  "libag_core.a"
+  "libag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

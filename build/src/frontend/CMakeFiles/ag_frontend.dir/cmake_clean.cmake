@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_frontend.dir/ConstraintGen.cpp.o"
+  "CMakeFiles/ag_frontend.dir/ConstraintGen.cpp.o.d"
+  "CMakeFiles/ag_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/ag_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ag_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/ag_frontend.dir/Parser.cpp.o.d"
+  "libag_frontend.a"
+  "libag_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_solvers.dir/BlqSolver.cpp.o"
+  "CMakeFiles/ag_solvers.dir/BlqSolver.cpp.o.d"
+  "CMakeFiles/ag_solvers.dir/Solve.cpp.o"
+  "CMakeFiles/ag_solvers.dir/Solve.cpp.o.d"
+  "CMakeFiles/ag_solvers.dir/SteensgaardSolver.cpp.o"
+  "CMakeFiles/ag_solvers.dir/SteensgaardSolver.cpp.o.d"
+  "libag_solvers.a"
+  "libag_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

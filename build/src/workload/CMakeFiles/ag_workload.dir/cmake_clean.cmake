@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_workload.dir/WorkloadGen.cpp.o"
+  "CMakeFiles/ag_workload.dir/WorkloadGen.cpp.o.d"
+  "libag_workload.a"
+  "libag_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

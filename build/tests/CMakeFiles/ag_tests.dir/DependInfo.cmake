@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AdtTest.cpp" "tests/CMakeFiles/ag_tests.dir/AdtTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/AdtTest.cpp.o.d"
+  "/root/repo/tests/BddDomainTest.cpp" "tests/CMakeFiles/ag_tests.dir/BddDomainTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/BddDomainTest.cpp.o.d"
+  "/root/repo/tests/BddTest.cpp" "tests/CMakeFiles/ag_tests.dir/BddTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/BddTest.cpp.o.d"
+  "/root/repo/tests/ConstraintSystemTest.cpp" "tests/CMakeFiles/ag_tests.dir/ConstraintSystemTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/ConstraintSystemTest.cpp.o.d"
+  "/root/repo/tests/FieldBasedTest.cpp" "tests/CMakeFiles/ag_tests.dir/FieldBasedTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/FieldBasedTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/ag_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/FuzzTest.cpp" "tests/CMakeFiles/ag_tests.dir/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/FuzzTest.cpp.o.d"
+  "/root/repo/tests/HcdOfflineTest.cpp" "tests/CMakeFiles/ag_tests.dir/HcdOfflineTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/HcdOfflineTest.cpp.o.d"
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/ag_tests.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/IntegrationTest.cpp.o.d"
+  "/root/repo/tests/OvsTest.cpp" "tests/CMakeFiles/ag_tests.dir/OvsTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/OvsTest.cpp.o.d"
+  "/root/repo/tests/Pkh03Test.cpp" "tests/CMakeFiles/ag_tests.dir/Pkh03Test.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/Pkh03Test.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/ag_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/PtsSetTest.cpp" "tests/CMakeFiles/ag_tests.dir/PtsSetTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/PtsSetTest.cpp.o.d"
+  "/root/repo/tests/SolutionTest.cpp" "tests/CMakeFiles/ag_tests.dir/SolutionTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/SolutionTest.cpp.o.d"
+  "/root/repo/tests/SolverBasicTest.cpp" "tests/CMakeFiles/ag_tests.dir/SolverBasicTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/SolverBasicTest.cpp.o.d"
+  "/root/repo/tests/SolverEquivalenceTest.cpp" "tests/CMakeFiles/ag_tests.dir/SolverEquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/SolverEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/SparseBitVectorTest.cpp" "tests/CMakeFiles/ag_tests.dir/SparseBitVectorTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/SparseBitVectorTest.cpp.o.d"
+  "/root/repo/tests/SteensgaardTest.cpp" "tests/CMakeFiles/ag_tests.dir/SteensgaardTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/SteensgaardTest.cpp.o.d"
+  "/root/repo/tests/WorkloadGenTest.cpp" "tests/CMakeFiles/ag_tests.dir/WorkloadGenTest.cpp.o" "gcc" "tests/CMakeFiles/ag_tests.dir/WorkloadGenTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/ag_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ag_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ag_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/ag_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/ag_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/ag_adt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
