@@ -13,6 +13,15 @@
 ///   ptatool solve <file.cons> [algo]     solve and print summary stats
 ///   ptatool query <file.cons> <v> <w>    may-alias query by node name
 ///
+/// solve accepts resource-budget flags (--timeout, --max-mem-mb,
+/// --max-steps, --no-fallback) and reports how the run concluded through
+/// its exit code:
+///   0  precise solve within budget
+///   1  error (bad input, unreadable file)
+///   2  usage
+///   3  budget tripped; the Steensgaard fallback solution was printed
+///   4  budget tripped with --no-fallback; partial (unsound) state printed
+///
 //===----------------------------------------------------------------------===//
 
 #include "constraints/OfflineVariableSubstitution.h"
@@ -20,8 +29,11 @@
 #include "solvers/Solve.h"
 #include "workload/WorkloadGen.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,14 +43,51 @@ using namespace ag;
 
 namespace {
 
+// Exit codes (documented in the file header and DESIGN.md).
+constexpr int ExitPrecise = 0;
+constexpr int ExitError = 1;
+constexpr int ExitUsage = 2;
+constexpr int ExitFallback = 3;
+constexpr int ExitPartial = 4;
+
 int usage() {
   std::fprintf(stderr,
                "usage: ptatool gen <out-dir> [scale]\n"
                "       ptatool gen-c <file.c> <out.cons>\n"
                "       ptatool solve <file.cons> [HT|PKH|BLQ|LCD|HCD|"
                "HT+HCD|PKH+HCD|BLQ+HCD|LCD+HCD|Naive]\n"
-               "       ptatool query <file.cons> <name1> <name2>\n");
-  return 2;
+               "               [--timeout <seconds>] [--max-mem-mb <mb>]\n"
+               "               [--max-steps <n>] [--no-fallback]\n"
+               "       ptatool query <file.cons> <name1> <name2>\n"
+               "solve exit codes: 0 precise, 1 error, 2 usage, "
+               "3 fallback, 4 partial\n");
+  return ExitUsage;
+}
+
+/// Strictly parses a positive, finite double; rejects trailing junk.
+bool parsePositiveDouble(const char *Text, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE)
+    return false;
+  if (!std::isfinite(V) || V <= 0)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Strictly parses a positive decimal integer; rejects trailing junk.
+bool parsePositiveU64(const char *Text, uint64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE)
+    return false;
+  if (V == 0 || Text[0] == '-')
+    return false;
+  Out = V;
+  return true;
 }
 
 bool parseKind(const std::string &Name, SolverKind &Out) {
@@ -67,7 +116,18 @@ int cmdGen(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
   std::string Dir = Argv[2];
-  double Scale = Argc > 3 ? std::atof(Argv[3]) : 0.25;
+  double Scale = 0.25;
+  if (Argc > 3) {
+    // Validate strictly: atof's silent 0.0 on garbage used to produce
+    // degenerate (or, with absurd scales, effectively unbounded) suites.
+    constexpr double MaxScale = 64.0;
+    if (!parsePositiveDouble(Argv[3], Scale) || Scale > MaxScale) {
+      std::fprintf(stderr,
+                   "error: scale '%s' must be a finite number in (0, %g]\n",
+                   Argv[3], MaxScale);
+      return ExitError;
+    }
+  }
   for (const BenchmarkSpec &Spec : paperSuites(Scale)) {
     ConstraintSystem CS = generateBenchmark(Spec);
     std::string Path = Dir + "/" + Spec.Name + ".cons";
@@ -111,24 +171,73 @@ int cmdSolve(int Argc, char **Argv) {
     return usage();
   ConstraintSystem CS;
   if (!loadSystem(Argv[2], CS))
-    return 1;
+    return ExitError;
   SolverKind Kind = SolverKind::LCDHCD;
-  if (Argc > 3 && !parseKind(Argv[3], Kind)) {
-    std::fprintf(stderr, "error: unknown algorithm '%s'\n", Argv[3]);
-    return 1;
+  SolveBudget Budget;
+  int NextPositional = 3;
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--no-fallback") {
+      Budget.AllowFallback = false;
+    } else if (Arg == "--timeout" || Arg == "--max-mem-mb" ||
+               Arg == "--max-steps") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", Arg.c_str());
+        return usage();
+      }
+      const char *Value = Argv[++I];
+      bool Valid = false;
+      if (Arg == "--timeout") {
+        Valid = parsePositiveDouble(Value, Budget.TimeoutSeconds);
+      } else if (Arg == "--max-mem-mb") {
+        uint64_t Mb = 0;
+        Valid = parsePositiveU64(Value, Mb) &&
+                Mb <= (UINT64_MAX >> 20); // No overflow converting to bytes.
+        Budget.MaxMemoryBytes = Mb << 20;
+      } else { // --max-steps
+        Valid = parsePositiveU64(Value, Budget.MaxPropagations);
+      }
+      if (!Valid) {
+        std::fprintf(stderr, "error: bad value '%s' for %s\n", Value,
+                     Arg.c_str());
+        return usage();
+      }
+    } else if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      return usage();
+    } else if (NextPositional == 3) {
+      NextPositional = 4;
+      if (!parseKind(Arg, Kind)) {
+        std::fprintf(stderr, "error: unknown algorithm '%s'\n", Arg.c_str());
+        return ExitError;
+      }
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", Arg.c_str());
+      return usage();
+    }
   }
 
   auto T0 = std::chrono::steady_clock::now();
   OvsResult Ovs = runOfflineVariableSubstitution(CS);
   SolverStats Stats;
-  PointsToSolution Sol = solve(Ovs.Reduced, Kind, PtsRepr::Bitmap, &Stats,
-                               SolverOptions(), &Ovs.Rep);
+  SolveResult R = solveGoverned(Ovs.Reduced, Kind, Budget, PtsRepr::Bitmap,
+                                &Stats, SolverOptions(), &Ovs.Rep);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();
 
-  std::printf("%s on %s: %.3f s (incl. OVS)\n", solverKindName(Kind),
-              Argv[2], Seconds);
+  if (R.Outcome == SolveOutcome::Failed) {
+    std::fprintf(stderr, "error: %s\n", R.St.toString().c_str());
+    return ExitError;
+  }
+  const PointsToSolution &Sol = R.Solution;
+  std::printf("%s on %s: %.3f s (incl. OVS), outcome %s\n",
+              solverKindName(Kind), Argv[2], Seconds,
+              solveOutcomeName(R.Outcome));
+  if (!R.St.ok())
+    std::printf("  budget: %s\n", R.St.toString().c_str());
+  if (R.Outcome == SolveOutcome::Partial)
+    std::printf("  WARNING: partial solution — sets may be incomplete\n");
   std::printf("  nodes %u, constraints %zu (%zu after OVS)\n",
               CS.numNodes(), CS.constraints().size(),
               Ovs.Reduced.constraints().size());
@@ -136,7 +245,11 @@ int cmdSolve(int Argc, char **Argv) {
               static_cast<unsigned long long>(Sol.totalPointsToSize()),
               static_cast<unsigned long long>(Sol.hash()));
   std::printf("%s", Stats.toString("  ").c_str());
-  return 0;
+  if (R.Outcome == SolveOutcome::Fallback)
+    return ExitFallback;
+  if (R.Outcome == SolveOutcome::Partial)
+    return ExitPartial;
+  return ExitPrecise;
 }
 
 int cmdQuery(int Argc, char **Argv) {

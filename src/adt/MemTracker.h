@@ -16,6 +16,8 @@
 #ifndef AG_ADT_MEMTRACKER_H
 #define AG_ADT_MEMTRACKER_H
 
+#include "adt/FaultInjector.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -56,12 +58,22 @@ public:
            !Peak[I].compare_exchange_weak(Prev, Now,
                                           std::memory_order_relaxed)) {
     }
+    // Joint accounting: the true high-water mark across categories, which
+    // the solver governor's memory cap checks against.
+    uint64_t NowTotal =
+        CurrentTotal.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    uint64_t PrevTotal = PeakJoint.load(std::memory_order_relaxed);
+    while (NowTotal > PrevTotal &&
+           !PeakJoint.compare_exchange_weak(PrevTotal, NowTotal,
+                                            std::memory_order_relaxed)) {
+    }
   }
 
   /// Records a deallocation of \p Bytes in category \p Cat.
   void release(MemCategory Cat, size_t Bytes) {
     Current[static_cast<unsigned>(Cat)].fetch_sub(Bytes,
                                                   std::memory_order_relaxed);
+    CurrentTotal.fetch_sub(Bytes, std::memory_order_relaxed);
   }
 
   /// Returns live bytes in category \p Cat.
@@ -75,21 +87,29 @@ public:
     return Peak[static_cast<unsigned>(Cat)].load(std::memory_order_relaxed);
   }
 
-  /// Returns live bytes summed over all categories.
+  /// Returns live bytes summed over all categories (O(1): maintained as
+  /// its own counter).
   uint64_t currentBytesTotal() const {
-    uint64_t Sum = 0;
-    for (unsigned I = 0; I != NumMemCategories; ++I)
-      Sum += Current[I].load(std::memory_order_relaxed);
-    return Sum;
+    return CurrentTotal.load(std::memory_order_relaxed);
   }
 
   /// Returns peak bytes summed over all categories. Note this sums per-
-  /// category peaks, a slight over-approximation of the true joint peak.
+  /// category peaks, a slight over-approximation of the true joint peak —
+  /// use peakBytesJoint() when the real high-water mark matters (budget
+  /// enforcement).
   uint64_t peakBytesTotal() const {
     uint64_t Sum = 0;
     for (unsigned I = 0; I != NumMemCategories; ++I)
       Sum += Peak[I].load(std::memory_order_relaxed);
     return Sum;
+  }
+
+  /// Returns the true joint high-water mark since the last reset: the peak
+  /// of the instantaneous sum over categories, not the sum of per-category
+  /// peaks. Per-category peaks reached at different times do not inflate
+  /// this value.
+  uint64_t peakBytesJoint() const {
+    return PeakJoint.load(std::memory_order_relaxed);
   }
 
   /// Resets peak counters to the current live values. Live counters are not
@@ -98,6 +118,8 @@ public:
     for (unsigned I = 0; I != NumMemCategories; ++I)
       Peak[I].store(Current[I].load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    PeakJoint.store(CurrentTotal.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   }
 
 private:
@@ -105,11 +127,16 @@ private:
 
   std::atomic<uint64_t> Current[NumMemCategories] = {};
   std::atomic<uint64_t> Peak[NumMemCategories] = {};
+  std::atomic<uint64_t> CurrentTotal{0};
+  std::atomic<uint64_t> PeakJoint{0};
 };
 
-/// Convenience wrappers so call sites stay short.
+/// Convenience wrappers so call sites stay short. Allocation is also a
+/// fault-injection pressure point: an armed Allocation fault latches here
+/// and surfaces at the governor's next budget check.
 inline void memAllocate(MemCategory Cat, size_t Bytes) {
   MemTracker::instance().allocate(Cat, Bytes);
+  FaultInjector::instance().hitAllocation();
 }
 inline void memRelease(MemCategory Cat, size_t Bytes) {
   MemTracker::instance().release(Cat, Bytes);

@@ -86,14 +86,13 @@ std::string ConstraintSystem::serialize() const {
   return Out.str();
 }
 
-bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
-                             std::string &Error) {
+Status ConstraintSystem::parseText(const std::string &Text,
+                                   ConstraintSystem &Out) {
   std::istringstream In(Text);
   std::string Line;
   unsigned LineNo = 0;
   auto fail = [&](const std::string &Msg) {
-    Error = "line " + std::to_string(LineNo) + ": " + Msg;
-    return false;
+    return Status::parseError("line " + std::to_string(LineNo) + ": " + Msg);
   };
 
   // Node declarations can carry explicit sizes; ids must be declared in
@@ -111,6 +110,9 @@ bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
       uint64_t N;
       if (!(Tok >> N))
         return fail("numnodes expects a count");
+      if (N > MaxNodes)
+        return fail("numnodes " + std::to_string(N) + " exceeds the " +
+                    std::to_string(MaxNodes) + "-node capacity");
       continue; // Informational; nodes are created by 'node' records.
     }
     if (Kind == "node") {
@@ -130,8 +132,11 @@ bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
       }
       if (Id != Out.numNodes())
         return fail("node ids must be declared densely in order");
-      if (Size == 0 || Size > (1u << 16))
+      if (Size == 0 || Size > MaxNodeSize)
         return fail("node size out of range");
+      if (Id + Size > MaxNodes)
+        return fail("node table exceeds the " + std::to_string(MaxNodes) +
+                    "-node capacity");
       Out.addNode(Name, static_cast<uint32_t>(Size));
       continue;
     }
@@ -151,6 +156,9 @@ bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
       Tok >> Offset; // Optional; defaults to 0.
     if (Dst >= Out.numNodes() || Src >= Out.numNodes())
       return fail("constraint references unknown node");
+    if (Offset > MaxOffset)
+      return fail("offset " + std::to_string(Offset) + " exceeds the " +
+                  std::to_string(MaxOffset) + " maximum");
     if (Kind == "addr")
       Out.addAddressOf(static_cast<NodeId>(Dst), static_cast<NodeId>(Src));
     else if (Kind == "copy")
@@ -164,7 +172,16 @@ bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
     else
       return fail("unknown record kind '" + Kind + "'");
   }
-  return true;
+  return Status();
+}
+
+bool ConstraintSystem::parse(const std::string &Text, ConstraintSystem &Out,
+                             std::string &Error) {
+  Status St = parseText(Text, Out);
+  if (St.ok())
+    return true;
+  Error = St.message();
+  return false;
 }
 
 bool ConstraintSystem::writeToFile(const std::string &Path) const {
@@ -175,15 +192,27 @@ bool ConstraintSystem::writeToFile(const std::string &Path) const {
   return static_cast<bool>(Out);
 }
 
+Status ConstraintSystem::loadFromFile(const std::string &Path,
+                                      ConstraintSystem &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return Status::ioError("cannot open '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return Status::ioError("read error on '" + Path + "'");
+  Status St = parseText(Buf.str(), Out);
+  if (!St.ok())
+    return Status(St.code(), Path + ": " + St.message());
+  return St;
+}
+
 bool ConstraintSystem::readFromFile(const std::string &Path,
                                     ConstraintSystem &Out,
                                     std::string &Error) {
-  std::ifstream In(Path);
-  if (!In) {
-    Error = "cannot open '" + Path + "'";
-    return false;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  return parse(Buf.str(), Out, Error);
+  Status St = loadFromFile(Path, Out);
+  if (St.ok())
+    return true;
+  Error = St.message();
+  return false;
 }

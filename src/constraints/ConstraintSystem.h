@@ -17,6 +17,7 @@
 #ifndef AG_CONSTRAINTS_CONSTRAINTSYSTEM_H
 #define AG_CONSTRAINTS_CONSTRAINTSYSTEM_H
 
+#include "adt/Status.h"
 #include "constraints/Constraint.h"
 
 #include <cstdint>
@@ -49,6 +50,13 @@ public:
   static constexpr uint32_t FunctionReturnOffset = 1;
   /// Slot offset of a function's first parameter.
   static constexpr uint32_t FunctionParamOffset = 2;
+
+  /// Hard capacity limits, set by the constraint dedup key's bit layout
+  /// (23 bits per node id, 16 bits per offset — see hashKey). parseText
+  /// rejects files exceeding them with a structured error.
+  static constexpr uint32_t MaxNodes = 1u << 23;
+  static constexpr uint32_t MaxOffset = (1u << 16) - 1;
+  static constexpr uint32_t MaxNodeSize = 1u << 16;
 
   /// Number of node ids in use (including interior slots of sized nodes).
   uint32_t numNodes() const { return static_cast<uint32_t>(Sizes.size()); }
@@ -120,15 +128,24 @@ public:
   /// starting with '#' are comments.
   std::string serialize() const;
 
-  /// Parses the text format produced by serialize().
-  /// \returns false and fills \p Error on malformed input.
+  /// Parses the text format produced by serialize(). Every record is
+  /// validated (ids dense and within MaxNodes, sizes within MaxNodeSize,
+  /// offsets within MaxOffset), so arbitrary untrusted input yields a
+  /// ParseError Status — never an assert or out-of-range write. On error
+  /// \p Out may hold a partially-built system and must be discarded.
+  static Status parseText(const std::string &Text, ConstraintSystem &Out);
+
+  /// Legacy bool-and-string wrapper around parseText().
   static bool parse(const std::string &Text, ConstraintSystem &Out,
                     std::string &Error);
 
   /// Writes serialize() output to \p Path. \returns false on I/O error.
   bool writeToFile(const std::string &Path) const;
 
-  /// Reads a constraint file. \returns false and fills \p Error on failure.
+  /// Reads and parses a constraint file with the guarantees of parseText().
+  static Status loadFromFile(const std::string &Path, ConstraintSystem &Out);
+
+  /// Legacy bool-and-string wrapper around loadFromFile().
   static bool readFromFile(const std::string &Path, ConstraintSystem &Out,
                            std::string &Error);
 

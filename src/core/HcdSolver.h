@@ -32,6 +32,7 @@ public:
             const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps), W(Opts.Worklist) {
     G.UseDiffResolution = Opts.DifferenceResolution;
+    G.Governor = Opts.Governor;
     for (const auto &[N, Target] : Hcd.Lazy)
       G.HcdTargets[G.find(N)].push_back(Target);
   }
@@ -48,6 +49,7 @@ public:
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
       ++G.Stats.WorklistPops;
+      G.governorStep();
 
       Node = G.applyHcd(Node, Push);
       G.resolveComplex(Node, Push);

@@ -37,6 +37,7 @@ public:
             const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps), Opts(Opts), W(Opts.Worklist) {
     G.UseDiffResolution = Opts.DifferenceResolution;
+    G.Governor = Opts.Governor;
     if (Hcd)
       for (const auto &[N, Target] : Hcd->Lazy)
         G.HcdTargets[G.find(N)].push_back(Target);
@@ -54,6 +55,7 @@ public:
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
       ++G.Stats.WorklistPops;
+      G.governorStep();
 
       // HCD first (Figure 5's check of the lazy table L).
       Node = G.applyHcd(Node, Push);

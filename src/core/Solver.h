@@ -22,6 +22,8 @@
 
 namespace ag {
 
+class SolveGovernor;
+
 /// The algorithms evaluated in the paper (Table 3).
 enum class SolverKind {
   Naive,  ///< Figure 1: dynamic transitive closure, no cycle detection.
@@ -53,6 +55,26 @@ inline bool usesHcd(SolverKind Kind) {
          Kind == SolverKind::LCDHCD;
 }
 
+/// True if \p Kind names one of the implemented algorithms. Entry points
+/// use this to reject out-of-range values (e.g. from casts of external
+/// input) as a structured error instead of undefined dispatch.
+inline bool isValidSolverKind(SolverKind Kind) {
+  switch (Kind) {
+  case SolverKind::Naive:
+  case SolverKind::HT:
+  case SolverKind::PKH:
+  case SolverKind::BLQ:
+  case SolverKind::LCD:
+  case SolverKind::HCD:
+  case SolverKind::HTHCD:
+  case SolverKind::PKHHCD:
+  case SolverKind::BLQHCD:
+  case SolverKind::LCDHCD:
+    return true;
+  }
+  return false;
+}
+
 /// Points-to set representation (Tables 3/4 vs 5/6). BLQ ignores this: its
 /// whole-solution relation is always one BDD.
 enum class PtsRepr {
@@ -78,6 +100,11 @@ struct SolverOptions {
   /// as the paper's pseudo-code literally does — an ablation that shows
   /// why real implementations track frontiers.
   bool DifferenceResolution = true;
+
+  /// Resource governor enforcing a SolveBudget, or null for an un-governed
+  /// run (the default; costs one pointer test per counted operation).
+  /// Not owned; must outlive the solve. solveGoverned() installs this.
+  SolveGovernor *Governor = nullptr;
 };
 
 } // namespace ag

@@ -32,6 +32,7 @@
 #include "constraints/ConstraintSystem.h"
 #include "core/PointsToSolution.h"
 #include "core/PtsSet.h"
+#include "core/SolveBudget.h"
 
 #include <algorithm>
 #include <vector>
@@ -136,6 +137,8 @@ public:
     if (!Succs[From].set(To))
       return false;
     ++Stats.EdgesAdded;
+    if (Governor)
+      Governor->onEdgeAdded();
     return true;
   }
 
@@ -145,11 +148,20 @@ public:
     From = find(From);
     To = find(To);
     ++Stats.Propagations;
+    if (Governor)
+      Governor->onPropagation();
     if (From == To)
       return false;
     bool Changed = Pts[To].unionWith(Ctx, Pts[From]);
     Stats.ChangedPropagations += Changed;
     return Changed;
+  }
+
+  /// Cancellation point for solver loops: delegates to the governor when
+  /// one is installed, otherwise free.
+  void governorStep() {
+    if (Governor)
+      Governor->onStep();
   }
 
   /// Merges the cycle members \p A and \p B (equal points-to sets in the
@@ -329,6 +341,8 @@ public:
   UnionFind Reps;
   /// See SolverOptions::DifferenceResolution.
   bool UseDiffResolution = true;
+  /// Resource governor, or null when un-governed (see SolverOptions).
+  SolveGovernor *Governor = nullptr;
 
   std::vector<PtsSet> Pts;
   /// Per node: elements already collapsed by the HCD online rule.
@@ -388,6 +402,10 @@ private:
       SccStack.push_back(V);
       Dfs.push_back(Frame{V, Succs[V].begin(), Succs[V].end()});
       ++Stats.NodesSearched;
+      // Cancellation point: a whole-graph sweep can dominate a round, so
+      // the deadline must be observable from inside the DFS. Safe here —
+      // no merge is in flight when a node is first pushed.
+      governorStep();
     };
     if (LowLink.size() < VisitEpoch.size())
       LowLink.resize(VisitEpoch.size());

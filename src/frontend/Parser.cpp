@@ -11,9 +11,20 @@
 using namespace ag;
 
 Parser::Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {
-  assert(!this->Tokens.empty() &&
-         this->Tokens.back().is(TokenKind::Eof) &&
-         "token stream must end with Eof");
+  // Token streams normally end with Eof (the lexer guarantees it), but a
+  // caller handing us a raw vector may not know that. Synthesize the
+  // terminator so peek()/advance() stay in bounds, and record a parse
+  // error rather than asserting on the malformed stream.
+  if (this->Tokens.empty() || !this->Tokens.back().is(TokenKind::Eof)) {
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    if (!this->Tokens.empty()) {
+      Eof.Line = this->Tokens.back().Line;
+      Eof.Column = this->Tokens.back().Column;
+    }
+    this->Tokens.push_back(std::move(Eof));
+    fail("token stream did not end with Eof");
+  }
 }
 
 const Token &Parser::peek(unsigned Ahead) const {
@@ -198,6 +209,10 @@ bool Parser::parseGlobalOrFunction(TranslationUnit &Out) {
 }
 
 bool Parser::parseUnit(TranslationUnit &Out) {
+  // A malformed token stream is diagnosed in the constructor; report it
+  // instead of parsing what is known to be truncated input.
+  if (!Error.empty())
+    return false;
   while (!check(TokenKind::Eof))
     if (!parseGlobalOrFunction(Out))
       return false;

@@ -6,19 +6,22 @@
 
 #include "solvers/BlqSolver.h"
 
+#include "core/SolveBudget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
 #include <map>
+#include <optional>
 
 using namespace ag;
 
 BlqSolver::BlqSolver(const ConstraintSystem &CS, SolverStats &Stats,
                      const SolverOptions &Opts, const HcdResult *Hcd,
                      const std::vector<NodeId> *SeedReps)
-    : CS(CS), Stats(Stats) {
+    : CS(CS), Stats(Stats), Gov(Opts.Governor) {
   Mgr = std::make_unique<BddManager>(Opts.BlqInitialCapacity);
   uint64_t N = std::max<uint64_t>(CS.numNodes(), 2);
   // Domain creation order fixes the interleaved level order D1, D3, D2 —
@@ -94,6 +97,8 @@ Bdd BlqSolver::offsetRelation(uint32_t Offset, unsigned FromDom,
   // Non-zero offsets: enumerate the objects wide enough to have this slot.
   Bdd Out = Mgr->falseBdd();
   for (NodeId V = 0; V != CS.numNodes(); ++V) {
+    if (Gov)
+      Gov->onStep();
     if (!AddrTaken[V])
       continue; // Can never appear in a points-to set.
     NodeId T = CS.offsetTarget(V, Offset);
@@ -138,8 +143,12 @@ PointsToSolution BlqSolver::solve() {
     return Groups[It->second];
   };
 
-  PhaseTimer *T = new PhaseTimer("build relations");
+  // Phase timers are RAII so a governor throw cannot leak one.
+  std::optional<PhaseTimer> T;
+  T.emplace("build relations");
   for (const Constraint &Cn : CS.constraints()) {
+    if (Gov)
+      Gov->onStep();
     switch (Cn.Kind) {
     case ConstraintKind::AddressOf:
       P = Mgr->bddOr(P, Mgr->bddAnd(Doms->element(D1, findRep(Cn.Dst)),
@@ -166,8 +175,7 @@ PointsToSolution BlqSolver::solve() {
     }
   }
 
-  delete T;
-  T = new PhaseTimer("offset relations");
+  T.emplace("offset relations");
   // Pre-built per-offset object-slot relations.
   std::vector<Bdd> OffToD3, OffToD1;
   for (OffsetGroup &G : Groups) {
@@ -179,8 +187,7 @@ PointsToSolution BlqSolver::solve() {
   Bdd IdD2D3 = offsetRelation(0, D2, D3);
   Bdd IdD2D1 = offsetRelation(0, D2, D1);
 
-  delete T;
-  T = new PhaseTimer("solve iterations");
+  T.emplace("solve iterations");
   BddVarSetId QD1 = Doms->varSet(D1);
   BddVarSetId QD2 = Doms->varSet(D2);
   BddVarSetId QD3 = Doms->varSet(D3);
@@ -209,8 +216,24 @@ PointsToSolution BlqSolver::solve() {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   };
+  // Extraction of whatever P currently holds — the final answer on the
+  // normal path, a partial snapshot when the governor aborts the loop.
+  auto extract = [&](const Bdd &Rel) {
+    PointsToSolution Out(CS.numNodes());
+    for (NodeId V = 0; V != CS.numNodes(); ++V)
+      if (findRep(V) != V)
+        Out.setRep(V, findRep(V));
+    Doms->forEachPair(Rel, D1, D2, [&](uint64_t Var, uint64_t Obj) {
+      Out.mutableSet(static_cast<NodeId>(Var))
+          .set(static_cast<uint32_t>(Obj));
+    });
+    return Out;
+  };
+  try {
   for (;;) {
     ++Stats.WorklistPops; // Iteration counter stand-in.
+    if (Gov)
+      Gov->checkpoint();
     Bdd Pstart = P;
     Bdd Cstart = C;
     double TA = tick();
@@ -263,6 +286,8 @@ PointsToSolution BlqSolver::solve() {
       P = Mgr->bddOr(P, Mgr->relProd(Cnew, P3, QD3));
       Cused = C;
       ++Stats.Propagations;
+      if (Gov)
+        Gov->onPropagation();
     }
 
     double TC = tick();
@@ -276,11 +301,19 @@ PointsToSolution BlqSolver::solve() {
       Bdd Pd3 = Mgr->replace(Pd, D1toD3);
       P = Mgr->bddOr(P, Mgr->relProd(C, Pd3, QD3));
       ++Stats.Propagations;
+      if (Gov)
+        Gov->onPropagation();
     }
 
     TInner += tick() - TC;
     if (P == Pstart && C == Cstart)
       break;
+  }
+  } catch (BudgetExceededError &E) {
+    // Unwind cleanly with whatever the relation holds so far; the BDD
+    // state is always consistent between operations.
+    E.setPartial(std::make_shared<PointsToSolution>(extract(P)));
+    throw;
   }
   if (Debug)
     std::fprintf(stderr,
@@ -288,19 +321,11 @@ PointsToSolution BlqSolver::solve() {
                  "prop-new-pts %.1f ms, gcs %u, cap %u\n",
                  TEdge, TProp, TInner, Mgr->gcCount(), Mgr->capacity());
 
-  delete T;
-  T = new PhaseTimer("extraction");
+  T.emplace("extraction");
   Stats.EdgesAdded = Doms->countPairs(C, D1, D3);
 
   // --- Extraction.
-  PointsToSolution Out(CS.numNodes());
-  for (NodeId V = 0; V != CS.numNodes(); ++V)
-    if (findRep(V) != V)
-      Out.setRep(V, findRep(V));
-  Doms->forEachPair(P, D1, D2, [&](uint64_t Var, uint64_t Obj) {
-    Out.mutableSet(static_cast<NodeId>(Var))
-        .set(static_cast<uint32_t>(Obj));
-  });
-  delete T;
+  PointsToSolution Out = extract(P);
+  T.reset();
   return Out;
 }

@@ -61,6 +61,8 @@ private:
 
   const ConstraintSystem &CS;
   SolverStats &Stats;
+  /// Resource governor, or null when un-governed (see SolverOptions).
+  SolveGovernor *Gov = nullptr;
   std::unique_ptr<BddManager> Mgr;
   std::unique_ptr<BddDomains> Doms;
 

@@ -45,7 +45,7 @@ public:
            const HcdResult *Hcd = nullptr,
            const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps, /*ReverseEdges=*/true) {
-    (void)Opts;
+    G.Governor = Opts.Governor;
     if (Hcd)
       HcdLazy = Hcd->Lazy;
     const uint32_t N = CS.numNodes();
@@ -66,6 +66,7 @@ public:
       // Resolve every complex constraint against fresh reachability
       // queries; new edges are found or the fixpoint is proven.
       for (const Constraint &C : G.CS.constraints()) {
+        G.governorStep();
         if (C.Kind == ConstraintKind::Load) {
           NodeId Base = G.find(C.Src);
           query(Base);
@@ -178,6 +179,10 @@ private:
       Dfs.push_back(
           Frame{U, G.Succs[U].begin(), G.Succs[U].end(), InvalidNode});
       ++G.Stats.NodesSearched;
+      // Cancellation point: reachability queries can walk the whole graph.
+      // Safe — the SCC stack and caches are reset per query, and no merge
+      // is in flight at a push.
+      G.governorStep();
     };
     push(Root);
 
@@ -191,6 +196,8 @@ private:
         F.PendingChild = InvalidNode;
         if (CacheEpoch[C] == Epoch && C != U) {
           ++G.Stats.Propagations;
+          if (G.Governor)
+            G.Governor->onPropagation();
           G.Stats.ChangedPropagations +=
               CachePts[U].unionWith(G.Ctx, CachePts[C]);
         }
@@ -202,6 +209,8 @@ private:
           continue;
         if (CacheEpoch[P] == Epoch) {
           ++G.Stats.Propagations;
+          if (G.Governor)
+            G.Governor->onPropagation();
           G.Stats.ChangedPropagations +=
               CachePts[U].unionWith(G.Ctx, CachePts[P]);
           continue;

@@ -31,6 +31,7 @@ public:
               const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps), W(Opts.Worklist) {
     G.UseDiffResolution = Opts.DifferenceResolution;
+    G.Governor = Opts.Governor;
   }
 
   /// Runs to fixpoint and returns the solution.
@@ -45,6 +46,7 @@ public:
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
       ++G.Stats.WorklistPops;
+      G.governorStep();
       G.resolveComplex(Node, Push);
       for (uint32_t Raw : G.Succs[Node]) {
         NodeId Z = G.find(Raw);

@@ -47,6 +47,7 @@ public:
               const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps), W(Opts.Worklist) {
     G.UseDiffResolution = Opts.DifferenceResolution;
+    G.Governor = Opts.Governor;
   }
 
   /// Runs to fixpoint and returns the solution.
@@ -82,6 +83,7 @@ public:
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
       ++G.Stats.WorklistPops;
+      G.governorStep();
 
       // Resolve complex constraints, recording insertions; the ordering
       // maintenance runs afterwards so collapses never invalidate the

@@ -36,6 +36,7 @@ public:
             const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps) {
     G.UseDiffResolution = Opts.DifferenceResolution;
+    G.Governor = Opts.Governor;
     if (Hcd)
       for (const auto &[N, Target] : Hcd->Lazy)
         G.HcdTargets[G.find(N)].push_back(Target);
@@ -76,6 +77,7 @@ public:
           continue; // Merged with an already-processed node this round.
         Processed[Node] = Round;
         ++G.Stats.WorklistPops;
+        G.governorStep();
 
         Node = G.applyHcd(Node, Push);
         G.resolveComplex(Node, Push);

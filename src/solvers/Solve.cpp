@@ -6,12 +6,14 @@
 
 #include "solvers/Solve.h"
 
+#include "adt/UnionFind.h"
 #include "core/HcdSolver.h"
 #include "core/LcdSolver.h"
 #include "solvers/BlqSolver.h"
 #include "solvers/HtSolver.h"
 #include "solvers/NaiveSolver.h"
 #include "solvers/PkhSolver.h"
+#include "solvers/SteensgaardSolver.h"
 
 #include <cassert>
 
@@ -40,11 +42,39 @@ const char *ag::solverKindName(SolverKind Kind) {
   case SolverKind::LCDHCD:
     return "LCD+HCD";
   }
-  assert(false && "invalid solver kind");
+  // Reachable from printing externally-supplied values; never UB.
+  return "?";
+}
+
+const char *ag::solveOutcomeName(SolveOutcome Outcome) {
+  switch (Outcome) {
+  case SolveOutcome::Precise:
+    return "precise";
+  case SolveOutcome::Fallback:
+    return "fallback";
+  case SolveOutcome::Partial:
+    return "partial";
+  case SolveOutcome::Failed:
+    return "failed";
+  }
   return "?";
 }
 
 namespace {
+
+/// Runs \p Solver to completion; if the governor aborts it, attaches the
+/// solver's partial state to the in-flight error (best effort) so
+/// solveGoverned can hand it to callers that disallow fallback.
+template <typename SolverT> PointsToSolution runSolver(SolverT &&Solver) {
+  try {
+    return Solver.solve();
+  } catch (BudgetExceededError &E) {
+    if (!E.partial())
+      E.setPartial(std::make_shared<PointsToSolution>(
+          Solver.context().extractSolution()));
+    throw;
+  }
+}
 
 template <typename Policy>
 PointsToSolution dispatch(const ConstraintSystem &CS, SolverKind Kind,
@@ -53,28 +83,70 @@ PointsToSolution dispatch(const ConstraintSystem &CS, SolverKind Kind,
                           const std::vector<NodeId> *Seeds) {
   switch (Kind) {
   case SolverKind::Naive:
-    return NaiveSolver<Policy>(CS, Stats, Opts, Seeds).solve();
+    return runSolver(NaiveSolver<Policy>(CS, Stats, Opts, Seeds));
   case SolverKind::HT:
-    return HtSolver<Policy>(CS, Stats, Opts, nullptr, Seeds).solve();
+    return runSolver(HtSolver<Policy>(CS, Stats, Opts, nullptr, Seeds));
   case SolverKind::HTHCD:
-    return HtSolver<Policy>(CS, Stats, Opts, Hcd, Seeds).solve();
+    return runSolver(HtSolver<Policy>(CS, Stats, Opts, Hcd, Seeds));
   case SolverKind::PKH:
-    return PkhSolver<Policy>(CS, Stats, Opts, nullptr, Seeds).solve();
+    return runSolver(PkhSolver<Policy>(CS, Stats, Opts, nullptr, Seeds));
   case SolverKind::PKHHCD:
-    return PkhSolver<Policy>(CS, Stats, Opts, Hcd, Seeds).solve();
+    return runSolver(PkhSolver<Policy>(CS, Stats, Opts, Hcd, Seeds));
   case SolverKind::LCD:
-    return LcdSolver<Policy>(CS, Stats, Opts, nullptr, Seeds).solve();
+    return runSolver(LcdSolver<Policy>(CS, Stats, Opts, nullptr, Seeds));
   case SolverKind::LCDHCD:
-    return LcdSolver<Policy>(CS, Stats, Opts, Hcd, Seeds).solve();
-  case SolverKind::HCD:
-    assert(Hcd && "standalone HCD requires the offline result");
-    return HcdSolver<Policy>(CS, Stats, Opts, *Hcd, Seeds).solve();
+    return runSolver(LcdSolver<Policy>(CS, Stats, Opts, Hcd, Seeds));
+  case SolverKind::HCD: {
+    // solve() supplies the offline result for every HCD kind; recompute
+    // defensively rather than assert if a caller reaches here without it.
+    HcdResult Own;
+    if (!Hcd) {
+      Own = runHcdOffline(CS);
+      Hcd = &Own;
+    }
+    return runSolver(HcdSolver<Policy>(CS, Stats, Opts, *Hcd, Seeds));
+  }
   case SolverKind::BLQ:
   case SolverKind::BLQHCD:
     break; // Handled by the caller (not templated on Policy).
   }
+  // Invalid kinds are rejected at the entry points; returning the empty
+  // solution here keeps release builds defined if one slips through.
   assert(false && "unreachable solver dispatch");
   return PointsToSolution(CS.numNodes());
+}
+
+/// The graceful-degradation path: Steensgaard's near-linear unification
+/// analysis, with \p SeedReps (offline substitutions the aborted precise
+/// run was seeded with) folded back in. A seed-merged variable carries no
+/// constraints of its own, so Steensgaard alone would give it an empty set;
+/// uniting each seed class with the Steensgaard classes of its members and
+/// taking the union of member sets keeps every node's set a superset of
+/// what any inclusion-based solver would compute for the seeded system.
+PointsToSolution steensgaardFallback(const ConstraintSystem &CS,
+                                     const std::vector<NodeId> *SeedReps) {
+  PointsToSolution Steens = solveSteensgaard(CS);
+  if (!SeedReps)
+    return Steens;
+
+  const uint32_t N = CS.numNodes();
+  UnionFind Classes;
+  Classes.grow(N);
+  for (NodeId V = 0; V != N; ++V) {
+    Classes.unite(V, (*SeedReps)[V]);
+    Classes.unite(V, Steens.repOf(V));
+  }
+  PointsToSolution Out(N);
+  // Pass 1 (all nodes still self-mapped): union member sets per class.
+  for (NodeId V = 0; V != N; ++V)
+    Out.mutableSet(Classes.find(V)).unionWith(Steens.pointsTo(V));
+  // Pass 2: point members at their class representative.
+  for (NodeId V = 0; V != N; ++V) {
+    NodeId R = Classes.find(V);
+    if (R != V)
+      Out.setRep(V, R);
+  }
+  return Out;
 }
 
 } // namespace
@@ -86,6 +158,13 @@ PointsToSolution ag::solve(const ConstraintSystem &CS, SolverKind Kind,
                            const HcdResult *Hcd) {
   SolverStats LocalStats;
   SolverStats &Stats = StatsOut ? *StatsOut : LocalStats;
+
+  if (!isValidSolverKind(Kind)) {
+    // Defined behaviour for out-of-range kinds; use solveGoverned to get
+    // a structured error instead.
+    assert(false && "invalid solver kind");
+    return PointsToSolution(CS.numNodes());
+  }
 
   // Run (or adopt) the HCD offline analysis and fold its variable-only
   // SCCs into the seed representatives.
@@ -105,12 +184,63 @@ PointsToSolution ag::solve(const ConstraintSystem &CS, SolverKind Kind,
     Seeds = &ComposedSeeds;
   }
 
-  if (Kind == SolverKind::BLQ || Kind == SolverKind::BLQHCD)
-    return BlqSolver(CS, Stats, Opts,
-                     Kind == SolverKind::BLQHCD ? Hcd : nullptr, Seeds)
-        .solve();
+  if (Kind == SolverKind::BLQ || Kind == SolverKind::BLQHCD) {
+    // BLQ attaches its own partial snapshot (from the BDD relation) before
+    // rethrowing, so it bypasses the runSolver wrapper.
+    BlqSolver Blq(CS, Stats, Opts, Kind == SolverKind::BLQHCD ? Hcd : nullptr,
+                  Seeds);
+    return Blq.solve();
+  }
 
   if (Repr == PtsRepr::Bitmap)
     return dispatch<BitmapPtsPolicy>(CS, Kind, Stats, Opts, Hcd, Seeds);
   return dispatch<BddPtsPolicy>(CS, Kind, Stats, Opts, Hcd, Seeds);
+}
+
+SolveResult ag::solveGoverned(const ConstraintSystem &CS, SolverKind Kind,
+                              const SolveBudget &Budget, PtsRepr Repr,
+                              SolverStats *StatsOut,
+                              const SolverOptions &Opts,
+                              const std::vector<NodeId> *SeedReps,
+                              const HcdResult *Hcd) {
+  SolveResult R;
+  if (!isValidSolverKind(Kind)) {
+    R.St = Status::invalidArgument(
+        "unknown solver kind " +
+        std::to_string(static_cast<int>(Kind)));
+    R.Solution = PointsToSolution(CS.numNodes());
+    return R;
+  }
+  if (SeedReps && SeedReps->size() != CS.numNodes()) {
+    R.St = Status::invalidArgument("seed representative table has " +
+                                   std::to_string(SeedReps->size()) +
+                                   " entries for " +
+                                   std::to_string(CS.numNodes()) + " nodes");
+    R.Solution = PointsToSolution(CS.numNodes());
+    return R;
+  }
+
+  SolveGovernor Governor(Budget);
+  SolverOptions GovernedOpts = Opts;
+  GovernedOpts.Governor = &Governor;
+  try {
+    R.Solution =
+        solve(CS, Kind, Repr, StatsOut, GovernedOpts, SeedReps, Hcd);
+    R.Outcome = SolveOutcome::Precise;
+    R.Sound = true;
+    return R;
+  } catch (BudgetExceededError &E) {
+    R.St = E.status();
+    if (Budget.AllowFallback) {
+      R.Solution = steensgaardFallback(CS, SeedReps);
+      R.Outcome = SolveOutcome::Fallback;
+      R.Sound = true;
+    } else {
+      R.Solution = E.partial() ? std::move(*E.partial())
+                               : PointsToSolution(CS.numNodes());
+      R.Outcome = SolveOutcome::Partial;
+      R.Sound = false;
+    }
+    return R;
+  }
 }

@@ -29,8 +29,10 @@
 #include "core/HcdOffline.h"
 #include "core/PointsToSolution.h"
 #include "core/Solver.h"
+#include "core/SolveBudget.h"
 
 #include "adt/Statistics.h"
+#include "adt/Status.h"
 
 namespace ag {
 
@@ -50,6 +52,51 @@ PointsToSolution solve(const ConstraintSystem &CS, SolverKind Kind,
                        const SolverOptions &Opts = SolverOptions(),
                        const std::vector<NodeId> *SeedReps = nullptr,
                        const HcdResult *Hcd = nullptr);
+
+/// How a governed solve concluded.
+enum class SolveOutcome {
+  Precise,  ///< The requested algorithm ran to fixpoint within budget.
+  Fallback, ///< Budget tripped; the Steensgaard over-approximation was
+            ///< substituted (sound, less precise).
+  Partial,  ///< Budget tripped with fallback disallowed: the solution is
+            ///< the interrupted solver's state — UNFINISHED, treat as
+            ///< unsound (sets may be missing members).
+  Failed,   ///< Input rejected before solving (see SolveResult::St).
+};
+
+/// Returns a stable name for \p Outcome ("precise", "fallback", ...).
+const char *solveOutcomeName(SolveOutcome Outcome);
+
+/// Result of a budgeted solve.
+struct SolveResult {
+  PointsToSolution Solution;
+  /// Ok for a precise run; the budget-trip reason for Fallback/Partial;
+  /// the input error for Failed.
+  Status St;
+  SolveOutcome Outcome = SolveOutcome::Failed;
+  /// True if Solution over-approximates the true points-to relation
+  /// (Precise and Fallback). A Partial solution is explicitly NOT sound.
+  bool Sound = false;
+
+  bool usedFallback() const { return Outcome == SolveOutcome::Fallback; }
+};
+
+/// As solve(), but enforces \p Budget and degrades gracefully instead of
+/// looping until done or OOM: when the budget trips, the precise solver
+/// unwinds cleanly and the unification-based Steensgaard analysis (a
+/// near-linear, sound over-approximation — with \p SeedReps folded in so
+/// substituted variables keep their representatives' sets) is substituted.
+/// With Budget.AllowFallback false, the interrupted solver's partial state
+/// is returned instead, flagged unsound. Invalid input (unknown \p Kind,
+/// mis-sized \p SeedReps) is reported as a Failed outcome, never as an
+/// assert or undefined dispatch.
+SolveResult solveGoverned(const ConstraintSystem &CS, SolverKind Kind,
+                          const SolveBudget &Budget = SolveBudget(),
+                          PtsRepr Repr = PtsRepr::Bitmap,
+                          SolverStats *StatsOut = nullptr,
+                          const SolverOptions &Opts = SolverOptions(),
+                          const std::vector<NodeId> *SeedReps = nullptr,
+                          const HcdResult *Hcd = nullptr);
 
 } // namespace ag
 

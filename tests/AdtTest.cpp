@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "adt/FaultInjector.h"
+#include "adt/MemTracker.h"
 #include "adt/Rng.h"
 #include "adt/Scc.h"
 #include "adt/UnionFind.h"
@@ -274,6 +276,102 @@ TEST(Scc, RandomizedAgainstReachabilityOracle) {
         EXPECT_EQ(R.Comp[U] == R.Comp[V], Reach[U][V] && Reach[V][U])
             << U << " vs " << V;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// MemTracker
+//===----------------------------------------------------------------------===//
+
+TEST(MemTracker, JointPeakIsHighWaterMarkNotSumOfPeaks) {
+  // The per-category peaks of two allocations that were never live at the
+  // same time must not inflate the joint peak. All expectations are deltas
+  // from the tracker's state at test start, since it is process-wide.
+  MemTracker &T = MemTracker::instance();
+  T.resetPeaks();
+  uint64_t Base = T.currentBytesTotal();
+
+  T.allocate(MemCategory::Bitmap, 1000);
+  T.release(MemCategory::Bitmap, 1000);
+  T.allocate(MemCategory::BddTable, 600);
+  T.release(MemCategory::BddTable, 600);
+
+  EXPECT_EQ(T.currentBytesTotal(), Base);
+  // True high-water mark: only one of the two was ever live.
+  EXPECT_EQ(T.peakBytesJoint(), Base + 1000);
+  // Sum-of-peaks over-approximates: both category peaks count.
+  EXPECT_EQ(T.peakBytesTotal(), Base + 1600);
+}
+
+TEST(MemTracker, ResetPeaksDropsToLiveBytes) {
+  MemTracker &T = MemTracker::instance();
+  T.allocate(MemCategory::Other, 512);
+  T.resetPeaks();
+  uint64_t Live = T.currentBytesTotal();
+  EXPECT_EQ(T.peakBytesJoint(), Live);
+  T.release(MemCategory::Other, 512);
+  // Peaks never decrease below the mark set at reset.
+  EXPECT_EQ(T.peakBytesJoint(), Live);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+class FaultInjectorTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().disarmAll(); }
+  void TearDown() override { FaultInjector::instance().disarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, CountdownFiresExactlyOnce) {
+  FaultInjector &Inj = FaultInjector::instance();
+  EXPECT_FALSE(Inj.shouldFail(FaultSite::GovernorCheck));
+  Inj.armAfter(FaultSite::GovernorCheck, /*Countdown=*/2);
+  EXPECT_FALSE(Inj.shouldFail(FaultSite::GovernorCheck));
+  EXPECT_FALSE(Inj.shouldFail(FaultSite::GovernorCheck));
+  EXPECT_TRUE(Inj.shouldFail(FaultSite::GovernorCheck));
+  // One-shot: the site disarms itself after firing.
+  EXPECT_FALSE(Inj.shouldFail(FaultSite::GovernorCheck));
+  EXPECT_FALSE(Inj.anyArmed());
+}
+
+TEST_F(FaultInjectorTest, AllocationFaultLatchesUntilConsumed) {
+  FaultInjector &Inj = FaultInjector::instance();
+  EXPECT_FALSE(Inj.consumePendingAllocationFault());
+  Inj.armAfter(FaultSite::Allocation, /*Countdown=*/0);
+  memAllocate(MemCategory::Other, 8);
+  memRelease(MemCategory::Other, 8);
+  EXPECT_TRUE(Inj.consumePendingAllocationFault());
+  // Consuming clears the latch.
+  EXPECT_FALSE(Inj.consumePendingAllocationFault());
+}
+
+TEST_F(FaultInjectorTest, DisarmClearsPendingFault) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.armAfter(FaultSite::Allocation, /*Countdown=*/0);
+  memAllocate(MemCategory::Other, 8);
+  memRelease(MemCategory::Other, 8);
+  Inj.disarm(FaultSite::Allocation);
+  EXPECT_FALSE(Inj.consumePendingAllocationFault());
+}
+
+TEST_F(FaultInjectorTest, RandomModeIsDeterministicPerSeed) {
+  FaultInjector &Inj = FaultInjector::instance();
+  auto sample = [&](uint64_t Seed) {
+    Inj.armRandom(FaultSite::GovernorCheck, 0.5, Seed);
+    std::vector<bool> Seq;
+    for (int I = 0; I != 64; ++I)
+      Seq.push_back(Inj.shouldFail(FaultSite::GovernorCheck));
+    Inj.disarm(FaultSite::GovernorCheck);
+    return Seq;
+  };
+  std::vector<bool> A = sample(7), B = sample(7), C = sample(8);
+  EXPECT_EQ(A, B) << "same seed must reproduce the same fault sequence";
+  EXPECT_NE(A, C) << "different seeds should diverge";
+  // Roughly half the hits fire at p = 0.5.
+  int Fired = static_cast<int>(std::count(A.begin(), A.end(), true));
+  EXPECT_GT(Fired, 16);
+  EXPECT_LT(Fired, 48);
 }
 
 } // namespace

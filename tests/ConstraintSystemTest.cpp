@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 using namespace ag;
 
 namespace {
@@ -122,6 +124,81 @@ TEST(ConstraintSystem, ParseRejectsMalformedInput) {
   ConstraintSystem Out4;
   EXPECT_FALSE(
       ConstraintSystem::parse("node 0 1 a\nfrobnicate 0 0", Out4, Error));
+}
+
+TEST(ConstraintSystem, ParseTextReportsStructuredStatus) {
+  ConstraintSystem Out;
+  Status St = ConstraintSystem::parseText("node 0 1 a\ncopy 0 7", Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), StatusCode::ParseError);
+  EXPECT_NE(St.message().find("line 2"), std::string::npos);
+
+  ConstraintSystem Ok;
+  EXPECT_TRUE(ConstraintSystem::parseText("node 0 1 a", Ok).ok());
+}
+
+// Untrusted-input hardening: every malformed record yields a clean
+// ParseError, never an assert, an out-of-range write, or UB in the
+// constraint dedup key (ASan/UBSan in CI back this up).
+TEST(ConstraintSystem, ParseRejectsHostileInputsCleanly) {
+  struct Case {
+    const char *Name;
+    const char *Text;
+  } Cases[] = {
+      {"truncated node record", "node 0"},
+      {"truncated constraint", "node 0 1 a\ncopy 0"},
+      {"zero node size", "node 0 0 a"},
+      {"oversized node", "node 0 999999999 a"},
+      {"node count overflowing capacity", "numnodes 99999999999"},
+      {"sparse giant node id", "node 0 1 a\nnode 8388607 1 z"},
+      {"out-of-range constraint dst", "node 0 1 a\ncopy 4294967295 0"},
+      {"out-of-range constraint src", "node 0 1 a\naddr 0 18446744073709551615"},
+      {"offset exceeding dedup-key capacity",
+       "node 0 4 a\nnode 4 1 b\nload 4 0 65536"},
+      {"fun on unknown node", "node 0 1 a\nfun 3"},
+      {"negative-looking id", "node 0 1 a\ncopy -1 0"},
+  };
+  for (const Case &C : Cases) {
+    ConstraintSystem Out;
+    Status St = ConstraintSystem::parseText(C.Text, Out);
+    EXPECT_FALSE(St.ok()) << C.Name;
+    EXPECT_EQ(St.code(), StatusCode::ParseError) << C.Name;
+  }
+}
+
+TEST(ConstraintSystem, ParseAcceptsBoundaryOffsets) {
+  // MaxOffset itself must round-trip; only MaxOffset+1 is rejected.
+  ConstraintSystem Out;
+  std::string Text = "node 0 65536 big\nnode 65536 1 p\nload 65536 0 65535\n";
+  Status St = ConstraintSystem::parseText(Text, Out);
+  EXPECT_TRUE(St.ok()) << St.toString();
+  EXPECT_EQ(Out.countKind(ConstraintKind::Load), 1u);
+}
+
+TEST(ConstraintSystem, ParseDeduplicatesHostileRepeats) {
+  // Duplicate constraints (including duplicated offsets) collapse to one;
+  // a flood of repeats must not blow up the constraint vector.
+  std::string Text = "node 0 4 a\nnode 4 1 p\n";
+  for (int I = 0; I != 100; ++I)
+    Text += "load 4 0 2\n";
+  ConstraintSystem Out;
+  ASSERT_TRUE(ConstraintSystem::parseText(Text, Out).ok());
+  EXPECT_EQ(Out.constraints().size(), 1u);
+}
+
+TEST(ConstraintSystem, LoadFromFileStatusPaths) {
+  ConstraintSystem Unused;
+  Status Missing =
+      ConstraintSystem::loadFromFile("/nonexistent/zz.cons", Unused);
+  EXPECT_EQ(Missing.code(), StatusCode::IoError);
+
+  std::string Path = testing::TempDir() + "/ag_cs_bad.cons";
+  std::ofstream(Path) << "node 0 1 a\ncopy 0 9\n";
+  ConstraintSystem Out;
+  Status St = ConstraintSystem::loadFromFile(Path, Out);
+  EXPECT_EQ(St.code(), StatusCode::ParseError);
+  // The file path is part of the diagnostic.
+  EXPECT_NE(St.message().find(Path), std::string::npos);
 }
 
 TEST(ConstraintSystem, ParseToleratesCommentsAndBlanks) {
