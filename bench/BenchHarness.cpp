@@ -62,6 +62,11 @@ std::vector<Suite> ag::bench::loadSuites(double Scale) {
 
 RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind,
                                PtsRepr Repr) {
+  return runSolver(S, Kind, Repr, SolverOptions());
+}
+
+RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
+                               const SolverOptions &Opts) {
   RunResult R;
   MemTracker::instance().resetPeaks();
   uint64_t BitmapBase =
@@ -71,7 +76,7 @@ RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind,
 
   auto T0 = std::chrono::steady_clock::now();
   PointsToSolution Sol =
-      solve(S.Reduced, Kind, Repr, &R.Stats, SolverOptions(), &S.Rep,
+      solve(S.Reduced, Kind, Repr, &R.Stats, Opts, &S.Rep,
             usesHcd(Kind) ? &S.Hcd : nullptr);
   R.Seconds = secondsSince(T0);
 

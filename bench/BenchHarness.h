@@ -65,6 +65,11 @@ struct RunResult {
 /// separately, as in Table 3).
 RunResult runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr);
 
+/// As above, with explicit solver options — e.g. SolverOptions::Threads to
+/// route LCD / LCD+HCD through the parallel wavefront solver.
+RunResult runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
+                    const SolverOptions &Opts);
+
 /// Prints the standard header naming the experiment.
 void printHeader(const char *Experiment, const char *PaperRef,
                  double Scale);

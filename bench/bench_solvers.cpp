@@ -1,0 +1,176 @@
+//===- bench_solvers.cpp - Solver comparison + parallel speedup -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable solver comparison: for every algorithm (bitmap sets),
+/// wall-clock time, worklist pops and peak tracked bytes per suite; then
+/// the parallel wavefront solver at 1/2/4/8 threads against sequential
+/// LCD+HCD, verifying bit-identical solutions and recording the speedup.
+/// Results land in BENCH_solvers.json (argv[2] or the working directory).
+///
+/// The JSON records the host's hardware concurrency alongside the speedups:
+/// parallel numbers are only meaningful relative to the cores the run
+/// actually had (on a single-core host the speedup ceiling is 1.0 and the
+/// sharding/locking overhead is all that shows).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ag;
+using namespace ag::bench;
+
+namespace {
+
+struct SolverRow {
+  std::string Suite;
+  std::string Kind;
+  double WallMs = 0;
+  uint64_t WorklistPops = 0;
+  uint64_t PeakBytes = 0;
+  uint64_t Hash = 0;
+};
+
+struct ParallelRow {
+  std::string Suite;
+  unsigned Threads = 0;
+  double WallMs = 0;
+  double Speedup = 0; ///< Sequential LCD+HCD wall time / this wall time.
+  double Scaling = 0; ///< 1-thread parallel wall time / this wall time.
+  uint64_t ParallelRounds = 0;
+  uint64_t Propagations = 0;
+  bool Identical = false; ///< Solution hash equals the sequential run's.
+};
+
+void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S)
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else {
+      Out += C;
+    }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  std::string OutPath =
+      Argc > 2 ? Argv[2] : std::string("BENCH_solvers.json");
+  printHeader("Solver comparison + parallel wavefront speedup",
+              "Tables 3-5, parallel extension", Scale);
+  unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::vector<Suite> Suites = loadSuites(Scale);
+  std::vector<SolverRow> Rows;
+  std::vector<ParallelRow> ParRows;
+  bool AllIdentical = true;
+
+  for (const Suite &S : Suites) {
+    std::printf("%s:\n", S.Name.c_str());
+    for (SolverKind Kind : AllSolverKinds) {
+      RunResult R = runSolver(S, Kind, PtsRepr::Bitmap);
+      SolverRow Row;
+      Row.Suite = S.Name;
+      Row.Kind = solverKindName(Kind);
+      Row.WallMs = R.Seconds * 1e3;
+      Row.WorklistPops = R.Stats.WorklistPops;
+      Row.PeakBytes = R.PeakBitmapBytes + R.PeakBddBytes;
+      Row.Hash = R.SolutionHash;
+      Rows.push_back(Row);
+      std::printf("  %-8s %10.2f ms  %10llu pops  %8.2f MB\n",
+                  Row.Kind.c_str(), Row.WallMs,
+                  static_cast<unsigned long long>(Row.WorklistPops),
+                  R.peakMb());
+    }
+
+    // Parallel wavefront at each thread count vs the sequential LCD+HCD
+    // run just recorded.
+    double SeqMs = 0;
+    uint64_t SeqHash = 0;
+    for (const SolverRow &Row : Rows)
+      if (Row.Suite == S.Name && Row.Kind == "LCD+HCD") {
+        SeqMs = Row.WallMs;
+        SeqHash = Row.Hash;
+      }
+    double OneThreadMs = 0;
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      SolverOptions Opts;
+      Opts.Threads = Threads;
+      RunResult R = runSolver(S, SolverKind::LCDHCD, PtsRepr::Bitmap, Opts);
+      ParallelRow P;
+      P.Suite = S.Name;
+      P.Threads = Threads;
+      P.WallMs = R.Seconds * 1e3;
+      if (Threads == 1)
+        OneThreadMs = P.WallMs;
+      P.Speedup = P.WallMs > 0 ? SeqMs / P.WallMs : 0;
+      P.Scaling = P.WallMs > 0 ? OneThreadMs / P.WallMs : 0;
+      P.ParallelRounds = R.Stats.ParallelRounds;
+      P.Propagations = R.Stats.Propagations;
+      P.Identical = R.SolutionHash == SeqHash;
+      AllIdentical &= P.Identical;
+      ParRows.push_back(P);
+      std::printf("  par x%-2u  %10.2f ms  speedup %5.2f  scaling %5.2f  "
+                  "rounds %llu  props %llu  %s\n",
+                  Threads, P.WallMs, P.Speedup, P.Scaling,
+                  static_cast<unsigned long long>(P.ParallelRounds),
+                  static_cast<unsigned long long>(P.Propagations),
+                  P.Identical ? "identical" : "DIVERGED");
+    }
+  }
+
+  std::string Json = "{\n";
+  Json += "  \"scale\": " + std::to_string(Scale) + ",\n";
+  Json += "  \"host_cores\": " + std::to_string(HostCores) + ",\n";
+  Json += "  \"solvers\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const SolverRow &R = Rows[I];
+    Json += "    {\"suite\": \"";
+    appendJsonEscaped(Json, R.Suite);
+    Json += "\", \"kind\": \"";
+    appendJsonEscaped(Json, R.Kind);
+    Json += "\", \"wall_ms\": " + std::to_string(R.WallMs) +
+            ", \"worklist_pops\": " + std::to_string(R.WorklistPops) +
+            ", \"peak_tracked_bytes\": " + std::to_string(R.PeakBytes) + "}";
+    Json += I + 1 == Rows.size() ? "\n" : ",\n";
+  }
+  Json += "  ],\n";
+  Json += "  \"parallel_lcdhcd\": [\n";
+  for (size_t I = 0; I != ParRows.size(); ++I) {
+    const ParallelRow &P = ParRows[I];
+    Json += "    {\"suite\": \"";
+    appendJsonEscaped(Json, P.Suite);
+    Json += "\", \"threads\": " + std::to_string(P.Threads) +
+            ", \"wall_ms\": " + std::to_string(P.WallMs) +
+            ", \"speedup_vs_sequential\": " + std::to_string(P.Speedup) +
+            ", \"scaling_vs_one_thread\": " + std::to_string(P.Scaling) +
+            ", \"parallel_rounds\": " + std::to_string(P.ParallelRounds) +
+            ", \"propagations\": " + std::to_string(P.Propagations) +
+            ", \"solution_identical\": " +
+            (P.Identical ? "true" : "false") + "}";
+    Json += I + 1 == ParRows.size() ? "\n" : ",\n";
+  }
+  Json += "  ]\n}\n";
+
+  if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("\nwrote %s (host cores: %u)\n", OutPath.c_str(), HostCores);
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("parallel solutions bit-identical to sequential: %s\n",
+              AllIdentical ? "yes" : "NO — BUG");
+  return AllIdentical ? 0 : 1;
+}

@@ -14,8 +14,10 @@
 ///   ptatool query <file.cons> <v> <w>    may-alias query by node name
 ///
 /// solve accepts resource-budget flags (--timeout, --max-mem-mb,
-/// --max-steps, --no-fallback) and reports how the run concluded through
-/// its exit code:
+/// --max-steps, --no-fallback), plus --threads <n> to run the parallel
+/// wavefront solver (LCD / LCD+HCD over bitmaps; budgets still apply —
+/// workers poll the governor cooperatively), and reports how the run
+/// concluded through its exit code:
 ///   0  precise solve within budget
 ///   1  error (bad input, unreadable file)
 ///   2  usage
@@ -58,6 +60,7 @@ int usage() {
                "HT+HCD|PKH+HCD|BLQ+HCD|LCD+HCD|Naive]\n"
                "               [--timeout <seconds>] [--max-mem-mb <mb>]\n"
                "               [--max-steps <n>] [--no-fallback]\n"
+               "               [--threads <n>]\n"
                "       ptatool query <file.cons> <name1> <name2>\n"
                "solve exit codes: 0 precise, 1 error, 2 usage, "
                "3 fallback, 4 partial\n");
@@ -174,13 +177,14 @@ int cmdSolve(int Argc, char **Argv) {
     return ExitError;
   SolverKind Kind = SolverKind::LCDHCD;
   SolveBudget Budget;
+  SolverOptions Opts;
   int NextPositional = 3;
   for (int I = 3; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--no-fallback") {
       Budget.AllowFallback = false;
     } else if (Arg == "--timeout" || Arg == "--max-mem-mb" ||
-               Arg == "--max-steps") {
+               Arg == "--max-steps" || Arg == "--threads") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s expects a value\n", Arg.c_str());
         return usage();
@@ -194,8 +198,17 @@ int cmdSolve(int Argc, char **Argv) {
         Valid = parsePositiveU64(Value, Mb) &&
                 Mb <= (UINT64_MAX >> 20); // No overflow converting to bytes.
         Budget.MaxMemoryBytes = Mb << 20;
-      } else { // --max-steps
+      } else if (Arg == "--max-steps") {
         Valid = parsePositiveU64(Value, Budget.MaxPropagations);
+      } else { // --threads
+        // Parallel wavefront solving applies to LCD / LCD+HCD (the default
+        // algorithm) over bitmap sets; other kinds quietly run sequential.
+        // Budgets compose: workers poll the governor cooperatively, so
+        // --timeout and friends still trip (at shard granularity).
+        uint64_t N = 0;
+        constexpr uint64_t MaxThreads = 256;
+        Valid = parsePositiveU64(Value, N) && N <= MaxThreads;
+        Opts.Threads = static_cast<unsigned>(N);
       }
       if (!Valid) {
         std::fprintf(stderr, "error: bad value '%s' for %s\n", Value,
@@ -221,7 +234,7 @@ int cmdSolve(int Argc, char **Argv) {
   OvsResult Ovs = runOfflineVariableSubstitution(CS);
   SolverStats Stats;
   SolveResult R = solveGoverned(Ovs.Reduced, Kind, Budget, PtsRepr::Bitmap,
-                                &Stats, SolverOptions(), &Ovs.Rep);
+                                &Stats, Opts, &Ovs.Rep);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();

@@ -1,0 +1,134 @@
+//===- ShardedWorklist.h - Per-worker worklists with MPSC inboxes -*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist structure behind the parallel wavefront solver: node ids are
+/// hash-sharded across workers (shard = id % numShards), and each shard owns
+/// a current/next pair in the style of the paper's divided worklist. During
+/// a round, a worker consumes its own immutable `current` list; work it
+/// discovers goes to `next` when the target node belongs to its own shard
+/// (no synchronization: the owner is the only writer of its next list and of
+/// the dedup flags of its nodes) or into the target shard's MPSC inbox when
+/// it does not (mutex-protected append; producers never touch dedup state).
+///
+/// Between rounds, the single-threaded coordinator calls beginRound(): every
+/// queued id from every next list and inbox is canonicalized through the
+/// caller's representative map (cycle collapse may have changed shard
+/// ownership), deduplicated with an epoch stamp, redistributed to the owning
+/// shard, and sorted — so each round processes a deterministic, duplicate-
+/// free wavefront regardless of the interleaving that produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_SHARDEDWORKLIST_H
+#define AG_ADT_SHARDEDWORKLIST_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ag {
+
+/// Sharded divided worklist over dense node ids.
+class ShardedWorklist {
+public:
+  ShardedWorklist(unsigned NumShards, uint32_t NumNodes)
+      : Shards(NumShards ? NumShards : 1), InNext(NumNodes, 0),
+        Stamp(NumNodes, 0) {}
+
+  unsigned numShards() const {
+    return static_cast<unsigned>(Shards.size());
+  }
+
+  /// Owning shard of \p Id (stable for a given id; representatives that
+  /// change under cycle collapse are re-homed by beginRound).
+  unsigned shardOf(uint32_t Id) const {
+    return Id % static_cast<uint32_t>(Shards.size());
+  }
+
+  /// Owner-only push during a round: \p Shard must own \p Id. Deduplicated
+  /// against this shard's pending next list.
+  void pushLocal(unsigned Shard, uint32_t Id) {
+    assert(shardOf(Id) == Shard && "pushLocal to non-owning shard");
+    if (InNext[Id])
+      return;
+    InNext[Id] = 1;
+    Shards[Shard].Next.push_back(Id);
+  }
+
+  /// Any-thread push: appends to the owning shard's inbox. Duplicates are
+  /// allowed here and removed by beginRound.
+  void pushRemote(uint32_t Id) {
+    Shard &S = Shards[shardOf(Id)];
+    std::lock_guard<std::mutex> Lock(S.InboxMutex);
+    S.Inbox.push_back(Id);
+  }
+
+  /// Single-threaded (between rounds): canonicalizes every queued id
+  /// through \p Canon, deduplicates, redistributes to the owner shard of
+  /// the representative, and sorts each shard's current list.
+  /// \returns the total number of nodes queued for the round.
+  template <typename CanonFn> size_t beginRound(CanonFn Canon) {
+    ++Round;
+    size_t Total = 0;
+    for (Shard &S : Shards)
+      S.Current.clear();
+    auto Collect = [&](uint32_t Id) {
+      uint32_t R = Canon(Id);
+      if (Stamp[R] == Round)
+        return;
+      Stamp[R] = Round;
+      Shards[shardOf(R)].Current.push_back(R);
+      ++Total;
+    };
+    for (Shard &S : Shards) {
+      for (uint32_t Id : S.Next)
+        InNext[Id] = 0;
+      for (uint32_t Id : S.Next)
+        Collect(Id);
+      S.Next.clear();
+      // The coordinator runs strictly after the workers' barrier, but take
+      // the lock anyway: it is free of contention here and keeps the
+      // accesses obviously well-ordered.
+      std::lock_guard<std::mutex> Lock(S.InboxMutex);
+      for (uint32_t Id : S.Inbox)
+        Collect(Id);
+      S.Inbox.clear();
+    }
+    for (Shard &S : Shards)
+      std::sort(S.Current.begin(), S.Current.end());
+    return Total;
+  }
+
+  /// The round's immutable work for \p Shard (valid until next beginRound).
+  const std::vector<uint32_t> &current(unsigned Shard) const {
+    return Shards[Shard].Current;
+  }
+
+private:
+  /// Padded to a cache line so one shard's next-list growth does not
+  /// false-share with a neighbour's inbox mutex.
+  struct alignas(64) Shard {
+    std::vector<uint32_t> Current;
+    std::vector<uint32_t> Next;
+    std::vector<uint32_t> Inbox;
+    std::mutex InboxMutex;
+  };
+
+  std::vector<Shard> Shards;
+  /// Dedup flags for next lists; entry Id is only ever written by the
+  /// owning shard's worker (during rounds) or the coordinator (between).
+  std::vector<uint8_t> InNext;
+  /// Epoch stamps for beginRound's cross-shard dedup.
+  std::vector<uint32_t> Stamp;
+  uint32_t Round = 0;
+};
+
+} // namespace ag
+
+#endif // AG_ADT_SHARDEDWORKLIST_H

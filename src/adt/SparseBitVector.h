@@ -146,6 +146,34 @@ public:
   /// Returns the lowest set bit. Requires !empty().
   uint32_t findFirst() const;
 
+  /// Invokes \p Fn with every bit set in this but not in \p Exclude, in
+  /// increasing order. A dual-cursor merge walk over the two element
+  /// lists: no temporary vector is materialized (difference propagation
+  /// runs this on every complex-constraint resolution step).
+  template <typename F>
+  void forEachDiff(const SparseBitVector &Exclude, F Fn) const {
+    const Element *X = Exclude.Head;
+    for (const Element *E = Head; E; E = E->Next) {
+      while (X && X->Index < E->Index)
+        X = X->Next;
+      uint64_t W0 = E->Words[0];
+      uint64_t W1 = E->Words[1];
+      if (X && X->Index == E->Index) {
+        W0 &= ~X->Words[0];
+        W1 &= ~X->Words[1];
+      }
+      uint32_t Base = E->Index * BitsPerElement;
+      while (W0) {
+        Fn(Base + static_cast<uint32_t>(std::countr_zero(W0)));
+        W0 &= W0 - 1;
+      }
+      while (W1) {
+        Fn(Base + WordBits + static_cast<uint32_t>(std::countr_zero(W1)));
+        W1 &= W1 - 1;
+      }
+    }
+  }
+
   /// Heap bytes owned by this vector (for the memory tables).
   size_t memoryBytes() const { return NumElements * sizeof(Element); }
 

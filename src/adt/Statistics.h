@@ -41,6 +41,26 @@ struct SolverStats {
   uint64_t WorklistPops = 0;
   /// HCD preemptive collapses performed online.
   uint64_t HcdCollapses = 0;
+  /// LCD R-set probes: hash lookups asking "has this edge triggered a
+  /// cycle search before" (the cheap pre-test guarding set equality).
+  uint64_t LcdTriggerProbes = 0;
+  /// Wavefront rounds executed by the parallel solver (0 for sequential).
+  uint64_t ParallelRounds = 0;
+
+  /// Accumulates \p RHS into this (used to fold per-worker counters into
+  /// the run's totals at epoch boundaries).
+  void mergeFrom(const SolverStats &RHS) {
+    NodesCollapsed += RHS.NodesCollapsed;
+    NodesSearched += RHS.NodesSearched;
+    Propagations += RHS.Propagations;
+    ChangedPropagations += RHS.ChangedPropagations;
+    CycleDetectAttempts += RHS.CycleDetectAttempts;
+    EdgesAdded += RHS.EdgesAdded;
+    WorklistPops += RHS.WorklistPops;
+    HcdCollapses += RHS.HcdCollapses;
+    LcdTriggerProbes += RHS.LcdTriggerProbes;
+    ParallelRounds += RHS.ParallelRounds;
+  }
 
   /// Renders one counter per line, prefixed by \p Prefix.
   std::string toString(const std::string &Prefix = "") const {
@@ -60,6 +80,8 @@ struct SolverStats {
     Row("edges_added", EdgesAdded);
     Row("worklist_pops", WorklistPops);
     Row("hcd_collapses", HcdCollapses);
+    Row("lcd_trigger_probes", LcdTriggerProbes);
+    Row("parallel_rounds", ParallelRounds);
     return Out;
   }
 };

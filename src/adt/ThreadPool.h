@@ -1,0 +1,114 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch fixed-size thread pool built for bulk-synchronous solver
+/// rounds: the coordinator repeatedly calls runOnWorkers(Fn), every worker
+/// executes Fn(workerIndex) exactly once, and the call returns when all
+/// workers have finished (a full barrier). Workers are spawned once at
+/// construction and parked on a condition variable between rounds, so the
+/// per-round cost is two lock/notify handshakes rather than thread churn.
+///
+/// Memory ordering: the mutex protecting Generation/Remaining makes every
+/// write a worker performed during round k happen-before the coordinator's
+/// return from runOnWorkers, and everything the coordinator did before the
+/// call happen-before the workers' execution of Fn. Solver code can
+/// therefore treat the epochs between rounds as single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_THREADPOOL_H
+#define AG_ADT_THREADPOOL_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ag {
+
+/// Fixed pool of \c size() workers executing one task per barrier round.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers threads (at least one). The pool never resizes.
+  explicit ThreadPool(unsigned NumWorkers) {
+    if (NumWorkers == 0)
+      NumWorkers = 1;
+    Workers.reserve(NumWorkers);
+    for (unsigned I = 0; I != NumWorkers; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
+    }
+    WakeCv.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs \p Fn(workerIndex) on every worker and blocks until all have
+  /// returned. \p Fn must not throw (a throwing task terminates the
+  /// process, as with any unhandled exception on a std::thread) and must
+  /// not call back into the pool.
+  void runOnWorkers(const std::function<void(unsigned)> &Fn) {
+    std::unique_lock<std::mutex> Lock(M);
+    assert(Remaining == 0 && "round already in flight");
+    Task = &Fn;
+    Remaining = size();
+    ++Generation;
+    WakeCv.notify_all();
+    DoneCv.wait(Lock, [this] { return Remaining == 0; });
+    Task = nullptr;
+  }
+
+private:
+  void workerLoop(unsigned Index) {
+    uint64_t SeenGeneration = 0;
+    for (;;) {
+      const std::function<void(unsigned)> *Fn = nullptr;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WakeCv.wait(Lock, [&] {
+          return Stop || Generation != SeenGeneration;
+        });
+        if (Stop)
+          return;
+        SeenGeneration = Generation;
+        Fn = Task;
+      }
+      (*Fn)(Index);
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Remaining == 0)
+          DoneCv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable WakeCv;
+  std::condition_variable DoneCv;
+  const std::function<void(unsigned)> *Task = nullptr;
+  uint64_t Generation = 0;
+  unsigned Remaining = 0;
+  bool Stop = false;
+};
+
+} // namespace ag
+
+#endif // AG_ADT_THREADPOOL_H

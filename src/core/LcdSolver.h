@@ -41,6 +41,12 @@ public:
     if (Hcd)
       for (const auto &[N, Target] : Hcd->Lazy)
         G.HcdTargets[G.find(N)].push_back(Target);
+    // The R set ends up holding one entry per triggered edge — the same
+    // order of magnitude as the copy-edge count. Reserving up front keeps
+    // the hot loop's insertions from rehashing the table O(log n) times
+    // (complex-constraint resolution roughly doubles the initial edges).
+    if (Opts.LcdEdgeOnce)
+      Triggered.reserve(2 * CS.countKind(ConstraintKind::Copy) + 16);
   }
 
   /// Runs to fixpoint and returns the solution.
@@ -109,9 +115,10 @@ public:
 private:
   /// The R set, split into a cheap pre-test and the insertion. With
   /// LcdEdgeOnce disabled (ablation), edges always (re)trigger.
-  bool alreadyTriggered(NodeId From, NodeId To) const {
+  bool alreadyTriggered(NodeId From, NodeId To) {
     if (!Opts.LcdEdgeOnce)
       return false;
+    ++G.Stats.LcdTriggerProbes;
     return Triggered.count((uint64_t(From) << 32) | To) != 0;
   }
   bool markTriggered(NodeId From, NodeId To) {

@@ -71,12 +71,12 @@ struct BitmapPtsPolicy {
     }
 
     /// Visits the elements of this set that are not in \p Exclude.
+    /// Allocation-free: a dual-cursor merge walk over the two element
+    /// lists (no temporary difference vector is built).
     template <typename F>
     void forEachDiff(const Context &, const Set &Exclude, F Fn) const {
-      SparseBitVector Diff = Bits;
-      Diff.subtract(Exclude.Bits);
-      for (uint32_t N : Diff)
-        Fn(static_cast<NodeId>(N));
+      Bits.forEachDiff(Exclude.Bits,
+                       [&](uint32_t N) { Fn(static_cast<NodeId>(N)); });
     }
 
     void toBitmap(const Context &, SparseBitVector &Out) const {

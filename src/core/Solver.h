@@ -105,6 +105,14 @@ struct SolverOptions {
   /// run (the default; costs one pointer test per counted operation).
   /// Not owned; must outlive the solve. solveGoverned() installs this.
   SolveGovernor *Governor = nullptr;
+
+  /// Worker-thread count for the parallel wavefront solver. 0 (default)
+  /// keeps the sequential solvers. Any value >= 1 routes LCD and LCD+HCD
+  /// solves over bitmap sets through ParallelLcdSolver with that many
+  /// workers (1 still exercises the full sharded machinery on one worker
+  /// thread); other kinds and the BDD representation ignore this — the
+  /// BDD manager's hash-consed node table is inherently single-threaded.
+  unsigned Threads = 0;
 };
 
 } // namespace ag

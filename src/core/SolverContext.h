@@ -124,6 +124,12 @@ public:
   /// Representative of \p V.
   NodeId find(NodeId V) { return Reps.find(V); }
 
+  /// Representative of \p V without path compression. The parallel solver
+  /// uses this from worker threads during propagation phases, where the
+  /// protocol guarantees no merge is in flight: plain find()'s compression
+  /// writes would race between readers.
+  NodeId findReadOnly(NodeId V) const { return Reps.findNoCompress(V); }
+
   /// True if \p V is currently a representative.
   bool isRep(NodeId V) const { return Reps.isRepresentative(V); }
 

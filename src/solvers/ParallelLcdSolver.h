@@ -1,0 +1,419 @@
+//===- ParallelLcdSolver.h - Multi-threaded wavefront LCD(+HCD) -*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parallel wavefront variant of the paper's LCD(+HCD) solver over sparse
+/// bitmap points-to sets. Propagation — the paper's dominant cost — runs on
+/// a fixed thread pool; the parts that mutate the union-find (cycle
+/// collapse, HCD's preemptive merging) are funneled into single-threaded
+/// "collapse epochs" between wavefront rounds, so the merge log and
+/// representative structure stay exactly as coherent as in the sequential
+/// solver and the computed solution is bit-for-bit identical at any thread
+/// count (inclusion-based analysis has a unique least fixpoint; every
+/// round-robin of this solver reaches it).
+///
+/// Protocol (full write-up in DESIGN.md):
+///  * Nodes are hash-sharded across workers (shard = rep id % threads).
+///    Each round, a worker consumes its shard's immutable `current` list;
+///    newly activated nodes go to its own `next` list or, cross-shard, to
+///    the owner's MPSC inbox (ShardedWorklist).
+///  * Points-to sets are guarded by striped mutexes; a propagation locks
+///    the source/target stripes in index order. Edge bitmaps are guarded
+///    by a second stripe family; a worker snapshots a node's successors
+///    under the edge lock, then propagates lock-by-lock. Lock order is
+///    Pts-before-Edge never holds — the two families are never nested
+///    except Pts->Edge inside complex resolution, and Edge locks are
+///    always leaf locks held singly, so no cycle exists.
+///  * No merge happens during a round, so representatives are frozen and
+///    workers resolve them with a compression-free find (findReadOnly).
+///  * LCD triggers (equal endpoint sets, edge not in the R set) and nodes
+///    carrying HCD lazy tuples are recorded per-worker and handled in the
+///    next collapse epoch: Tarjan + union-find + merge-log drain run
+///    single-threaded, then merge survivors are requeued.
+///  * The governor is observed cooperatively: workers poll a thread-safe,
+///    non-throwing check and raise an abort flag; the coordinator charges
+///    the round's counted operations between rounds and throws
+///    BudgetExceededError from its own thread (budgets, fallback, and
+///    partial extraction behave exactly as in the sequential solvers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_PARALLELLCDSOLVER_H
+#define AG_SOLVERS_PARALLELLCDSOLVER_H
+
+#include "adt/ShardedWorklist.h"
+#include "adt/ThreadPool.h"
+#include "core/HcdOffline.h"
+#include "core/Solver.h"
+#include "core/SolverContext.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ag {
+
+/// Parallel LCD(+HCD) over bitmap points-to sets. \c SolverOptions::Threads
+/// selects the worker count (>= 1); the BDD representation is not supported
+/// (the hash-consed node table is inherently single-threaded).
+class ParallelLcdSolver {
+  using Policy = BitmapPtsPolicy;
+  using PtsSet = Policy::Set;
+
+public:
+  ParallelLcdSolver(const ConstraintSystem &CS, SolverStats &Stats,
+                    const SolverOptions &Opts, const HcdResult *Hcd = nullptr,
+                    const std::vector<NodeId> *SeedReps = nullptr)
+      : G(CS, Stats, SeedReps), Opts(Opts),
+        NumWorkers(Opts.Threads ? Opts.Threads : 1),
+        Governor(Opts.Governor), Pool(NumWorkers),
+        WL(NumWorkers, CS.numNodes()), Workers(NumWorkers) {
+    G.UseDiffResolution = Opts.DifferenceResolution;
+    // G.Governor deliberately stays null for the parallel phases (it
+    // throws, and exceptions must not cross worker threads); it is
+    // installed only around the single-threaded collapse epochs.
+    if (Hcd)
+      for (const auto &[N, Target] : Hcd->Lazy)
+        G.HcdTargets[G.find(N)].push_back(Target);
+    if (Opts.LcdEdgeOnce)
+      Triggered.reserve(2 * CS.countKind(ConstraintKind::Copy) + 16);
+  }
+
+  /// Runs to fixpoint and returns the solution (identical to the
+  /// sequential LCD(+HCD) solver's at every thread count).
+  PointsToSolution solve() {
+    const uint32_t N = G.CS.numNodes();
+    for (NodeId V = 0; V != N; ++V)
+      if (G.find(V) == V && !G.Pts[V].empty())
+        WL.pushRemote(V);
+
+    // Canonicalizing through find() here is single-threaded: compression
+    // is safe between rounds.
+    while (WL.beginRound([this](uint32_t Id) { return G.find(Id); }) != 0) {
+      ++G.Stats.ParallelRounds;
+      AbortFlag.store(false, std::memory_order_relaxed);
+      Pool.runOnWorkers([this](unsigned W) { workerRound(W); });
+      collapseEpoch(); // May throw BudgetExceededError (this thread only).
+    }
+    return G.extractSolution();
+  }
+
+  SolverContext<Policy> &context() { return G; }
+
+private:
+  /// Striped-lock count; a power of two comfortably above the worker
+  /// count, so two random nodes rarely contend.
+  static constexpr unsigned NumStripes = 64;
+
+  struct alignas(64) WorkerState {
+    /// Counters for the current round only; folded into the run totals at
+    /// the next epoch (workers never touch the shared SolverStats).
+    SolverStats RoundStats;
+    /// Nodes seen this round that carry HCD lazy tuples (collapse work).
+    std::vector<NodeId> DeferredHcd;
+    /// LCD trigger candidates (from, to) observed this round.
+    std::vector<std::pair<NodeId, NodeId>> LcdCandidates;
+    /// Operation counts already flushed to the shared round totals.
+    uint64_t FlushedProps = 0;
+    uint64_t FlushedEdges = 0;
+    /// Scratch buffers reused across nodes.
+    std::vector<NodeId> Members;
+    std::vector<uint32_t> Targets;
+  };
+
+  static uint64_t edgeKey(NodeId From, NodeId To) {
+    return (uint64_t(From) << 32) | To;
+  }
+
+  unsigned stripe(NodeId V) const { return V & (NumStripes - 1); }
+
+  /// Runs \p Body with the points-to stripes of \p A and \p B held,
+  /// acquiring in stripe-index order (the single deadlock-avoidance rule
+  /// for this family).
+  template <typename Fn> void withPtsPair(NodeId A, NodeId B, Fn Body) {
+    unsigned SA = stripe(A), SB = stripe(B);
+    if (SA == SB) {
+      std::lock_guard<std::mutex> L(PtsLocks[SA]);
+      Body();
+    } else {
+      if (SA > SB)
+        std::swap(SA, SB);
+      std::scoped_lock L(PtsLocks[SA], PtsLocks[SB]);
+      Body();
+    }
+  }
+
+  void push(unsigned W, NodeId V) {
+    if (WL.shardOf(V) == W)
+      WL.pushLocal(W, V);
+    else
+      WL.pushRemote(V);
+  }
+
+  /// Thread-safe edge insertion under the target stripe's edge lock.
+  bool addEdgeParallel(WorkerState &S, NodeId From, NodeId To) {
+    From = G.findReadOnly(From);
+    To = G.findReadOnly(To);
+    if (From == To)
+      return false;
+    bool New;
+    {
+      std::lock_guard<std::mutex> L(EdgeLocks[stripe(From)]);
+      New = G.Succs[From].set(To);
+    }
+    S.RoundStats.EdgesAdded += New;
+    return New;
+  }
+
+  /// Parallel counterpart of SolverContext::resolveComplex for this
+  /// node's (single, see collapseEpoch) deref group: the unseen frontier
+  /// and the Resolved update are taken atomically under the node's
+  /// points-to stripe, so elements arriving later stay unresolved until
+  /// the node is requeued by whoever grew its set.
+  void resolveComplexParallel(unsigned W, NodeId Node) {
+    auto &Groups = G.Derefs[Node];
+    if (Groups.empty())
+      return;
+    WorkerState &S = Workers[W];
+    for (auto &Gr : Groups) {
+      if (Gr.empty())
+        continue;
+      S.Members.clear();
+      {
+        std::lock_guard<std::mutex> L(PtsLocks[stripe(Node)]);
+        G.Pts[Node].forEachDiff(G.Ctx, Gr.Resolved, [&](NodeId V) {
+          S.Members.push_back(V);
+        });
+        if (G.UseDiffResolution)
+          Gr.Resolved.unionWith(G.Ctx, G.Pts[Node]);
+      }
+      for (NodeId V : S.Members) {
+        for (const auto &D : Gr.Loads) {
+          NodeId T = G.CS.offsetTarget(V, D.Offset);
+          if (T != InvalidNode && addEdgeParallel(S, T, D.Other))
+            push(W, G.findReadOnly(T));
+        }
+        for (const auto &D : Gr.Stores) {
+          NodeId T = G.CS.offsetTarget(V, D.Offset);
+          if (T != InvalidNode && addEdgeParallel(S, D.Other, T))
+            push(W, G.findReadOnly(D.Other));
+        }
+      }
+    }
+  }
+
+  void propagateAlongEdges(unsigned W, NodeId Node) {
+    WorkerState &S = Workers[W];
+    S.Targets.clear();
+    {
+      std::lock_guard<std::mutex> L(EdgeLocks[stripe(Node)]);
+      for (uint32_t Raw : G.Succs[Node])
+        S.Targets.push_back(Raw);
+    }
+    for (uint32_t Raw : S.Targets) {
+      NodeId Z = G.findReadOnly(Raw);
+      if (Z == Node)
+        continue;
+      bool Candidate = false;
+      bool Changed = false;
+      withPtsPair(Node, Z, [&] {
+        const PtsSet &Src = G.Pts[Node];
+        PtsSet &Dst = G.Pts[Z];
+        // The lazy trigger, evaluated on the same consistent snapshot the
+        // propagation uses. The shared R set is read-only during rounds
+        // (inserts happen in the epoch), so the probe is unsynchronized.
+        if (!Src.empty() && !alreadyTriggered(S, Node, Z) &&
+            Dst.equals(G.Ctx, Src))
+          Candidate = true;
+        Changed = Dst.unionWith(G.Ctx, Src);
+      });
+      ++S.RoundStats.Propagations;
+      S.RoundStats.ChangedPropagations += Changed;
+      if (Candidate)
+        S.LcdCandidates.emplace_back(Node, Z);
+      if (Changed)
+        push(W, Z);
+    }
+  }
+
+  bool alreadyTriggered(WorkerState &S, NodeId From, NodeId To) {
+    if (!Opts.LcdEdgeOnce)
+      return false;
+    ++S.RoundStats.LcdTriggerProbes;
+    return Triggered.count(edgeKey(From, To)) != 0;
+  }
+
+  /// Flushes this worker's not-yet-shared operation counts into the round
+  /// totals the governor preview reads.
+  void flushCounts(WorkerState &S) {
+    uint64_t P = S.RoundStats.Propagations - S.FlushedProps;
+    uint64_t E = S.RoundStats.EdgesAdded - S.FlushedEdges;
+    if (P)
+      RoundProps.fetch_add(P, std::memory_order_relaxed);
+    if (E)
+      RoundEdges.fetch_add(E, std::memory_order_relaxed);
+    S.FlushedProps = S.RoundStats.Propagations;
+    S.FlushedEdges = S.RoundStats.EdgesAdded;
+  }
+
+  /// One worker's share of a wavefront round: propagation and edge
+  /// resolution only — no merging, no exceptions.
+  void workerRound(unsigned W) {
+    WorkerState &S = Workers[W];
+    const std::vector<uint32_t> &Cur = WL.current(W);
+    const uint32_t PollInterval =
+        Governor ? std::max(1u, Governor->budget().CheckIntervalOps) : 0;
+    // Poll on counted operations (propagations + edge inserts), not node
+    // pops: one pop against a wide points-to set can perform thousands of
+    // operations, and budgets should overshoot by O(Threads *
+    // CheckIntervalOps) ops, not by whole rounds.
+    uint64_t OpsAtLastPoll = 0;
+    for (size_t I = 0; I != Cur.size(); ++I) {
+      if (AbortFlag.load(std::memory_order_relaxed)) {
+        // Requeue the unprocessed tail: if the coordinator's re-check
+        // somehow does not throw, no scheduled work may be lost.
+        for (size_t J = I; J != Cur.size(); ++J)
+          WL.pushRemote(Cur[J]);
+        break;
+      }
+      NodeId Node = Cur[I]; // Canonical since no merge is in flight.
+      ++S.RoundStats.WorklistPops;
+      if (!G.HcdTargets[Node].empty())
+        S.DeferredHcd.push_back(Node);
+      resolveComplexParallel(W, Node);
+      propagateAlongEdges(W, Node);
+      uint64_t OpsNow = S.RoundStats.Propagations + S.RoundStats.EdgesAdded;
+      if (PollInterval && OpsNow - OpsAtLastPoll >= PollInterval) {
+        OpsAtLastPoll = OpsNow;
+        flushCounts(S);
+        Status St = Governor->checkParallel(
+            Governor->propagations() +
+                RoundProps.load(std::memory_order_relaxed),
+            Governor->edgesAdded() +
+                RoundEdges.load(std::memory_order_relaxed));
+        if (!St.ok())
+          AbortFlag.store(true, std::memory_order_relaxed);
+      }
+    }
+    flushCounts(S);
+  }
+
+  /// Stop-the-world phase between rounds: charge the governor, then run
+  /// every deferred collapse (HCD preemptive merging, LCD cycle searches)
+  /// single-threaded so union-find and the merge log stay sequential.
+  void collapseEpoch() {
+    uint64_t Props = 0, Edges = 0;
+    for (WorkerState &S : Workers) {
+      Props += S.RoundStats.Propagations;
+      Edges += S.RoundStats.EdgesAdded;
+      G.Stats.mergeFrom(S.RoundStats);
+      S.RoundStats = SolverStats();
+      S.FlushedProps = S.FlushedEdges = 0;
+    }
+    RoundProps.store(0, std::memory_order_relaxed);
+    RoundEdges.store(0, std::memory_order_relaxed);
+    if (Governor)
+      Governor->chargeBatch(Props, Edges); // Throws on a tripped budget.
+
+    // Install the governor for the epoch so long collapse phases remain
+    // cancellable (Tarjan has internal cancellation points), mirroring
+    // the sequential solver; parallel phases must never see it.
+    G.Governor = Governor;
+    auto Push = [this](NodeId V) { WL.pushRemote(V); };
+
+    for (WorkerState &S : Workers) {
+      for (NodeId N : S.DeferredHcd)
+        G.applyHcd(G.find(N), Push);
+      S.DeferredHcd.clear();
+    }
+    for (WorkerState &S : Workers) {
+      for (auto [From, To] : S.LcdCandidates) {
+        // The R set: never re-trigger on an edge that triggered before
+        // (two workers' candidate lists may name the same edge).
+        if (Opts.LcdEdgeOnce &&
+            !Triggered.insert(edgeKey(From, To)).second)
+          continue;
+        G.detectAndCollapseFrom(To);
+      }
+      S.LcdCandidates.clear();
+    }
+
+    // Requeue merge survivors (their sets grew) and restore the one-group
+    // invariant workers rely on: merging concatenates deref groups, which
+    // must be consolidated before the next parallel round.
+    EpochSurvivors.clear();
+    G.drainMergeLog([&](NodeId S) {
+      Push(S);
+      EpochSurvivors.push_back(S);
+    });
+    for (NodeId S : EpochSurvivors)
+      consolidateDerefsConservative(G.find(S));
+    G.Governor = nullptr;
+  }
+
+  /// Merges a node's deref groups into one. Unlike the sequential solver —
+  /// which consolidates immediately after resolving every group against
+  /// the full current set and may therefore keep the union of frontiers —
+  /// the epoch runs *after* concurrent propagation may have grown the set,
+  /// so the merged frontier must be the *intersection* of the group
+  /// frontiers: an element is provably resolved only if every group's
+  /// lists have seen it. Elements in some-but-not-all frontiers are
+  /// re-resolved; addEdge's idempotence makes that harmless.
+  void consolidateDerefsConservative(NodeId N) {
+    auto &Groups = G.Derefs[N];
+    if (Groups.size() < 2)
+      return;
+    auto &First = Groups[0];
+    for (size_t I = 1; I != Groups.size(); ++I) {
+      First.Loads.insert(First.Loads.end(), Groups[I].Loads.begin(),
+                         Groups[I].Loads.end());
+      First.Stores.insert(First.Stores.end(), Groups[I].Stores.begin(),
+                          Groups[I].Stores.end());
+      First.Resolved.intersectWith(G.Ctx, Groups[I].Resolved);
+      Groups[I].Resolved.clearAndFree(G.Ctx);
+    }
+    Groups.resize(1);
+    canonicalizeDerefs(First.Loads);
+    canonicalizeDerefs(First.Stores);
+  }
+
+  /// Routes deref destinations through current representatives and drops
+  /// duplicates (merged members frequently shared constraints).
+  void canonicalizeDerefs(
+      std::vector<SolverContext<Policy>::Deref> &List) {
+    if (List.size() < 2)
+      return;
+    for (auto &D : List)
+      D.Other = G.find(D.Other);
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+
+  SolverContext<Policy> G;
+  SolverOptions Opts;
+  unsigned NumWorkers;
+  /// The budget governor (null when un-governed). Only the coordinator
+  /// thread lets it throw; workers use the non-throwing preview.
+  SolveGovernor *Governor;
+  ThreadPool Pool;
+  ShardedWorklist WL;
+  std::vector<WorkerState> Workers;
+  /// LCD's R set. Written only in collapse epochs; read-only to workers.
+  std::unordered_set<uint64_t> Triggered;
+  std::array<std::mutex, NumStripes> PtsLocks;
+  std::array<std::mutex, NumStripes> EdgeLocks;
+  std::atomic<uint64_t> RoundProps{0};
+  std::atomic<uint64_t> RoundEdges{0};
+  std::atomic<bool> AbortFlag{false};
+  std::vector<NodeId> EpochSurvivors;
+};
+
+} // namespace ag
+
+#endif // AG_SOLVERS_PARALLELLCDSOLVER_H

@@ -1,0 +1,194 @@
+//===- ParallelSolverTest.cpp - Parallel wavefront solver tests -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the parallel solver's building blocks (ThreadPool,
+/// ShardedWorklist) and for ParallelLcdSolver's behaviour under the
+/// resource governor: budget trips must degrade exactly like the
+/// sequential solvers (fallback superset / partial state), with the
+/// exception thrown on the coordinator thread only.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/ShardedWorklist.h"
+#include "adt/ThreadPool.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace ag;
+
+namespace {
+
+TEST(ParallelThreadPool, RunsEveryWorkerOncePerRound) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::vector<std::atomic<int>> Counts(4);
+  for (int Round = 0; Round != 3; ++Round)
+    Pool.runOnWorkers([&](unsigned W) { ++Counts[W]; });
+  for (unsigned W = 0; W != 4; ++W)
+    EXPECT_EQ(Counts[W].load(), 3) << "worker " << W;
+}
+
+TEST(ParallelThreadPool, WorkersRunOnDistinctThreads) {
+  ThreadPool Pool(4);
+  std::mutex M;
+  std::set<std::thread::id> Ids;
+  Pool.runOnWorkers([&](unsigned) {
+    std::lock_guard<std::mutex> Lock(M);
+    Ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(Ids.size(), 4u);
+  EXPECT_EQ(Ids.count(std::this_thread::get_id()), 0u)
+      << "the coordinator must not double as a worker";
+}
+
+TEST(ParallelThreadPool, BarrierMakesWorkerWritesVisible) {
+  ThreadPool Pool(3);
+  std::vector<uint64_t> Sums(3, 0);
+  Pool.runOnWorkers([&](unsigned W) {
+    for (uint64_t I = 0; I != 10000; ++I)
+      Sums[W] += I;
+  });
+  for (uint64_t S : Sums)
+    EXPECT_EQ(S, 10000ull * 9999 / 2);
+}
+
+TEST(ParallelThreadPool, ZeroRequestedWorkersClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.size(), 1u);
+  std::atomic<int> Ran{0};
+  Pool.runOnWorkers([&](unsigned) { ++Ran; });
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ParallelShardedWorklist, DedupsAndShardsByOwner) {
+  ShardedWorklist WL(4, 100);
+  WL.pushRemote(5); // shard 1
+  WL.pushRemote(5);
+  WL.pushLocal(2, 6);
+  WL.pushLocal(2, 6);
+  WL.pushLocal(2, 10); // 10 % 4 == 2
+  size_t Queued = WL.beginRound([](uint32_t Id) { return Id; });
+  EXPECT_EQ(Queued, 3u);
+  EXPECT_EQ(WL.current(1), (std::vector<uint32_t>{5}));
+  EXPECT_EQ(WL.current(2), (std::vector<uint32_t>{6, 10}));
+  EXPECT_TRUE(WL.current(0).empty());
+  EXPECT_TRUE(WL.current(3).empty());
+}
+
+TEST(ParallelShardedWorklist, BeginRoundCanonicalizesAndRehomes) {
+  ShardedWorklist WL(4, 100);
+  // 7 and 11 both collapse to representative 8 (shard 0): one entry, in
+  // shard 0's list, despite neither original id living there.
+  WL.pushRemote(7);
+  WL.pushRemote(11);
+  size_t Queued = WL.beginRound([](uint32_t Id) {
+    return (Id == 7 || Id == 11) ? 8u : Id;
+  });
+  EXPECT_EQ(Queued, 1u);
+  EXPECT_EQ(WL.current(0), (std::vector<uint32_t>{8}));
+}
+
+TEST(ParallelShardedWorklist, ConcurrentRemotePushesAllArrive) {
+  ShardedWorklist WL(4, 4096);
+  ThreadPool Pool(4);
+  Pool.runOnWorkers([&](unsigned W) {
+    for (uint32_t I = 0; I != 1024; ++I)
+      WL.pushRemote(W * 1024 + I);
+  });
+  size_t Queued = WL.beginRound([](uint32_t Id) { return Id; });
+  EXPECT_EQ(Queued, 4096u);
+}
+
+ConstraintSystem governorWorkload() {
+  BenchmarkSpec Spec;
+  Spec.Name = "parallel-governor";
+  Spec.NumFunctions = 20;
+  Spec.VarsPerFunction = 12;
+  Spec.NumGlobals = 30;
+  return generateBenchmark(Spec);
+}
+
+TEST(ParallelGovernor, StepBudgetTripsAndFallsBackLikeSequential) {
+  ConstraintSystem CS = governorWorkload();
+  SolveBudget Budget;
+  Budget.MaxPropagations = 10; // Far below what the workload needs.
+
+  SolverOptions Par;
+  Par.Threads = 4;
+  SolveResult RP = solveGoverned(CS, SolverKind::LCDHCD, Budget,
+                                 PtsRepr::Bitmap, nullptr, Par);
+  EXPECT_EQ(RP.Outcome, SolveOutcome::Fallback);
+  EXPECT_TRUE(RP.Sound);
+  EXPECT_EQ(RP.St.code(), StatusCode::StepLimit);
+
+  SolveResult RS = solveGoverned(CS, SolverKind::LCDHCD, Budget);
+  EXPECT_EQ(RS.Outcome, SolveOutcome::Fallback);
+  // Both degraded to the same (deterministic) Steensgaard solution.
+  EXPECT_TRUE(RP.Solution == RS.Solution);
+}
+
+TEST(ParallelGovernor, CancelledTokenTripsCooperatively) {
+  ConstraintSystem CS = governorWorkload();
+  SolveBudget Budget;
+  Budget.Cancel = CancelToken::create();
+  Budget.Cancel.requestCancel(); // Pre-cancelled: trips at first check.
+  SolverOptions Par;
+  Par.Threads = 2;
+  SolveResult R = solveGoverned(CS, SolverKind::LCDHCD, Budget,
+                                PtsRepr::Bitmap, nullptr, Par);
+  EXPECT_EQ(R.Outcome, SolveOutcome::Fallback);
+  EXPECT_EQ(R.St.code(), StatusCode::Cancelled);
+}
+
+TEST(ParallelGovernor, NoFallbackYieldsPartialUnsoundState) {
+  ConstraintSystem CS = governorWorkload();
+  SolveBudget Budget;
+  Budget.MaxPropagations = 10;
+  Budget.AllowFallback = false;
+  SolverOptions Par;
+  Par.Threads = 4;
+  SolveResult R = solveGoverned(CS, SolverKind::LCDHCD, Budget,
+                                PtsRepr::Bitmap, nullptr, Par);
+  EXPECT_EQ(R.Outcome, SolveOutcome::Partial);
+  EXPECT_FALSE(R.Sound);
+  EXPECT_EQ(R.Solution.numNodes(), CS.numNodes());
+}
+
+TEST(ParallelGovernor, GenerousBudgetStaysPrecise) {
+  ConstraintSystem CS = governorWorkload();
+  SolveBudget Budget;
+  Budget.MaxPropagations = 50'000'000;
+  SolverOptions Par;
+  Par.Threads = 4;
+  SolveResult R = solveGoverned(CS, SolverKind::LCDHCD, Budget,
+                                PtsRepr::Bitmap, nullptr, Par);
+  EXPECT_EQ(R.Outcome, SolveOutcome::Precise);
+  EXPECT_TRUE(R.Solution == solve(CS, SolverKind::Naive));
+}
+
+TEST(ParallelStats, RoundAndWorkerCountersAreReported) {
+  ConstraintSystem CS = governorWorkload();
+  SolverStats Stats;
+  SolverOptions Par;
+  Par.Threads = 4;
+  PointsToSolution S =
+      solve(CS, SolverKind::LCDHCD, PtsRepr::Bitmap, &Stats, Par);
+  EXPECT_GT(Stats.ParallelRounds, 0u);
+  EXPECT_GT(Stats.WorklistPops, 0u);
+  EXPECT_GT(Stats.Propagations, 0u);
+  EXPECT_GT(Stats.LcdTriggerProbes, 0u);
+  EXPECT_EQ(S, solve(CS, SolverKind::Naive));
+}
+
+} // namespace

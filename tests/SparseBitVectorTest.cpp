@@ -66,6 +66,48 @@ TEST(SparseBitVector, OutOfOrderInsertionIteratesSorted) {
   EXPECT_EQ(toVector(V), (std::vector<uint32_t>{3, 90, 250, 500}));
 }
 
+TEST(SparseBitVector, ForEachDiffWalksBothListsWithoutAllocating) {
+  SparseBitVector V, Exclude;
+  // Elements interleave every which way: V-only elements before, between
+  // and after Exclude's, a shared element with partial overlap in both
+  // words, and an Exclude-only element V must skip past.
+  for (uint32_t Bit : {3u, 64u, 127u, 300u, 310u, 901u, 5000u})
+    V.set(Bit);
+  for (uint32_t Bit : {200u, 300u, 640u, 901u, 6000u})
+    Exclude.set(Bit);
+  std::vector<uint32_t> Seen;
+  V.forEachDiff(Exclude, [&](uint32_t Bit) { Seen.push_back(Bit); });
+  EXPECT_EQ(Seen, (std::vector<uint32_t>{3, 64, 127, 310, 5000}));
+
+  // Against an empty exclusion it degenerates to plain iteration.
+  Seen.clear();
+  V.forEachDiff(SparseBitVector(), [&](uint32_t Bit) { Seen.push_back(Bit); });
+  EXPECT_EQ(Seen, toVector(V));
+
+  // Excluding a superset yields nothing.
+  SparseBitVector Super = Exclude;
+  Super.unionWith(V);
+  Seen.clear();
+  V.forEachDiff(Super, [&](uint32_t Bit) { Seen.push_back(Bit); });
+  EXPECT_TRUE(Seen.empty());
+}
+
+TEST(SparseBitVector, ForEachDiffMatchesSubtractRandomized) {
+  for (uint64_t Seed = 1; Seed != 9; ++Seed) {
+    Rng R(Seed * 77);
+    SparseBitVector A, B;
+    for (int I = 0; I != 200; ++I)
+      A.set(static_cast<uint32_t>(R.next() % 2048));
+    for (int I = 0; I != 200; ++I)
+      B.set(static_cast<uint32_t>(R.next() % 2048));
+    SparseBitVector D = A;
+    D.subtract(B);
+    std::vector<uint32_t> Seen;
+    A.forEachDiff(B, [&](uint32_t Bit) { Seen.push_back(Bit); });
+    EXPECT_EQ(Seen, toVector(D)) << "seed " << Seed;
+  }
+}
+
 TEST(SparseBitVector, Reset) {
   SparseBitVector V;
   V.set(10);
