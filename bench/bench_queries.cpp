@@ -1,0 +1,249 @@
+//===- bench_queries.cpp - Query serving + warm-start benchmark -----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-layer numbers: per suite, snapshot size and load time,
+/// query throughput on a repeated mix (pointsTo / alias / pointedBy) with
+/// the result cache on vs off (capacity 0 — identical code path), and the
+/// warm-start re-solve of a constraint delta against a cold solve of the
+/// full system. Results land in BENCH_queries.json (argv[2] or the
+/// working directory). Exits non-zero only on correctness failures
+/// (cached answers diverging from uncached, warm solution diverging from
+/// cold); throughput ratios are reported, not gated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "adt/Rng.h"
+#include "serve/IncrementalSolver.h"
+#include "serve/QueryEngine.h"
+#include "serve/Snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ag;
+using namespace ag::bench;
+
+namespace {
+
+struct QueryRow {
+  std::string Suite;
+  uint64_t SnapshotBytes = 0;
+  double SnapshotLoadMs = 0;
+  double UncachedQps = 0;
+  double CachedQps = 0;
+  double CacheSpeedup = 0;
+  double HitRate = 0;
+  double ColdSolveMs = 0;
+  double WarmSolveMs = 0;
+  double WarmSpeedup = 0;
+  uint64_t DeltaConstraints = 0;
+  uint64_t SeededNodes = 0;
+};
+
+void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S)
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else {
+      Out += C;
+    }
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One repeated query mix: \p NumQueries drawn from a small pool so keys
+/// repeat heavily (the serving workload caches exist for). Returns
+/// queries/sec; accumulates a result fingerprint into \p Fingerprint so
+/// cached and uncached runs can be compared for identical answers.
+double runMix(QueryEngine &Engine, const std::vector<NodeId> &Pool,
+              size_t NumQueries, uint64_t Seed, uint64_t &Fingerprint) {
+  Rng R(Seed);
+  uint64_t Fp = 0;
+  auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != NumQueries; ++I) {
+    NodeId A = Pool[R.nextBelow(Pool.size())];
+    switch (R.nextBelow(4)) {
+    case 0:
+    case 1: { // 50% pointsTo.
+      auto List = Engine.pointsTo(A);
+      Fp = Fp * 1099511628211ull + List->size();
+      break;
+    }
+    case 2: { // 25% alias.
+      NodeId B = Pool[R.nextBelow(Pool.size())];
+      Fp = Fp * 1099511628211ull + (Engine.alias(A, B) ? 1 : 2);
+      break;
+    }
+    default: { // 25% pointedBy.
+      auto List = Engine.pointedBy(A);
+      Fp = Fp * 1099511628211ull + List->size();
+      break;
+    }
+    }
+  }
+  double Seconds = secondsSince(T0);
+  Fingerprint = Fp;
+  return Seconds > 0 ? double(NumQueries) / Seconds : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv);
+  std::string OutPath =
+      Argc > 2 ? Argv[2] : std::string("BENCH_queries.json");
+  printHeader("Query serving: snapshots, cache, warm-start re-solve",
+              "serving extension", Scale);
+
+  constexpr size_t NumQueries = 40000;
+  constexpr size_t PoolSize = 128;
+  constexpr double DeltaFrac = 0.05;
+
+  std::vector<Suite> Suites = loadSuites(Scale);
+  std::vector<QueryRow> Rows;
+  bool Correct = true;
+
+  for (const Suite &S : Suites) {
+    QueryRow Row;
+    Row.Suite = S.Name;
+
+    // --- Snapshot: build, persist, time the load. -----------------------
+    Snapshot Snap;
+    Snap.Solution = solve(S.Reduced, SolverKind::LCDHCD, PtsRepr::Bitmap,
+                          nullptr, SolverOptions(), &S.Rep);
+    Snap.CS = S.Reduced;
+    Snap.SeedReps = S.Rep;
+    std::string SnapPath = OutPath + "." + S.Name + ".snap.tmp";
+    if (Status St = writeSnapshotFile(Snap, SnapPath); !St.ok()) {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return 1;
+    }
+    Snapshot Loaded;
+    auto T0 = std::chrono::steady_clock::now();
+    if (Status St = readSnapshotFile(SnapPath, Loaded); !St.ok()) {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return 1;
+    }
+    Row.SnapshotLoadMs = secondsSince(T0) * 1e3;
+    std::remove(SnapPath.c_str());
+    {
+      std::string Bytes;
+      (void)writeSnapshotBytes(Snap, Bytes);
+      Row.SnapshotBytes = Bytes.size();
+    }
+
+    // --- Query throughput, cache on vs off. -----------------------------
+    const uint32_t N = Loaded.CS.numNodes();
+    std::vector<NodeId> Pool;
+    Rng PoolR(S.Name.size() * 131 + 7);
+    for (size_t I = 0; I != PoolSize; ++I)
+      Pool.push_back(static_cast<NodeId>(PoolR.nextBelow(N)));
+
+    QueryEngine::Options Uncached;
+    Uncached.CacheCapacity = 0;
+    QueryEngine Cold(Loaded, Uncached);
+    QueryEngine Warm(std::move(Loaded)); // Default cache.
+
+    uint64_t FpUncached = 0, FpCached = 0;
+    Row.UncachedQps = runMix(Cold, Pool, NumQueries, 1234, FpUncached);
+    Row.CachedQps = runMix(Warm, Pool, NumQueries, 1234, FpCached);
+    Row.CacheSpeedup =
+        Row.UncachedQps > 0 ? Row.CachedQps / Row.UncachedQps : 0;
+    CacheStats CS = Warm.cacheStats();
+    Row.HitRate = CS.Hits + CS.Misses > 0
+                      ? double(CS.Hits) / double(CS.Hits + CS.Misses)
+                      : 0;
+    if (FpUncached != FpCached) {
+      std::fprintf(stderr, "BUG: cached answers diverge on %s\n",
+                   S.Name.c_str());
+      Correct = false;
+    }
+
+    // --- Warm-start re-solve vs cold solve of the full system. ----------
+    DeltaSplit Split = splitDelta(S.Reduced, DeltaFrac, 4242);
+    Row.DeltaConstraints = Split.Delta.size();
+    Snapshot BaseSnap;
+    BaseSnap.Solution = solve(Split.Base, SolverKind::LCDHCD);
+    BaseSnap.CS = Split.Base;
+    BaseSnap.SeedReps.resize(Split.Base.numNodes());
+    for (NodeId V = 0; V != Split.Base.numNodes(); ++V)
+      BaseSnap.SeedReps[V] = V;
+
+    ConstraintSystem FullCS = Split.Base;
+    for (const Constraint &C : Split.Delta)
+      FullCS.add(C);
+    T0 = std::chrono::steady_clock::now();
+    PointsToSolution ColdSol = solve(FullCS, SolverKind::LCDHCD);
+    Row.ColdSolveMs = secondsSince(T0) * 1e3;
+
+    IncrementalSolver Inc(std::move(BaseSnap));
+    T0 = std::chrono::steady_clock::now();
+    WarmStartResult R = Inc.resolve(Split.Delta);
+    Row.WarmSolveMs = secondsSince(T0) * 1e3;
+    Row.SeededNodes = R.SeededNodes;
+    Row.WarmSpeedup =
+        Row.WarmSolveMs > 0 ? Row.ColdSolveMs / Row.WarmSolveMs : 0;
+    if (R.Outcome != SolveOutcome::Precise || !(R.Solution == ColdSol)) {
+      std::fprintf(stderr, "BUG: warm re-solve diverges on %s\n",
+                   S.Name.c_str());
+      Correct = false;
+    }
+
+    std::printf("%-14s load %6.2f ms  qps %9.0f -> %9.0f (x%5.1f, hit "
+                "%4.1f%%)  re-solve %8.2f -> %8.2f ms (x%5.1f, %llu new)\n",
+                S.Name.c_str(), Row.SnapshotLoadMs, Row.UncachedQps,
+                Row.CachedQps, Row.CacheSpeedup, Row.HitRate * 100,
+                Row.ColdSolveMs, Row.WarmSolveMs, Row.WarmSpeedup,
+                static_cast<unsigned long long>(Row.DeltaConstraints));
+    Rows.push_back(Row);
+  }
+
+  std::string Json = "{\n";
+  Json += "  \"scale\": " + std::to_string(Scale) + ",\n";
+  Json += "  \"queries_per_mix\": " + std::to_string(NumQueries) + ",\n";
+  Json += "  \"pool_size\": " + std::to_string(PoolSize) + ",\n";
+  Json += "  \"delta_frac\": " + std::to_string(DeltaFrac) + ",\n";
+  Json += "  \"suites\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const QueryRow &R = Rows[I];
+    Json += "    {\"suite\": \"";
+    appendJsonEscaped(Json, R.Suite);
+    Json += "\", \"snapshot_bytes\": " + std::to_string(R.SnapshotBytes) +
+            ", \"snapshot_load_ms\": " + std::to_string(R.SnapshotLoadMs) +
+            ", \"uncached_qps\": " + std::to_string(R.UncachedQps) +
+            ", \"cached_qps\": " + std::to_string(R.CachedQps) +
+            ", \"cache_speedup\": " + std::to_string(R.CacheSpeedup) +
+            ", \"cache_hit_rate\": " + std::to_string(R.HitRate) +
+            ", \"cold_resolve_ms\": " + std::to_string(R.ColdSolveMs) +
+            ", \"warm_resolve_ms\": " + std::to_string(R.WarmSolveMs) +
+            ", \"warm_speedup\": " + std::to_string(R.WarmSpeedup) +
+            ", \"delta_constraints\": " + std::to_string(R.DeltaConstraints) +
+            ", \"seeded_nodes\": " + std::to_string(R.SeededNodes) + "}";
+    Json += I + 1 == Rows.size() ? "\n" : ",\n";
+  }
+  Json += "  ]\n}\n";
+
+  if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
+    std::fputs(Json.c_str(), F);
+    std::fclose(F);
+    std::printf("\nwrote %s\n", OutPath.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("cached == uncached answers, warm == cold solutions: %s\n",
+              Correct ? "yes" : "NO — BUG");
+  return Correct ? 0 : 1;
+}

@@ -8,28 +8,47 @@
 /// A command-line driver around the constraint-file workflow, mirroring how
 /// the paper's pipeline separated constraint generation (CIL) from solving:
 ///
-///   ptatool gen <out-dir> [scale]        write the six suite files
+///   ptatool gen <out-dir> [scale] [--delta-frac <f>]
+///                                        write the six suite files; with
+///                                        --delta-frac also write
+///                                        <suite>.base.cons/<suite>.delta.cons
 ///   ptatool gen-c <file.c> <out.cons>    constraints from mini-C source
 ///   ptatool solve <file.cons> [algo]     solve and print summary stats
 ///   ptatool query <file.cons> <v> <w>    may-alias query by node name
+///   ptatool snapshot <file.cons> <out.snap> [algo]
+///                                        solve and persist the solution
+///   ptatool serve <file.snap>            line-protocol query REPL on stdin
+///   ptatool resolve <file.snap> <delta.cons>
+///                                        warm-start re-solve with a delta
 ///
-/// solve accepts resource-budget flags (--timeout, --max-mem-mb,
-/// --max-steps, --no-fallback), plus --threads <n> to run the parallel
-/// wavefront solver (LCD / LCD+HCD over bitmaps; budgets still apply —
-/// workers poll the governor cooperatively), and reports how the run
-/// concluded through its exit code:
+/// solve, snapshot and resolve accept resource-budget flags (--timeout,
+/// --max-mem-mb, --max-steps, --no-fallback), plus --threads <n> to run
+/// the parallel wavefront solver (LCD / LCD+HCD over bitmaps; budgets
+/// still apply — workers poll the governor cooperatively), and report how
+/// the run concluded through their exit code:
 ///   0  precise solve within budget
 ///   1  error (bad input, unreadable file)
 ///   2  usage
-///   3  budget tripped; the Steensgaard fallback solution was printed
+///   3  budget tripped; the Steensgaard fallback solution was used
 ///   4  budget tripped with --no-fallback; partial (unsound) state printed
+/// snapshot writes its output for exit codes 0 and 3 (a fallback snapshot
+/// still serves queries soundly, but cannot seed `resolve`) and writes
+/// nothing on 4. serve exits 0 on EOF or `quit`, 1 if the snapshot cannot
+/// be loaded.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "constraints/OfflineVariableSubstitution.h"
 #include "frontend/ConstraintGen.h"
+#include "serve/IncrementalSolver.h"
+#include "serve/QueryEngine.h"
+#include "serve/Snapshot.h"
 #include "solvers/Solve.h"
 #include "workload/WorkloadGen.h"
+
+#include <iostream>
+#include <unordered_map>
+#include <vector>
 
 #include <cerrno>
 #include <chrono>
@@ -54,7 +73,7 @@ constexpr int ExitPartial = 4;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ptatool gen <out-dir> [scale]\n"
+               "usage: ptatool gen <out-dir> [scale] [--delta-frac <f>]\n"
                "       ptatool gen-c <file.c> <out.cons>\n"
                "       ptatool solve <file.cons> [HT|PKH|BLQ|LCD|HCD|"
                "HT+HCD|PKH+HCD|BLQ+HCD|LCD+HCD|Naive]\n"
@@ -62,8 +81,13 @@ int usage() {
                "               [--max-steps <n>] [--no-fallback]\n"
                "               [--threads <n>]\n"
                "       ptatool query <file.cons> <name1> <name2>\n"
-               "solve exit codes: 0 precise, 1 error, 2 usage, "
-               "3 fallback, 4 partial\n");
+               "       ptatool snapshot <file.cons> <out.snap> [algo] "
+               "[budget flags]\n"
+               "       ptatool serve <file.snap>\n"
+               "       ptatool resolve <file.snap> <delta.cons> "
+               "[budget flags]\n"
+               "solve/snapshot/resolve exit codes: 0 precise, 1 error, "
+               "2 usage, 3 fallback, 4 partial\n");
   return ExitUsage;
 }
 
@@ -120,15 +144,36 @@ int cmdGen(int Argc, char **Argv) {
     return usage();
   std::string Dir = Argv[2];
   double Scale = 0.25;
-  if (Argc > 3) {
-    // Validate strictly: atof's silent 0.0 on garbage used to produce
-    // degenerate (or, with absurd scales, effectively unbounded) suites.
-    constexpr double MaxScale = 64.0;
-    if (!parsePositiveDouble(Argv[3], Scale) || Scale > MaxScale) {
-      std::fprintf(stderr,
-                   "error: scale '%s' must be a finite number in (0, %g]\n",
-                   Argv[3], MaxScale);
-      return ExitError;
+  double DeltaFrac = 0.0;
+  bool SawScale = false;
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--delta-frac") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --delta-frac expects a value\n");
+        return usage();
+      }
+      const char *Value = Argv[++I];
+      if (!parsePositiveDouble(Value, DeltaFrac) || DeltaFrac >= 1.0) {
+        std::fprintf(stderr,
+                     "error: delta fraction '%s' must be in (0, 1)\n",
+                     Value);
+        return ExitError;
+      }
+    } else if (!SawScale) {
+      SawScale = true;
+      // Validate strictly: atof's silent 0.0 on garbage used to produce
+      // degenerate (or, with absurd scales, effectively unbounded) suites.
+      constexpr double MaxScale = 64.0;
+      if (!parsePositiveDouble(Argv[I], Scale) || Scale > MaxScale) {
+        std::fprintf(stderr,
+                     "error: scale '%s' must be a finite number in (0, %g]\n",
+                     Argv[I], MaxScale);
+        return ExitError;
+      }
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", Arg.c_str());
+      return usage();
     }
   }
   for (const BenchmarkSpec &Spec : paperSuites(Scale)) {
@@ -140,6 +185,27 @@ int cmdGen(int Argc, char **Argv) {
     }
     std::printf("wrote %-40s (%zu constraints, %u nodes)\n", Path.c_str(),
                 CS.constraints().size(), CS.numNodes());
+    if (DeltaFrac > 0.0) {
+      // Deterministic base/delta partition for incremental benchmarking;
+      // the delta file carries the full node table plus only the
+      // held-out constraints (the shape `ptatool resolve` consumes).
+      DeltaSplit Split = splitDelta(CS, DeltaFrac, Spec.Seed);
+      ConstraintSystem DeltaCS = CS.cloneNodeTable();
+      for (const Constraint &C : Split.Delta)
+        DeltaCS.add(C);
+      std::string BasePath = Dir + "/" + Spec.Name + ".base.cons";
+      std::string DeltaPath = Dir + "/" + Spec.Name + ".delta.cons";
+      if (!Split.Base.writeToFile(BasePath) ||
+          !DeltaCS.writeToFile(DeltaPath)) {
+        std::fprintf(stderr, "error: cannot write delta split for '%s'\n",
+                     Spec.Name.c_str());
+        return 1;
+      }
+      std::printf("wrote %-40s (%zu constraints)\n", BasePath.c_str(),
+                  Split.Base.constraints().size());
+      std::printf("wrote %-40s (%zu constraints)\n", DeltaPath.c_str(),
+                  DeltaCS.constraints().size());
+    }
   }
   return 0;
 }
@@ -169,20 +235,26 @@ int cmdGenC(int Argc, char **Argv) {
   return 0;
 }
 
-int cmdSolve(int Argc, char **Argv) {
-  if (Argc < 3)
-    return usage();
-  ConstraintSystem CS;
-  if (!loadSystem(Argv[2], CS))
-    return ExitError;
+/// The algorithm/budget/thread arguments shared by solve, snapshot and
+/// resolve.
+struct SolveFlags {
   SolverKind Kind = SolverKind::LCDHCD;
   SolveBudget Budget;
   SolverOptions Opts;
-  int NextPositional = 3;
-  for (int I = 3; I < Argc; ++I) {
+};
+
+/// Parses the optional [algo] positional plus the budget flags starting at
+/// Argv[Start]. When \p AllowKind is false (resolve: warm start always
+/// replays the LCD family the snapshot was built for) any positional is
+/// rejected. Returns ExitPrecise on success, otherwise the exit code to
+/// return from the command.
+int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
+                    SolveFlags &F) {
+  bool SawKind = false;
+  for (int I = Start; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--no-fallback") {
-      Budget.AllowFallback = false;
+      F.Budget.AllowFallback = false;
     } else if (Arg == "--timeout" || Arg == "--max-mem-mb" ||
                Arg == "--max-steps" || Arg == "--threads") {
       if (I + 1 >= Argc) {
@@ -192,14 +264,14 @@ int cmdSolve(int Argc, char **Argv) {
       const char *Value = Argv[++I];
       bool Valid = false;
       if (Arg == "--timeout") {
-        Valid = parsePositiveDouble(Value, Budget.TimeoutSeconds);
+        Valid = parsePositiveDouble(Value, F.Budget.TimeoutSeconds);
       } else if (Arg == "--max-mem-mb") {
         uint64_t Mb = 0;
         Valid = parsePositiveU64(Value, Mb) &&
                 Mb <= (UINT64_MAX >> 20); // No overflow converting to bytes.
-        Budget.MaxMemoryBytes = Mb << 20;
+        F.Budget.MaxMemoryBytes = Mb << 20;
       } else if (Arg == "--max-steps") {
-        Valid = parsePositiveU64(Value, Budget.MaxPropagations);
+        Valid = parsePositiveU64(Value, F.Budget.MaxPropagations);
       } else { // --threads
         // Parallel wavefront solving applies to LCD / LCD+HCD (the default
         // algorithm) over bitmap sets; other kinds quietly run sequential.
@@ -208,7 +280,7 @@ int cmdSolve(int Argc, char **Argv) {
         uint64_t N = 0;
         constexpr uint64_t MaxThreads = 256;
         Valid = parsePositiveU64(Value, N) && N <= MaxThreads;
-        Opts.Threads = static_cast<unsigned>(N);
+        F.Opts.Threads = static_cast<unsigned>(N);
       }
       if (!Valid) {
         std::fprintf(stderr, "error: bad value '%s' for %s\n", Value,
@@ -218,9 +290,9 @@ int cmdSolve(int Argc, char **Argv) {
     } else if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       return usage();
-    } else if (NextPositional == 3) {
-      NextPositional = 4;
-      if (!parseKind(Arg, Kind)) {
+    } else if (AllowKind && !SawKind) {
+      SawKind = true;
+      if (!parseKind(Arg, F.Kind)) {
         std::fprintf(stderr, "error: unknown algorithm '%s'\n", Arg.c_str());
         return ExitError;
       }
@@ -229,6 +301,21 @@ int cmdSolve(int Argc, char **Argv) {
       return usage();
     }
   }
+  return ExitPrecise;
+}
+
+int cmdSolve(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  ConstraintSystem CS;
+  if (!loadSystem(Argv[2], CS))
+    return ExitError;
+  SolveFlags F;
+  if (int Rc = parseSolveFlags(Argc, Argv, 3, /*AllowKind=*/true, F))
+    return Rc;
+  SolverKind Kind = F.Kind;
+  SolveBudget Budget = F.Budget;
+  SolverOptions Opts = F.Opts;
 
   auto T0 = std::chrono::steady_clock::now();
   OvsResult Ovs = runOfflineVariableSubstitution(CS);
@@ -294,6 +381,255 @@ int cmdQuery(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdSnapshot(int Argc, char **Argv) {
+  if (Argc < 4)
+    return usage();
+  ConstraintSystem CS;
+  if (!loadSystem(Argv[2], CS))
+    return ExitError;
+  SolveFlags F;
+  if (int Rc = parseSolveFlags(Argc, Argv, 4, /*AllowKind=*/true, F))
+    return Rc;
+
+  OvsResult Ovs = runOfflineVariableSubstitution(CS);
+  SolverStats Stats;
+  SolveResult R = solveGoverned(Ovs.Reduced, F.Kind, F.Budget,
+                                PtsRepr::Bitmap, &Stats, F.Opts, &Ovs.Rep);
+  if (R.Outcome == SolveOutcome::Failed) {
+    std::fprintf(stderr, "error: %s\n", R.St.toString().c_str());
+    return ExitError;
+  }
+  if (R.Outcome == SolveOutcome::Partial) {
+    // Partial state is unsound; persisting it would let `serve` answer
+    // queries wrong and `resolve` warm-start from a non-fixpoint.
+    std::fprintf(stderr,
+                 "warning: budget tripped with --no-fallback; partial "
+                 "solution NOT written (%s)\n",
+                 R.St.toString().c_str());
+    return ExitPartial;
+  }
+
+  Snapshot Snap;
+  Snap.CS = std::move(Ovs.Reduced);
+  Snap.SeedReps = std::move(Ovs.Rep);
+  Snap.Solution = std::move(R.Solution);
+  Snap.Kind = F.Kind;
+  Snap.Repr = PtsRepr::Bitmap;
+  Snap.Outcome = R.Outcome;
+  Snap.Sound = true;
+  if (Status St = writeSnapshotFile(Snap, Argv[3]); !St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    return ExitError;
+  }
+  std::printf("wrote %s: %s/%s, %u nodes, total |pts| %llu\n", Argv[3],
+              solverKindName(F.Kind), solveOutcomeName(R.Outcome),
+              Snap.CS.numNodes(),
+              static_cast<unsigned long long>(
+                  Snap.Solution.totalPointsToSize()));
+  if (R.Outcome == SolveOutcome::Fallback) {
+    std::printf("  budget: %s\n", R.St.toString().c_str());
+    return ExitFallback;
+  }
+  return ExitPrecise;
+}
+
+/// Resolves a REPL node reference: a decimal id, or a node name from the
+/// snapshot's node table. Returns false (with a message on stdout, so the
+/// client sees it in-protocol) if the reference does not name a node.
+bool resolveNodeRef(const std::string &Tok, const ConstraintSystem &CS,
+                    const std::unordered_map<std::string, NodeId> &Names,
+                    NodeId &Out) {
+  if (!Tok.empty() && Tok.find_first_not_of("0123456789") == std::string::npos) {
+    uint64_t Id = 0;
+    errno = 0;
+    Id = std::strtoull(Tok.c_str(), nullptr, 10);
+    if (errno != ERANGE && Id < CS.numNodes()) {
+      Out = static_cast<NodeId>(Id);
+      return true;
+    }
+  } else if (auto It = Names.find(Tok); It != Names.end()) {
+    Out = It->second;
+    return true;
+  }
+  std::printf("error: unknown node '%s'\n", Tok.c_str());
+  return false;
+}
+
+void printIdList(const char *What, const std::string &Ref,
+                 const QueryEngine::IdList &List) {
+  std::printf("%s(%s):", What, Ref.c_str());
+  for (NodeId V : *List)
+    std::printf(" %u", V);
+  std::printf("\n");
+}
+
+int cmdServe(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  Snapshot Snap;
+  if (Status St = readSnapshotFile(Argv[2], Snap); !St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    return ExitError;
+  }
+
+  // Name -> id map for the REPL (first occurrence wins; interior slots
+  // have generated names like "a[1]" and resolve too).
+  std::unordered_map<std::string, NodeId> Names;
+  for (NodeId V = 0; V != Snap.CS.numNodes(); ++V) {
+    const std::string &Name = Snap.CS.nameOf(V);
+    if (!Name.empty())
+      Names.emplace(Name, V);
+  }
+
+  QueryEngine Engine(std::move(Snap));
+  const ConstraintSystem &CS = Engine.snapshot().CS;
+  std::printf("serving %u nodes, %zu constraints (type 'help')\n",
+              Engine.numNodes(), CS.constraints().size());
+
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    std::istringstream Iss(Line);
+    std::string Cmd;
+    if (!(Iss >> Cmd))
+      continue; // Blank line.
+    std::vector<std::string> Args;
+    for (std::string Tok; Iss >> Tok;)
+      Args.push_back(Tok);
+
+    if (Cmd == "quit")
+      return ExitPrecise;
+    if (Cmd == "help") {
+      std::printf("commands: pts <v> | alias <p> <q> | aliasbatch <p> <q> "
+                  "[<p> <q>]... | pointedby <o> | callees <v> | callgraph | "
+                  "stats | help | quit\n"
+                  "node refs are decimal ids or node names\n");
+      continue;
+    }
+    if (Cmd == "stats") {
+      CacheStats S = Engine.cacheStats();
+      std::printf("stats: hits %llu misses %llu evictions %llu entries "
+                  "%llu\n",
+                  static_cast<unsigned long long>(S.Hits),
+                  static_cast<unsigned long long>(S.Misses),
+                  static_cast<unsigned long long>(S.Evictions),
+                  static_cast<unsigned long long>(S.Entries));
+      continue;
+    }
+    if (Cmd == "callgraph") {
+      const auto &Edges = Engine.callGraph();
+      std::printf("callgraph: %zu edges\n", Edges.size());
+      for (const auto &[Base, Callee] : Edges)
+        std::printf("edge %u %u\n", Base, Callee);
+      continue;
+    }
+    if (Cmd == "pts" || Cmd == "pointedby" || Cmd == "callees") {
+      if (Args.size() != 1) {
+        std::printf("error: %s expects one node\n", Cmd.c_str());
+        continue;
+      }
+      NodeId V = InvalidNode;
+      if (!resolveNodeRef(Args[0], CS, Names, V))
+        continue;
+      if (Cmd == "pts")
+        printIdList("pts", Args[0], Engine.pointsTo(V));
+      else if (Cmd == "pointedby")
+        printIdList("pointedby", Args[0], Engine.pointedBy(V));
+      else
+        printIdList("callees", Args[0], Engine.callees(V));
+      continue;
+    }
+    if (Cmd == "alias") {
+      if (Args.size() != 2) {
+        std::printf("error: alias expects two nodes\n");
+        continue;
+      }
+      NodeId P = InvalidNode, Q = InvalidNode;
+      if (!resolveNodeRef(Args[0], CS, Names, P) ||
+          !resolveNodeRef(Args[1], CS, Names, Q))
+        continue;
+      std::printf("alias(%s,%s) = %s\n", Args[0].c_str(), Args[1].c_str(),
+                  Engine.alias(P, Q) ? "yes" : "no");
+      continue;
+    }
+    if (Cmd == "aliasbatch") {
+      if (Args.empty() || Args.size() % 2 != 0) {
+        std::printf("error: aliasbatch expects an even number of nodes\n");
+        continue;
+      }
+      std::vector<std::pair<NodeId, NodeId>> Pairs;
+      bool Ok = true;
+      for (size_t I = 0; I < Args.size(); I += 2) {
+        NodeId P = InvalidNode, Q = InvalidNode;
+        if (!resolveNodeRef(Args[I], CS, Names, P) ||
+            !resolveNodeRef(Args[I + 1], CS, Names, Q)) {
+          Ok = false;
+          break;
+        }
+        Pairs.emplace_back(P, Q);
+      }
+      if (!Ok)
+        continue;
+      std::vector<bool> Verdicts = Engine.aliasBatch(Pairs);
+      std::printf("aliasbatch:");
+      for (bool B : Verdicts)
+        std::printf(" %s", B ? "yes" : "no");
+      std::printf("\n");
+      continue;
+    }
+    std::printf("error: unknown command '%s' (type 'help')\n", Cmd.c_str());
+  }
+  return ExitPrecise; // EOF.
+}
+
+int cmdResolve(int Argc, char **Argv) {
+  if (Argc < 4)
+    return usage();
+  Snapshot Snap;
+  if (Status St = readSnapshotFile(Argv[2], Snap); !St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    return ExitError;
+  }
+  ConstraintSystem DeltaCS;
+  if (!loadSystem(Argv[3], DeltaCS))
+    return ExitError;
+  SolveFlags F;
+  if (int Rc = parseSolveFlags(Argc, Argv, 4, /*AllowKind=*/false, F))
+    return Rc;
+
+  IncrementalSolver Inc(std::move(Snap));
+  if (!Inc.valid().ok()) {
+    std::fprintf(stderr, "error: %s\n", Inc.valid().toString().c_str());
+    return ExitError;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  WarmStartResult R = Inc.resolveSystem(DeltaCS, F.Budget, F.Opts);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  if (R.Outcome == SolveOutcome::Failed) {
+    std::fprintf(stderr, "error: %s\n", R.St.toString().c_str());
+    return ExitError;
+  }
+  std::printf("warm re-solve of %s + %s: %.3f s, outcome %s\n", Argv[2],
+              Argv[3], Seconds, solveOutcomeName(R.Outcome));
+  if (!R.St.ok())
+    std::printf("  budget: %s\n", R.St.toString().c_str());
+  if (R.Outcome == SolveOutcome::Partial)
+    std::printf("  WARNING: partial solution — sets may be incomplete\n");
+  std::printf("  new constraints %u, seeded nodes %u\n", R.NewConstraints,
+              R.SeededNodes);
+  std::printf("  total |pts| %llu, solution hash %016llx\n",
+              static_cast<unsigned long long>(
+                  R.Solution.totalPointsToSize()),
+              static_cast<unsigned long long>(R.Solution.hash()));
+  std::printf("%s", R.Stats.toString("  ").c_str());
+  if (R.Outcome == SolveOutcome::Fallback)
+    return ExitFallback;
+  if (R.Outcome == SolveOutcome::Partial)
+    return ExitPartial;
+  return ExitPrecise;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -307,5 +643,11 @@ int main(int Argc, char **Argv) {
     return cmdSolve(Argc, Argv);
   if (std::strcmp(Argv[1], "query") == 0)
     return cmdQuery(Argc, Argv);
+  if (std::strcmp(Argv[1], "snapshot") == 0)
+    return cmdSnapshot(Argc, Argv);
+  if (std::strcmp(Argv[1], "serve") == 0)
+    return cmdServe(Argc, Argv);
+  if (std::strcmp(Argv[1], "resolve") == 0)
+    return cmdResolve(Argc, Argv);
   return usage();
 }

@@ -1,0 +1,64 @@
+//===- Hashing.h - Hash primitives for caches and snapshots -----*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, dependency-free hash primitives shared by the serving layer:
+/// FNV-1a over byte ranges (the snapshot checksum — stable across builds
+/// and platforms, unlike std::hash), a splitmix64 finalizer for scattering
+/// structured integer keys (cache keys are packed node-id pairs whose low
+/// bits are highly correlated), and a combiner for composite keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_ADT_HASHING_H
+#define AG_ADT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ag {
+
+/// FNV-1a offset basis (the conventional 64-bit seed).
+inline constexpr uint64_t Fnv1aBasis = 0xcbf29ce484222325ull;
+
+/// Streams \p Len bytes at \p Data into an FNV-1a state \p H.
+/// Deterministic across platforms; used for snapshot checksums.
+inline uint64_t fnv1a(const void *Data, size_t Len,
+                      uint64_t H = Fnv1aBasis) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// splitmix64 finalizer: a fast, well-scattering bijection on uint64_t.
+/// Packed keys (two 23-bit node ids share one word) hash terribly through
+/// identity; this spreads them across cache shards and buckets.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Combines two hashes (order-sensitive).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return mix64(Seed ^ (Value + 0x9e3779b97f4a7c15ull + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+/// std-compatible hasher for pre-packed uint64_t keys.
+struct Mix64Hash {
+  size_t operator()(uint64_t X) const {
+    return static_cast<size_t>(mix64(X));
+  }
+};
+
+} // namespace ag
+
+#endif // AG_ADT_HASHING_H

@@ -56,7 +56,27 @@ public:
     for (NodeId V = 0; V != N; ++V)
       if (G.find(V) == V && !G.Pts[V].empty())
         W.push(V);
+    return run();
+  }
 
+  /// Resumes from externally installed state: only \p Seeds (routed
+  /// through find()) enter the initial worklist, instead of every node
+  /// with a non-empty points-to set. The warm-start path installs a prior
+  /// fixpoint into context() and seeds exactly the delta-touched nodes;
+  /// monotonicity makes the result the least fixpoint of the full system
+  /// as long as every node whose inputs changed is seeded.
+  PointsToSolution solveFrom(const std::vector<NodeId> &Seeds) {
+    W.grow(G.CS.numNodes());
+    for (NodeId V : Seeds)
+      W.push(G.find(V));
+    return run();
+  }
+
+  SolverContext<PtsPolicy> &context() { return G; }
+
+private:
+  /// The Figure-2 worklist loop, from whatever W currently holds.
+  PointsToSolution run() {
     auto Push = [this](NodeId V) { W.push(V); };
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
@@ -110,9 +130,6 @@ public:
     return G.extractSolution();
   }
 
-  SolverContext<PtsPolicy> &context() { return G; }
-
-private:
   /// The R set, split into a cheap pre-test and the insertion. With
   /// LcdEdgeOnce disabled (ablation), edges always (re)trigger.
   bool alreadyTriggered(NodeId From, NodeId To) {

@@ -101,6 +101,26 @@ public:
     return Total;
   }
 
+  /// Deterministic text dump: one line per node, `<id>: <obj> <obj> ...`
+  /// with nodes in id order and set elements ascending (SparseBitVector
+  /// iterates sorted). Because lines depend only on the per-node routed
+  /// sets — not on representative structure — every solver kind and
+  /// thread count producing the same solution dumps identical bytes; the
+  /// snapshot layer leans on this stability.
+  std::string dumpText() const {
+    std::string Out;
+    for (uint32_t V = 0; V != numNodes(); ++V) {
+      Out += std::to_string(V);
+      Out += ':';
+      for (uint32_t O : pointsTo(V)) {
+        Out += ' ';
+        Out += std::to_string(O);
+      }
+      Out += '\n';
+    }
+    return Out;
+  }
+
   /// FNV hash of the whole solution, for quick regression comparisons.
   uint64_t hash() const {
     uint64_t H = 0xcbf29ce484222325ull;

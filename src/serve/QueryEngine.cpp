@@ -1,0 +1,141 @@
+//===- QueryEngine.cpp - Cached points-to query serving -------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/QueryEngine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ag;
+
+QueryEngine::QueryEngine(Snapshot S, const Options &Opts)
+    : Snap(std::move(S)),
+      // Alias verdicts are one bool; give the list cache the lion's
+      // share of the entry budget.
+      ListCache(Opts.CacheCapacity / 2, Opts.CacheShards),
+      AliasCache(Opts.CacheCapacity - Opts.CacheCapacity / 2,
+                 Opts.CacheShards) {}
+
+QueryEngine::IdList QueryEngine::pointsTo(NodeId V) {
+  assert(validNode(V) && "query for unknown node");
+  uint64_t Key = listKey(TagPts, Snap.Solution.repOf(V));
+  if (auto Hit = ListCache.get(Key))
+    return *Hit;
+  auto Result = std::make_shared<const std::vector<NodeId>>(
+      Snap.Solution.pointsToVector(V));
+  ListCache.put(Key, Result);
+  return Result;
+}
+
+bool QueryEngine::alias(NodeId P, NodeId Q) {
+  assert(validNode(P) && validNode(Q) && "query for unknown node");
+  NodeId A = Snap.Solution.repOf(P), B = Snap.Solution.repOf(Q);
+  if (A > B)
+    std::swap(A, B);
+  uint64_t Key = (uint64_t(A) << 32) | B;
+  if (auto Hit = AliasCache.get(Key))
+    return *Hit;
+  bool Result = Snap.Solution.mayAlias(P, Q);
+  AliasCache.put(Key, Result);
+  return Result;
+}
+
+std::vector<bool>
+QueryEngine::aliasBatch(const std::vector<std::pair<NodeId, NodeId>> &Pairs) {
+  std::vector<bool> Out;
+  Out.reserve(Pairs.size());
+  for (const auto &[P, Q] : Pairs)
+    Out.push_back(alias(P, Q));
+  return Out;
+}
+
+void QueryEngine::buildReverseIndex() {
+  const uint32_t N = numNodes();
+  ReverseIndex.resize(N);
+  ClassMembers.resize(N);
+  // Ascending scans keep every per-object rep list and per-rep member
+  // list sorted without a sort pass.
+  for (NodeId V = 0; V != N; ++V)
+    ClassMembers[Snap.Solution.repOf(V)].push_back(V);
+  for (NodeId R = 0; R != N; ++R) {
+    if (Snap.Solution.repOf(R) != R)
+      continue;
+    for (uint32_t Obj : Snap.Solution.pointsTo(R))
+      ReverseIndex[Obj].push_back(R);
+  }
+}
+
+QueryEngine::IdList QueryEngine::pointedBy(NodeId Obj) {
+  assert(validNode(Obj) && "query for unknown node");
+  uint64_t Key = listKey(TagPointedBy, Obj);
+  if (auto Hit = ListCache.get(Key))
+    return *Hit;
+  std::call_once(ReverseOnce, [this] { buildReverseIndex(); });
+  std::vector<NodeId> Pointers;
+  for (NodeId R : ReverseIndex[Obj])
+    Pointers.insert(Pointers.end(), ClassMembers[R].begin(),
+                    ClassMembers[R].end());
+  // Rep lists ascend and member lists ascend, but members of a later rep
+  // may have smaller ids (the survivor of a merge can outrank members of
+  // another class): one sort restores the global order clients expect.
+  std::sort(Pointers.begin(), Pointers.end());
+  auto Result =
+      std::make_shared<const std::vector<NodeId>>(std::move(Pointers));
+  ListCache.put(Key, Result);
+  return Result;
+}
+
+QueryEngine::IdList QueryEngine::callees(NodeId V) {
+  assert(validNode(V) && "query for unknown node");
+  uint64_t Key = listKey(TagCallees, Snap.Solution.repOf(V));
+  if (auto Hit = ListCache.get(Key))
+    return *Hit;
+  std::vector<NodeId> Funs;
+  for (uint32_t Obj : Snap.Solution.pointsTo(V))
+    if (Snap.CS.isFunction(Obj))
+      Funs.push_back(Obj);
+  auto Result = std::make_shared<const std::vector<NodeId>>(std::move(Funs));
+  ListCache.put(Key, Result);
+  return Result;
+}
+
+void QueryEngine::buildCallGraph() {
+  // Indirect calls compile to loads/stores at function slot offsets
+  // (>= FunctionReturnOffset) through the function-pointer variable:
+  // each such base variable is a call site; its callees are the
+  // function objects in its points-to set.
+  std::vector<NodeId> Bases;
+  for (const Constraint &C : Snap.CS.constraints()) {
+    if (C.Offset == 0)
+      continue;
+    if (C.Kind == ConstraintKind::Load)
+      Bases.push_back(C.Src);
+    else if (C.Kind == ConstraintKind::Store)
+      Bases.push_back(C.Dst);
+  }
+  std::sort(Bases.begin(), Bases.end());
+  Bases.erase(std::unique(Bases.begin(), Bases.end()), Bases.end());
+  for (NodeId Base : Bases)
+    for (uint32_t Obj : Snap.Solution.pointsTo(Base))
+      if (Snap.CS.isFunction(Obj))
+        CallEdges.emplace_back(Base, Obj);
+  // Bases ascend and each set iterates ascending, so edges are already
+  // sorted; distinct bases cannot produce duplicate pairs.
+}
+
+const std::vector<std::pair<NodeId, NodeId>> &QueryEngine::callGraph() {
+  std::call_once(CallGraphOnce, [this] { buildCallGraph(); });
+  return CallEdges;
+}
+
+CacheStats QueryEngine::cacheStats() const {
+  CacheStats L = ListCache.stats(), A = AliasCache.stats();
+  L.Hits += A.Hits;
+  L.Misses += A.Misses;
+  L.Evictions += A.Evictions;
+  L.Entries += A.Entries;
+  return L;
+}

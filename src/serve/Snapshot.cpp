@@ -1,0 +1,293 @@
+//===- Snapshot.cpp - Persisted solved analysis instances -----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Snapshot.h"
+
+#include "adt/Hashing.h"
+
+#include <cstring>
+#include <fstream>
+
+using namespace ag;
+
+namespace {
+
+const char SnapshotMagic[8] = {'A', 'G', 'P', 'T', 'S', 'N', 'A', 'P'};
+constexpr size_t HeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+void putU32(std::string &Out, uint32_t V) {
+  Out.push_back(char(V & 0xff));
+  Out.push_back(char((V >> 8) & 0xff));
+  Out.push_back(char((V >> 16) & 0xff));
+  Out.push_back(char((V >> 24) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xff));
+}
+
+/// Bounds-checked little-endian cursor over an input buffer. Every read
+/// reports overruns instead of advancing past the end, so truncated
+/// input surfaces as a clean ParseError at whichever field hit the wall.
+class ByteReader {
+public:
+  ByteReader(const std::string &Bytes, size_t Offset)
+      : Data(Bytes), Pos(Offset) {}
+
+  size_t remaining() const { return Data.size() - Pos; }
+
+  bool readU8(uint8_t &V) {
+    if (remaining() < 1)
+      return false;
+    V = uint8_t(Data[Pos++]);
+    return true;
+  }
+
+  bool readU32(uint32_t &V) {
+    if (remaining() < 4)
+      return false;
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= uint32_t(uint8_t(Data[Pos++])) << (8 * I);
+    return true;
+  }
+
+  bool readU64(uint64_t &V) {
+    if (remaining() < 8)
+      return false;
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= uint64_t(uint8_t(Data[Pos++])) << (8 * I);
+    return true;
+  }
+
+  bool readBytes(std::string &Out, size_t Len) {
+    if (remaining() < Len)
+      return false;
+    Out.assign(Data, Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+private:
+  const std::string &Data;
+  size_t Pos;
+};
+
+Status truncated(const char *Field) {
+  return Status::parseError(std::string("truncated snapshot: ") + Field);
+}
+
+} // namespace
+
+Status ag::writeSnapshotBytes(const Snapshot &Snap, std::string &Out) {
+  const uint32_t N = Snap.CS.numNodes();
+  if (Snap.Solution.numNodes() != N)
+    return Status::invalidArgument(
+        "snapshot solution covers " +
+        std::to_string(Snap.Solution.numNodes()) + " nodes for a " +
+        std::to_string(N) + "-node system");
+  if (Snap.SeedReps.size() != N)
+    return Status::invalidArgument(
+        "snapshot seed map has " + std::to_string(Snap.SeedReps.size()) +
+        " entries for " + std::to_string(N) + " nodes");
+  for (NodeId V = 0; V != N; ++V) {
+    if (Snap.SeedReps[V] >= N ||
+        Snap.SeedReps[Snap.SeedReps[V]] != Snap.SeedReps[V])
+      return Status::invalidArgument("snapshot seed map is not canonical");
+    if (Snap.Solution.repOf(Snap.Solution.repOf(V)) != Snap.Solution.repOf(V))
+      return Status::invalidArgument("snapshot rep table is not canonical");
+  }
+
+  std::string Payload;
+  Payload.push_back(char(uint8_t(Snap.Kind)));
+  Payload.push_back(char(uint8_t(Snap.Repr)));
+  Payload.push_back(char(uint8_t(Snap.Outcome)));
+  Payload.push_back(char(Snap.Sound ? 1 : 0));
+  putU32(Payload, N);
+
+  std::string Text = Snap.CS.serialize();
+  putU64(Payload, Text.size());
+  Payload += Text;
+
+  for (NodeId V = 0; V != N; ++V)
+    putU32(Payload, Snap.SeedReps[V]);
+  for (NodeId V = 0; V != N; ++V)
+    putU32(Payload, Snap.Solution.repOf(V));
+  for (NodeId V = 0; V != N; ++V) {
+    if (Snap.Solution.repOf(V) != V)
+      continue;
+    const SparseBitVector &Set = Snap.Solution.pointsTo(V);
+    putU32(Payload, uint32_t(Set.count()));
+    for (uint32_t O : Set)
+      putU32(Payload, O);
+  }
+
+  Out.clear();
+  Out.reserve(HeaderBytes + Payload.size());
+  Out.append(SnapshotMagic, sizeof(SnapshotMagic));
+  putU32(Out, SnapshotVersion);
+  putU32(Out, 0); // flags, reserved
+  putU64(Out, Payload.size());
+  putU64(Out, fnv1a(Payload.data(), Payload.size()));
+  Out += Payload;
+  return Status::okStatus();
+}
+
+Status ag::readSnapshotBytes(const std::string &Bytes, Snapshot &Snap) {
+  if (Bytes.size() < HeaderBytes)
+    return truncated("header");
+  if (std::memcmp(Bytes.data(), SnapshotMagic, sizeof(SnapshotMagic)) != 0)
+    return Status::parseError("not a snapshot file (bad magic)");
+
+  ByteReader Header(Bytes, sizeof(SnapshotMagic));
+  uint32_t Version = 0, Flags = 0;
+  uint64_t PayLen = 0, Checksum = 0;
+  Header.readU32(Version);
+  Header.readU32(Flags);
+  Header.readU64(PayLen);
+  Header.readU64(Checksum);
+  if (Version != SnapshotVersion)
+    return Status::parseError("unsupported snapshot version " +
+                              std::to_string(Version) + " (expected " +
+                              std::to_string(SnapshotVersion) + ")");
+  if (Flags != 0)
+    return Status::parseError("unknown snapshot flags");
+  if (Bytes.size() - HeaderBytes != PayLen)
+    return Status::parseError(
+        "snapshot payload length mismatch: header says " +
+        std::to_string(PayLen) + ", file has " +
+        std::to_string(Bytes.size() - HeaderBytes));
+  uint64_t Actual = fnv1a(Bytes.data() + HeaderBytes, PayLen);
+  if (Actual != Checksum)
+    return Status::parseError("snapshot checksum mismatch (corrupt file)");
+
+  ByteReader R(Bytes, HeaderBytes);
+  uint8_t Kind = 0, Repr = 0, Outcome = 0, Sound = 0;
+  if (!R.readU8(Kind) || !R.readU8(Repr) || !R.readU8(Outcome) ||
+      !R.readU8(Sound))
+    return truncated("metadata");
+  if (!isValidSolverKind(static_cast<SolverKind>(Kind)))
+    return Status::parseError("snapshot names unknown solver kind " +
+                              std::to_string(Kind));
+  if (Repr > uint8_t(PtsRepr::Bdd))
+    return Status::parseError("snapshot names unknown set representation");
+  if (Outcome > uint8_t(SolveOutcome::Partial))
+    return Status::parseError("snapshot names unknown solve outcome");
+  if (Sound > 1)
+    return Status::parseError("snapshot soundness flag out of range");
+
+  uint32_t N = 0;
+  if (!R.readU32(N))
+    return truncated("node count");
+  if (N > ConstraintSystem::MaxNodes)
+    return Status::parseError("snapshot node count exceeds MaxNodes");
+
+  uint64_t TextLen = 0;
+  if (!R.readU64(TextLen))
+    return truncated("constraint text length");
+  if (TextLen > R.remaining())
+    return truncated("constraint text");
+  std::string Text;
+  R.readBytes(Text, size_t(TextLen));
+
+  Snapshot Out;
+  if (Status St = ConstraintSystem::parseText(Text, Out.CS); !St.ok())
+    return Status::parseError("snapshot constraint system: " +
+                              St.message());
+  if (Out.CS.numNodes() != N)
+    return Status::parseError(
+        "snapshot node count disagrees with embedded system (" +
+        std::to_string(N) + " vs " + std::to_string(Out.CS.numNodes()) +
+        ")");
+
+  Out.SeedReps.resize(N);
+  for (NodeId V = 0; V != N; ++V) {
+    if (!R.readU32(Out.SeedReps[V]))
+      return truncated("seed map");
+    if (Out.SeedReps[V] >= N)
+      return Status::parseError("snapshot seed map entry out of range");
+  }
+  for (NodeId V = 0; V != N; ++V)
+    if (Out.SeedReps[Out.SeedReps[V]] != Out.SeedReps[V])
+      return Status::parseError("snapshot seed map is not idempotent");
+
+  std::vector<NodeId> Rep(N);
+  for (NodeId V = 0; V != N; ++V) {
+    if (!R.readU32(Rep[V]))
+      return truncated("rep table");
+    if (Rep[V] >= N)
+      return Status::parseError("snapshot rep entry out of range");
+  }
+  for (NodeId V = 0; V != N; ++V)
+    if (Rep[Rep[V]] != Rep[V])
+      return Status::parseError("snapshot rep table is not idempotent");
+
+  Out.Solution = PointsToSolution(N);
+  // Sets first (reps still self-mapped in the fresh solution), then the
+  // rep table — mirrors extractSolution's two-pass construction.
+  for (NodeId V = 0; V != N; ++V) {
+    if (Rep[V] != V)
+      continue;
+    uint32_t Count = 0;
+    if (!R.readU32(Count))
+      return truncated("set size");
+    if (Count > N)
+      return Status::parseError("snapshot set larger than the id space");
+    SparseBitVector &Set = Out.Solution.mutableSet(V);
+    uint32_t Prev = 0;
+    for (uint32_t I = 0; I != Count; ++I) {
+      uint32_t O = 0;
+      if (!R.readU32(O))
+        return truncated("set elements");
+      if (O >= N)
+        return Status::parseError("snapshot set element out of range");
+      if (I != 0 && O <= Prev)
+        return Status::parseError("snapshot set elements not ascending");
+      Prev = O;
+      Set.set(O);
+    }
+  }
+  for (NodeId V = 0; V != N; ++V)
+    if (Rep[V] != V)
+      Out.Solution.setRep(V, Rep[V]);
+
+  if (R.remaining() != 0)
+    return Status::parseError("snapshot has trailing bytes");
+
+  Out.Kind = static_cast<SolverKind>(Kind);
+  Out.Repr = static_cast<PtsRepr>(Repr);
+  Out.Outcome = static_cast<SolveOutcome>(Outcome);
+  Out.Sound = Sound != 0;
+  Snap = std::move(Out);
+  return Status::okStatus();
+}
+
+Status ag::writeSnapshotFile(const Snapshot &Snap, const std::string &Path) {
+  std::string Bytes;
+  if (Status St = writeSnapshotBytes(Snap, Bytes); !St.ok())
+    return St;
+  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+  if (!F)
+    return Status::ioError("cannot open " + Path + " for writing");
+  F.write(Bytes.data(), std::streamsize(Bytes.size()));
+  F.flush();
+  if (!F)
+    return Status::ioError("short write to " + Path);
+  return Status::okStatus();
+}
+
+Status ag::readSnapshotFile(const std::string &Path, Snapshot &Snap) {
+  std::ifstream F(Path, std::ios::binary);
+  if (!F)
+    return Status::ioError("cannot open " + Path);
+  std::string Bytes((std::istreambuf_iterator<char>(F)),
+                    std::istreambuf_iterator<char>());
+  if (F.bad())
+    return Status::ioError("read error on " + Path);
+  return readSnapshotBytes(Bytes, Snap);
+}

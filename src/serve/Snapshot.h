@@ -1,0 +1,94 @@
+//===- Snapshot.h - Persisted solved analysis instances ---------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Snapshot persists everything needed to serve queries against — and
+/// warm-start re-solves of — a solved constraint system: the system
+/// itself, the offline seed merge map (HCD/OVS substitutions) the solve
+/// was seeded with, and the PointsToSolution including the final
+/// union-find representative table, so dereference queries resolve
+/// through collapsed nodes.
+///
+/// Binary format (version 1, all integers little-endian):
+///
+///   header (32 bytes):
+///     magic     8 bytes  "AGPTSNAP"
+///     version   u32      1
+///     flags     u32      0 (reserved)
+///     paylen    u64      payload byte count
+///     checksum  u64      FNV-1a over the payload bytes
+///   payload:
+///     kind      u8       SolverKind that produced the solution
+///     repr      u8       PtsRepr it was solved with
+///     outcome   u8       SolveOutcome (precise/fallback/partial)
+///     sound     u8       0/1
+///     numnodes  u32      N
+///     cstext    u64 len + bytes   ConstraintSystem::serialize() text
+///     seedrep   u32 * N  offline seed merge map (identity if none)
+///     solrep    u32 * N  final representative of each node
+///     sets      for each v with solrep[v] == v:
+///                 u32 count + count ascending u32 object ids
+///
+/// The writer only ever emits canonical form — serialize() is
+/// deterministic, rep tables are idempotent, set elements strictly
+/// ascend — and the reader rejects anything non-canonical, so
+/// write -> read -> write reproduces the input bit for bit. Corrupt,
+/// truncated, or wrong-version input yields a structured ag::Status
+/// (never a crash or partial out-parameter the caller could misuse).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SERVE_SNAPSHOT_H
+#define AG_SERVE_SNAPSHOT_H
+
+#include "adt/Status.h"
+#include "constraints/ConstraintSystem.h"
+#include "core/PointsToSolution.h"
+#include "core/Solver.h"
+#include "solvers/Solve.h"
+
+#include <string>
+#include <vector>
+
+namespace ag {
+
+/// A solved analysis instance, as persisted.
+struct Snapshot {
+  ConstraintSystem CS;
+  /// Offline seed merge map (OVS and/or HCD pre-merges) the solve was
+  /// seeded with; identity when the system was solved unseeded. Size
+  /// always equals CS.numNodes(). Warm-start budget fallbacks fold this
+  /// map in, exactly as a tripped cold solve would.
+  std::vector<NodeId> SeedReps;
+  PointsToSolution Solution;
+  SolverKind Kind = SolverKind::LCDHCD;
+  PtsRepr Repr = PtsRepr::Bitmap;
+  SolveOutcome Outcome = SolveOutcome::Precise;
+  bool Sound = true;
+};
+
+/// Current on-disk format version.
+inline constexpr uint32_t SnapshotVersion = 1;
+
+/// Serializes \p Snap into \p Out (replacing its contents). Fails only
+/// on inconsistent inputs (mis-sized tables, non-canonical reps).
+Status writeSnapshotBytes(const Snapshot &Snap, std::string &Out);
+
+/// Parses \p Bytes into \p Snap. On error \p Snap is untouched. Every
+/// field is validated: magic, version, checksum, enum ranges, table
+/// sizes, rep idempotence, set canonicality, node-count agreement with
+/// the embedded constraint system.
+Status readSnapshotBytes(const std::string &Bytes, Snapshot &Snap);
+
+/// writeSnapshotBytes + atomic-enough file write (fails with IoError).
+Status writeSnapshotFile(const Snapshot &Snap, const std::string &Path);
+
+/// Reads \p Path fully and parses it with readSnapshotBytes guarantees.
+Status readSnapshotFile(const std::string &Path, Snapshot &Snap);
+
+} // namespace ag
+
+#endif // AG_SERVE_SNAPSHOT_H

@@ -92,7 +92,24 @@ public:
     for (NodeId V = 0; V != N; ++V)
       if (G.find(V) == V && !G.Pts[V].empty())
         WL.pushRemote(V);
+    return run();
+  }
 
+  /// Resumes from externally installed state: only \p Seeds (routed
+  /// through find()) enter the initial worklist. See LcdSolver::solveFrom;
+  /// the parallel rounds and collapse epochs are unchanged, so the result
+  /// still matches the sequential warm re-solve at every thread count.
+  PointsToSolution solveFrom(const std::vector<NodeId> &Seeds) {
+    for (NodeId V : Seeds)
+      WL.pushRemote(G.find(V));
+    return run();
+  }
+
+  SolverContext<Policy> &context() { return G; }
+
+private:
+  /// The round loop, from whatever the sharded worklist currently holds.
+  PointsToSolution run() {
     // Canonicalizing through find() here is single-threaded: compression
     // is safe between rounds.
     while (WL.beginRound([this](uint32_t Id) { return G.find(Id); }) != 0) {
@@ -104,9 +121,6 @@ public:
     return G.extractSolution();
   }
 
-  SolverContext<Policy> &context() { return G; }
-
-private:
   /// Striped-lock count; a power of two comfortably above the worker
   /// count, so two random nodes rarely contend.
   static constexpr unsigned NumStripes = 64;

@@ -117,15 +117,15 @@ PointsToSolution dispatch(const ConstraintSystem &CS, SolverKind Kind,
   return PointsToSolution(CS.numNodes());
 }
 
-/// The graceful-degradation path: Steensgaard's near-linear unification
-/// analysis, with \p SeedReps (offline substitutions the aborted precise
-/// run was seeded with) folded back in. A seed-merged variable carries no
-/// constraints of its own, so Steensgaard alone would give it an empty set;
-/// uniting each seed class with the Steensgaard classes of its members and
-/// taking the union of member sets keeps every node's set a superset of
-/// what any inclusion-based solver would compute for the seeded system.
-PointsToSolution steensgaardFallback(const ConstraintSystem &CS,
-                                     const std::vector<NodeId> *SeedReps) {
+} // namespace
+
+/// A seed-merged variable carries no constraints of its own, so
+/// Steensgaard alone would give it an empty set; uniting each seed class
+/// with the Steensgaard classes of its members and taking the union of
+/// member sets keeps every node's set a superset of what any
+/// inclusion-based solver would compute for the seeded system.
+PointsToSolution ag::steensgaardFallback(const ConstraintSystem &CS,
+                                         const std::vector<NodeId> *SeedReps) {
   PointsToSolution Steens = solveSteensgaard(CS);
   if (!SeedReps)
     return Steens;
@@ -149,8 +149,6 @@ PointsToSolution steensgaardFallback(const ConstraintSystem &CS,
   }
   return Out;
 }
-
-} // namespace
 
 PointsToSolution ag::solve(const ConstraintSystem &CS, SolverKind Kind,
                            PtsRepr Repr, SolverStats *StatsOut,

@@ -98,6 +98,18 @@ SolveResult solveGoverned(const ConstraintSystem &CS, SolverKind Kind,
                           const std::vector<NodeId> *SeedReps = nullptr,
                           const HcdResult *Hcd = nullptr);
 
+/// The graceful-degradation analysis solveGoverned() substitutes when a
+/// budget trips: Steensgaard's near-linear unification analysis with
+/// \p SeedReps (the offline substitutions the aborted run was seeded
+/// with) folded back in, keeping every node's set a sound superset of
+/// the precise answer for the seeded system. Exposed so warm-start
+/// re-solving can degrade through the identical path — a budget trip
+/// during an incremental re-solve then yields exactly the solution a
+/// tripped cold solve of the same system would.
+PointsToSolution steensgaardFallback(const ConstraintSystem &CS,
+                                     const std::vector<NodeId> *SeedReps
+                                     = nullptr);
+
 } // namespace ag
 
 #endif // AG_SOLVERS_SOLVE_H

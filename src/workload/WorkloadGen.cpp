@@ -361,3 +361,41 @@ std::vector<BenchmarkSpec> ag::paperSuites(double Scale) {
 
   return Suites;
 }
+
+DeltaSplit ag::splitDelta(const ConstraintSystem &Full, double DeltaFrac,
+                          uint64_t Seed) {
+  if (DeltaFrac < 0.0)
+    DeltaFrac = 0.0;
+  if (DeltaFrac > 1.0)
+    DeltaFrac = 1.0;
+  // Integer threshold against a fixed-point fraction: floating-point
+  // distribution code differs between standard libraries, raw engine
+  // draws do not.
+  constexpr uint64_t Denom = 1u << 20;
+  uint64_t Threshold = uint64_t(DeltaFrac * double(Denom));
+  // Any positive fraction must be able to select: round sub-resolution
+  // fractions up to one grid step (the empty-delta guard below still
+  // backstops small systems).
+  if (DeltaFrac > 0.0 && Threshold == 0)
+    Threshold = 1;
+
+  DeltaSplit Out;
+  Out.Base = Full.cloneNodeTable();
+  Rng R(Seed);
+  for (const Constraint &C : Full.constraints()) {
+    if (R.nextBelow(Denom) < Threshold)
+      Out.Delta.push_back(C);
+    else
+      Out.Base.add(C);
+  }
+  // A requested-but-empty delta defeats the point of the split; hold out
+  // the final constraint so incremental paths always have work.
+  if (Threshold > 0 && Out.Delta.empty() && !Full.constraints().empty()) {
+    Out.Delta.push_back(Full.constraints().back());
+    ConstraintSystem Rebuilt = Full.cloneNodeTable();
+    for (size_t I = 0; I + 1 < Full.constraints().size(); ++I)
+      Rebuilt.add(Full.constraints()[I]);
+    Out.Base = std::move(Rebuilt);
+  }
+  return Out;
+}

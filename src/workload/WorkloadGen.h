@@ -102,6 +102,24 @@ ConstraintSystem generateBenchmark(const BenchmarkSpec &Spec);
 /// laptop. The relative proportions between the suites follow the paper.
 std::vector<BenchmarkSpec> paperSuites(double Scale = 1.0);
 
+/// A base/delta partition of a constraint system, for incremental
+/// (warm-start) benchmarking: the base is solved and snapshotted, the
+/// delta replayed as the "new code" constraint stream.
+struct DeltaSplit {
+  /// Full node table plus the retained constraints, original order.
+  ConstraintSystem Base;
+  /// The held-out constraints, original order.
+  std::vector<Constraint> Delta;
+};
+
+/// Deterministically holds out about \p DeltaFrac of \p Full's
+/// constraints (per-constraint coin flips from \p Seed; same inputs give
+/// the same split on every platform). \p DeltaFrac is clamped to [0, 1];
+/// a positive fraction yields a non-empty delta whenever \p Full has any
+/// constraints.
+DeltaSplit splitDelta(const ConstraintSystem &Full, double DeltaFrac,
+                      uint64_t Seed);
+
 } // namespace ag
 
 #endif // AG_WORKLOAD_WORKLOADGEN_H

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "adt/FaultInjector.h"
+#include "adt/Hashing.h"
+#include "adt/LruCache.h"
 #include "adt/MemTracker.h"
 #include "adt/Rng.h"
 #include "adt/Scc.h"
@@ -372,6 +374,75 @@ TEST_F(FaultInjectorTest, RandomModeIsDeterministicPerSeed) {
   int Fired = static_cast<int>(std::count(A.begin(), A.end(), true));
   EXPECT_GT(Fired, 16);
   EXPECT_LT(Fired, 48);
+}
+
+TEST(Hashing, Fnv1aMatchesReferenceVectors) {
+  // Standard FNV-1a test vectors (64-bit).
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ull);
+  // Streaming in two pieces equals one pass.
+  EXPECT_EQ(fnv1a("bar", 3, fnv1a("foo", 3)), fnv1a("foobar", 6));
+}
+
+TEST(Hashing, Mix64IsABijectionOnSamples) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Seen.insert(mix64(I));
+  EXPECT_EQ(Seen.size(), 1000u) << "no collisions on a dense range";
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1)) << "order-sensitive";
+}
+
+TEST(LruCache, HitMissAndRefresh) {
+  ShardedLruCache<uint64_t, int> C(4, 1);
+  EXPECT_FALSE(C.get(1).has_value());
+  C.put(1, 10);
+  C.put(2, 20);
+  EXPECT_EQ(C.get(1).value(), 10);
+  EXPECT_EQ(C.get(2).value(), 20);
+  C.put(1, 11); // Refresh overwrites.
+  EXPECT_EQ(C.get(1).value(), 11);
+  CacheStats S = C.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<uint64_t, int> C(2, 1);
+  C.put(1, 10);
+  C.put(2, 20);
+  EXPECT_TRUE(C.get(1).has_value()); // 1 is now most recent.
+  C.put(3, 30);                      // Evicts 2, the LRU entry.
+  EXPECT_TRUE(C.get(1).has_value());
+  EXPECT_FALSE(C.get(2).has_value());
+  EXPECT_TRUE(C.get(3).has_value());
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_EQ(C.size(), 2u);
+}
+
+TEST(LruCache, ZeroCapacityStoresNothing) {
+  ShardedLruCache<uint64_t, int> C(0, 4);
+  for (uint64_t K = 0; K != 100; ++K)
+    C.put(K, int(K));
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_FALSE(C.get(5).has_value());
+  EXPECT_EQ(C.stats().Entries, 0u);
+}
+
+TEST(LruCache, ShardedKeepsEveryEntryReachable) {
+  ShardedLruCache<uint64_t, uint64_t> C(1024, 8);
+  for (uint64_t K = 0; K != 500; ++K)
+    C.put(K, K * 3);
+  for (uint64_t K = 0; K != 500; ++K) {
+    auto V = C.get(K);
+    ASSERT_TRUE(V.has_value()) << K;
+    EXPECT_EQ(*V, K * 3);
+  }
+  EXPECT_EQ(C.size(), 500u);
+  C.clear();
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_FALSE(C.get(7).has_value());
 }
 
 } // namespace

@@ -1,0 +1,252 @@
+//===- SnapshotTest.cpp - Snapshot format round-trip and fuzzing ----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snapshot format's two contracts: (1) write -> read -> write is
+/// bit-identical for every solver kind and set representation (the writer
+/// emits canonical form only, the reader accepts canonical form only);
+/// (2) corrupt input — truncated at any byte, any single bit flipped,
+/// wrong version/magic, random mutations — yields a structured ag::Status,
+/// never a crash, and never touches the out-parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Snapshot.h"
+
+#include "adt/Rng.h"
+#include "constraints/OfflineVariableSubstitution.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+ConstraintSystem testSystem() {
+  BenchmarkSpec Spec;
+  Spec.NumFunctions = 8;
+  Spec.VarsPerFunction = 6;
+  Spec.NumGlobals = 12;
+  return generateBenchmark(Spec);
+}
+
+/// Builds a snapshot exactly the way `ptatool snapshot` does: OVS, then a
+/// seeded solve of the reduced system.
+Snapshot makeSnapshot(const ConstraintSystem &CS, SolverKind Kind,
+                      PtsRepr Repr) {
+  OvsResult Ovs = runOfflineVariableSubstitution(CS);
+  Snapshot Snap;
+  Snap.Solution =
+      solve(Ovs.Reduced, Kind, Repr, nullptr, SolverOptions(), &Ovs.Rep);
+  Snap.CS = std::move(Ovs.Reduced);
+  Snap.SeedReps = std::move(Ovs.Rep);
+  Snap.Kind = Kind;
+  Snap.Repr = Repr;
+  return Snap;
+}
+
+void expectSnapshotsEqual(const Snapshot &A, const Snapshot &B) {
+  EXPECT_EQ(A.CS.serialize(), B.CS.serialize());
+  EXPECT_EQ(A.SeedReps, B.SeedReps);
+  EXPECT_TRUE(A.Solution == B.Solution);
+  EXPECT_EQ(A.Kind, B.Kind);
+  EXPECT_EQ(A.Repr, B.Repr);
+  EXPECT_EQ(A.Outcome, B.Outcome);
+  EXPECT_EQ(A.Sound, B.Sound);
+}
+
+using KindRepr = std::tuple<SolverKind, PtsRepr>;
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<KindRepr> {};
+
+TEST_P(SnapshotRoundTrip, WriteReadWriteIsBitIdentical) {
+  auto [Kind, Repr] = GetParam();
+  Snapshot Snap = makeSnapshot(testSystem(), Kind, Repr);
+
+  std::string Bytes1;
+  ASSERT_TRUE(writeSnapshotBytes(Snap, Bytes1).ok());
+  Snapshot Loaded;
+  ASSERT_TRUE(readSnapshotBytes(Bytes1, Loaded).ok());
+  expectSnapshotsEqual(Snap, Loaded);
+
+  // Also the representative structure, not just the routed sets: the rep
+  // table is part of the format (serve keys caches on it).
+  for (NodeId V = 0; V != Snap.Solution.numNodes(); ++V)
+    EXPECT_EQ(Snap.Solution.repOf(V), Loaded.Solution.repOf(V));
+
+  std::string Bytes2;
+  ASSERT_TRUE(writeSnapshotBytes(Loaded, Bytes2).ok());
+  EXPECT_EQ(Bytes1, Bytes2) << "write -> read -> write must be bit-identical";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndReprs, SnapshotRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(SolverKind::Naive, SolverKind::HT, SolverKind::PKH,
+                          SolverKind::BLQ, SolverKind::LCD, SolverKind::HCD,
+                          SolverKind::HTHCD, SolverKind::PKHHCD,
+                          SolverKind::BLQHCD, SolverKind::LCDHCD),
+        ::testing::Values(PtsRepr::Bitmap, PtsRepr::Bdd)),
+    [](const ::testing::TestParamInfo<KindRepr> &Info) {
+      std::string Name = solverKindName(std::get<0>(Info.param));
+      for (char &C : Name)
+        if (C == '+')
+          C = '_';
+      Name += std::get<1>(Info.param) == PtsRepr::Bitmap ? "_Bitmap" : "_Bdd";
+      return Name;
+    });
+
+class SnapshotFormat : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Snap = makeSnapshot(testSystem(), SolverKind::LCDHCD, PtsRepr::Bitmap);
+    ASSERT_TRUE(writeSnapshotBytes(Snap, Bytes).ok());
+  }
+  Snapshot Snap;
+  std::string Bytes;
+};
+
+TEST_F(SnapshotFormat, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "snapshot_roundtrip.snap";
+  ASSERT_TRUE(writeSnapshotFile(Snap, Path).ok());
+  Snapshot Loaded;
+  ASSERT_TRUE(readSnapshotFile(Path, Loaded).ok());
+  expectSnapshotsEqual(Snap, Loaded);
+}
+
+TEST_F(SnapshotFormat, MissingFileIsIoError) {
+  Snapshot Out;
+  Status St = readSnapshotFile("/nonexistent/missing.snap", Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), StatusCode::IoError);
+}
+
+TEST_F(SnapshotFormat, UnwritablePathIsIoError) {
+  Status St = writeSnapshotFile(Snap, "/nonexistent/dir/out.snap");
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), StatusCode::IoError);
+}
+
+TEST_F(SnapshotFormat, EveryTruncationIsAStructuredError) {
+  // Pre-load the out-parameter with a valid snapshot to prove failed
+  // reads leave it untouched.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    Snapshot Out;
+    ASSERT_TRUE(readSnapshotBytes(Bytes, Out).ok());
+    Status St = readSnapshotBytes(Bytes.substr(0, Len), Out);
+    ASSERT_FALSE(St.ok()) << "prefix of length " << Len << " accepted";
+    EXPECT_EQ(St.code(), StatusCode::ParseError);
+    EXPECT_FALSE(St.message().empty());
+    EXPECT_EQ(Out.CS.serialize(), Snap.CS.serialize())
+        << "failed read modified the out-parameter at length " << Len;
+  }
+}
+
+TEST_F(SnapshotFormat, EverySingleBitFlipIsDetected) {
+  // The header is field-validated and the payload is checksummed, so no
+  // single-bit corruption anywhere in the file may slip through.
+  for (size_t Pos = 0; Pos != Bytes.size(); ++Pos) {
+    std::string Corrupt = Bytes;
+    Corrupt[Pos] = static_cast<char>(Corrupt[Pos] ^ (1 << (Pos % 8)));
+    Snapshot Out;
+    Status St = readSnapshotBytes(Corrupt, Out);
+    EXPECT_FALSE(St.ok()) << "bit flip at byte " << Pos << " accepted";
+  }
+}
+
+TEST_F(SnapshotFormat, WrongVersionRejected) {
+  std::string Corrupt = Bytes;
+  Corrupt[8] = static_cast<char>(SnapshotVersion + 1); // version u32 @ 8.
+  Snapshot Out;
+  Status St = readSnapshotBytes(Corrupt, Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), StatusCode::ParseError);
+  EXPECT_NE(St.message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotFormat, WrongMagicRejected) {
+  std::string Corrupt = Bytes;
+  Corrupt[0] = 'X';
+  Snapshot Out;
+  Status St = readSnapshotBytes(Corrupt, Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_NE(St.message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotFormat, EmptyAndGarbageRejected) {
+  Snapshot Out;
+  EXPECT_FALSE(readSnapshotBytes("", Out).ok());
+  EXPECT_FALSE(readSnapshotBytes("hello, definitely not a snapshot", Out).ok());
+  EXPECT_FALSE(readSnapshotBytes(std::string(1000, '\xff'), Out).ok());
+}
+
+TEST_F(SnapshotFormat, TrailingBytesRejected) {
+  Snapshot Out;
+  EXPECT_FALSE(readSnapshotBytes(Bytes + "x", Out).ok());
+}
+
+TEST_F(SnapshotFormat, WriterRejectsInconsistentSnapshots) {
+  Snapshot Bad = makeSnapshot(testSystem(), SolverKind::LCD, PtsRepr::Bitmap);
+  Bad.SeedReps.pop_back(); // Mis-sized seed table.
+  std::string Out;
+  Status St = writeSnapshotBytes(Bad, Out);
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), StatusCode::InvalidArgument);
+}
+
+/// Random structural mutations (the FuzzTest harness idiom): the reader
+/// must reject or round-trip, never crash or accept non-canonical bytes.
+class SnapshotFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotFuzz, MutatedSnapshotsNeverCrash) {
+  Snapshot Snap = makeSnapshot(testSystem(), SolverKind::PKH, PtsRepr::Bitmap);
+  std::string Base;
+  ASSERT_TRUE(writeSnapshotBytes(Snap, Base).ok());
+
+  Rng R(GetParam() * 61 + 7);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    std::string Text = Base;
+    int Edits = 1 + Trial % 6;
+    for (int E = 0; E != Edits && !Text.empty(); ++E) {
+      size_t Pos = R.nextBelow(Text.size());
+      switch (R.nextBelow(4)) {
+      case 0: // Overwrite a byte.
+        Text[Pos] = static_cast<char>(R.nextBelow(256));
+        break;
+      case 1: // Delete a span.
+        Text.erase(Pos, 1 + R.nextBelow(16));
+        break;
+      case 2: // Duplicate a span.
+        Text.insert(Pos, Text.substr(Pos, 1 + R.nextBelow(16)));
+        break;
+      case 3: // Insert raw bytes.
+        Text.insert(Pos, std::string(1 + R.nextBelow(8),
+                                     static_cast<char>(R.nextBelow(256))));
+        break;
+      }
+    }
+    Snapshot Out;
+    Status St = readSnapshotBytes(Text, Out);
+    if (St.ok()) {
+      // Astronomically unlikely (checksummed), but if a mutation survives
+      // validation it must be canonical — i.e. re-write the same bytes.
+      std::string Back;
+      ASSERT_TRUE(writeSnapshotBytes(Out, Back).ok());
+      EXPECT_EQ(Back, Text);
+    } else {
+      EXPECT_FALSE(St.message().empty()) << "failures must carry a message";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz, ::testing::Range<uint64_t>(1, 9));
+
+} // namespace

@@ -6,6 +6,8 @@
 
 #include "adt/MemTracker.h"
 #include "core/PointsToSolution.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
 
 #include <gtest/gtest.h>
 
@@ -102,6 +104,44 @@ TEST(MemTracker, TotalSumsCategories) {
   T.release(MemCategory::Other, 128);
   T.release(MemCategory::Bitmap, 64);
   EXPECT_EQ(T.currentBytesTotal(), Before);
+}
+
+TEST(PointsToSolution, DumpTextFormat) {
+  PointsToSolution S(3);
+  S.mutableSet(0).set(2);
+  S.mutableSet(0).set(1);
+  S.setRep(1, 0);
+  EXPECT_EQ(S.dumpText(), "0: 1 2\n1: 1 2\n2:\n")
+      << "nodes in id order, elements ascending, rep-shared sets expanded";
+}
+
+TEST(PointsToSolution, DumpTextStableAcrossSolversAndThreads) {
+  // The snapshot layer's determinism guarantee: the same solution dumps
+  // the same bytes no matter which solver kind or thread count produced
+  // it — representative structure must never leak into the dump.
+  BenchmarkSpec Spec;
+  Spec.NumFunctions = 10;
+  Spec.VarsPerFunction = 8;
+  Spec.NumGlobals = 16;
+  ConstraintSystem CS = generateBenchmark(Spec);
+
+  const std::string Ref = solve(CS, SolverKind::Naive).dumpText();
+  ASSERT_FALSE(Ref.empty());
+  for (SolverKind K : AllSolverKinds) {
+    EXPECT_EQ(solve(CS, K, PtsRepr::Bitmap).dumpText(), Ref)
+        << solverKindName(K) << " bitmap";
+    if (K != SolverKind::BLQ && K != SolverKind::BLQHCD)
+      EXPECT_EQ(solve(CS, K, PtsRepr::Bdd).dumpText(), Ref)
+          << solverKindName(K) << " bdd";
+  }
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    SolverOptions Opts;
+    Opts.Threads = Threads;
+    EXPECT_EQ(solve(CS, SolverKind::LCDHCD, PtsRepr::Bitmap, nullptr, Opts)
+                  .dumpText(),
+              Ref)
+        << "parallel wavefront with " << Threads << " threads";
+  }
 }
 
 } // namespace

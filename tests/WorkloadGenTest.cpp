@@ -121,4 +121,49 @@ TEST(WorkloadGen, GeneratedSystemsSerializeRoundTrip) {
   EXPECT_EQ(Back.serialize(), Text);
 }
 
+TEST(WorkloadGen, SplitDeltaIsADeterministicPartition) {
+  BenchmarkSpec Spec;
+  Spec.NumFunctions = 10;
+  ConstraintSystem Full = generateBenchmark(Spec);
+
+  DeltaSplit A = splitDelta(Full, 0.2, 99);
+  DeltaSplit B = splitDelta(Full, 0.2, 99);
+  EXPECT_EQ(A.Base.serialize(), B.Base.serialize());
+  EXPECT_EQ(A.Delta, B.Delta);
+
+  // Exact partition: base + delta constraints == full constraints, same
+  // node table, nothing lost or duplicated.
+  EXPECT_EQ(A.Base.numNodes(), Full.numNodes());
+  EXPECT_EQ(A.Base.constraints().size() + A.Delta.size(),
+            Full.constraints().size());
+  size_t BaseIdx = 0, DeltaIdx = 0;
+  for (const Constraint &C : Full.constraints()) {
+    if (BaseIdx < A.Base.constraints().size() &&
+        A.Base.constraints()[BaseIdx] == C)
+      ++BaseIdx;
+    else if (DeltaIdx < A.Delta.size() && A.Delta[DeltaIdx] == C)
+      ++DeltaIdx;
+    else
+      FAIL() << "constraint missing from both halves";
+  }
+  EXPECT_EQ(BaseIdx, A.Base.constraints().size());
+  EXPECT_EQ(DeltaIdx, A.Delta.size());
+
+  // The fraction is honoured roughly, and a different seed picks a
+  // different subset.
+  double Frac = double(A.Delta.size()) / double(Full.constraints().size());
+  EXPECT_GT(Frac, 0.1);
+  EXPECT_LT(Frac, 0.3);
+  DeltaSplit C2 = splitDelta(Full, 0.2, 100);
+  EXPECT_NE(C2.Delta, A.Delta);
+
+  // Degenerate fractions: 0 keeps everything in the base; a tiny positive
+  // fraction still holds out at least one constraint.
+  DeltaSplit None = splitDelta(Full, 0.0, 1);
+  EXPECT_TRUE(None.Delta.empty());
+  EXPECT_EQ(None.Base.constraints().size(), Full.constraints().size());
+  DeltaSplit Tiny = splitDelta(Full, 1e-9, 1);
+  EXPECT_FALSE(Tiny.Delta.empty());
+}
+
 } // namespace
