@@ -7,6 +7,7 @@
 #include "BenchHarness.h"
 
 #include "adt/MemTracker.h"
+#include "obs/MetricsRegistry.h"
 
 #include <chrono>
 #include <cstdio>
@@ -66,8 +67,14 @@ RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind,
 }
 
 RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
-                               const SolverOptions &Opts) {
+                               const SolverOptions &Opts,
+                               bool CaptureMetrics) {
   RunResult R;
+  bool MetricsWereOn = obs::metricsEnabled();
+  if (CaptureMetrics) {
+    obs::MetricsRegistry::instance().reset();
+    obs::setMetricsEnabled(true);
+  }
   MemTracker::instance().resetPeaks();
   uint64_t BitmapBase =
       MemTracker::instance().currentBytes(MemCategory::Bitmap);
@@ -86,6 +93,11 @@ RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
       MemTracker::instance().peakBytes(MemCategory::BddTable) - BddBase;
   R.SolutionHash = Sol.hash();
   R.TotalPtsSize = Sol.totalPointsToSize();
+  if (CaptureMetrics) {
+    R.MetricsJson =
+        obs::MetricsRegistry::instance().renderJson(/*Compact=*/true);
+    obs::setMetricsEnabled(MetricsWereOn);
+  }
   return R;
 }
 

@@ -54,6 +54,11 @@ struct RunResult {
   uint64_t PeakBddBytes = 0;
   uint64_t SolutionHash = 0;
   uint64_t TotalPtsSize = 0;
+  /// Compact "ag.metrics.v1" JSON for this run, captured when the run was
+  /// made with CaptureMetrics (empty otherwise). Bench binaries embed it
+  /// verbatim into their BENCH_*.json rows instead of hand-plumbing
+  /// individual counter fields.
+  std::string MetricsJson;
 
   double peakMb() const {
     return double(PeakBitmapBytes + PeakBddBytes) / (1024.0 * 1024.0);
@@ -66,9 +71,11 @@ struct RunResult {
 RunResult runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr);
 
 /// As above, with explicit solver options — e.g. SolverOptions::Threads to
-/// route LCD / LCD+HCD through the parallel wavefront solver.
+/// route LCD / LCD+HCD through the parallel wavefront solver. With
+/// \p CaptureMetrics, the metrics channel is enabled and reset around the
+/// solve and the run's registry snapshot lands in RunResult::MetricsJson.
 RunResult runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
-                    const SolverOptions &Opts);
+                    const SolverOptions &Opts, bool CaptureMetrics = false);
 
 /// Prints the standard header naming the experiment.
 void printHeader(const char *Experiment, const char *PaperRef,

@@ -19,6 +19,8 @@
 #include "BenchHarness.h"
 
 #include "adt/Rng.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/Obs.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
 #include "serve/Snapshot.h"
@@ -45,7 +47,7 @@ struct QueryRow {
   double WarmSolveMs = 0;
   double WarmSpeedup = 0;
   uint64_t DeltaConstraints = 0;
-  uint64_t SeededNodes = 0;
+  std::string MetricsJson; ///< Compact ag.metrics.v1 object for the suite.
 };
 
 void appendJsonEscaped(std::string &Out, const std::string &S) {
@@ -115,7 +117,13 @@ int main(int Argc, char **Argv) {
   std::vector<QueryRow> Rows;
   bool Correct = true;
 
+  // One ag.metrics.v1 snapshot per suite covering the whole serving
+  // story: snapshot load, query mixes (LRU hits/misses), cold solve and
+  // warm re-solve. Embedded into the JSON rows below.
+  obs::setMetricsEnabled(true);
+
   for (const Suite &S : Suites) {
+    obs::MetricsRegistry::instance().reset();
     QueryRow Row;
     Row.Suite = S.Name;
 
@@ -192,7 +200,6 @@ int main(int Argc, char **Argv) {
     T0 = std::chrono::steady_clock::now();
     WarmStartResult R = Inc.resolve(Split.Delta);
     Row.WarmSolveMs = secondsSince(T0) * 1e3;
-    Row.SeededNodes = R.SeededNodes;
     Row.WarmSpeedup =
         Row.WarmSolveMs > 0 ? Row.ColdSolveMs / Row.WarmSolveMs : 0;
     if (R.Outcome != SolveOutcome::Precise || !(R.Solution == ColdSol)) {
@@ -207,8 +214,11 @@ int main(int Argc, char **Argv) {
                 Row.CachedQps, Row.CacheSpeedup, Row.HitRate * 100,
                 Row.ColdSolveMs, Row.WarmSolveMs, Row.WarmSpeedup,
                 static_cast<unsigned long long>(Row.DeltaConstraints));
-    Rows.push_back(Row);
+    Row.MetricsJson =
+        obs::MetricsRegistry::instance().renderJson(/*Compact=*/true);
+    Rows.push_back(std::move(Row));
   }
+  obs::setMetricsEnabled(false);
 
   std::string Json = "{\n";
   Json += "  \"scale\": " + std::to_string(Scale) + ",\n";
@@ -230,7 +240,7 @@ int main(int Argc, char **Argv) {
             ", \"warm_resolve_ms\": " + std::to_string(R.WarmSolveMs) +
             ", \"warm_speedup\": " + std::to_string(R.WarmSpeedup) +
             ", \"delta_constraints\": " + std::to_string(R.DeltaConstraints) +
-            ", \"seeded_nodes\": " + std::to_string(R.SeededNodes) + "}";
+            ", \"metrics\": " + R.MetricsJson + "}";
     Json += I + 1 == Rows.size() ? "\n" : ",\n";
   }
   Json += "  ]\n}\n";

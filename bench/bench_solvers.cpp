@@ -6,19 +6,29 @@
 ///
 /// \file
 /// Machine-readable solver comparison: for every algorithm (bitmap sets),
-/// wall-clock time, worklist pops and peak tracked bytes per suite; then
-/// the parallel wavefront solver at 1/2/4/8 threads against sequential
-/// LCD+HCD, verifying bit-identical solutions and recording the speedup.
-/// Results land in BENCH_solvers.json (argv[2] or the working directory).
+/// wall-clock time, an embedded "ag.metrics.v1" snapshot and peak tracked
+/// bytes per suite; then the parallel wavefront solver at 1/2/4/8 threads
+/// against sequential LCD+HCD, verifying bit-identical solutions and
+/// recording the speedup. Results land in BENCH_solvers.json (argv[2] or
+/// the working directory).
 ///
 /// The JSON records the host's hardware concurrency alongside the speedups:
 /// parallel numbers are only meaningful relative to the cores the run
 /// actually had (on a single-core host the speedup ceiling is 1.0 and the
 /// sharding/locking overhead is all that shows).
 ///
+/// An "obs_overhead" section times the LCD/bitmap solve with all
+/// observability channels off vs trace+metrics on: the disabled time is
+/// the cross-PR guardrail number (instrumentation must stay one branch
+/// per site when off), the ratio bounds the cost of turning it on.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchHarness.h"
+
+#include "obs/MetricsRegistry.h"
+#include "obs/Obs.h"
+#include "obs/TraceRecorder.h"
 
 #include <cstdio>
 #include <string>
@@ -37,6 +47,7 @@ struct SolverRow {
   uint64_t WorklistPops = 0;
   uint64_t PeakBytes = 0;
   uint64_t Hash = 0;
+  std::string MetricsJson; ///< Compact ag.metrics.v1 object for this run.
 };
 
 struct ParallelRow {
@@ -48,6 +59,7 @@ struct ParallelRow {
   uint64_t ParallelRounds = 0;
   uint64_t Propagations = 0;
   bool Identical = false; ///< Solution hash equals the sequential run's.
+  std::string MetricsJson; ///< Compact ag.metrics.v1 object for this run.
 };
 
 void appendJsonEscaped(std::string &Out, const std::string &S) {
@@ -78,7 +90,8 @@ int main(int Argc, char **Argv) {
   for (const Suite &S : Suites) {
     std::printf("%s:\n", S.Name.c_str());
     for (SolverKind Kind : AllSolverKinds) {
-      RunResult R = runSolver(S, Kind, PtsRepr::Bitmap);
+      RunResult R = runSolver(S, Kind, PtsRepr::Bitmap, SolverOptions(),
+                              /*CaptureMetrics=*/true);
       SolverRow Row;
       Row.Suite = S.Name;
       Row.Kind = solverKindName(Kind);
@@ -86,11 +99,12 @@ int main(int Argc, char **Argv) {
       Row.WorklistPops = R.Stats.WorklistPops;
       Row.PeakBytes = R.PeakBitmapBytes + R.PeakBddBytes;
       Row.Hash = R.SolutionHash;
-      Rows.push_back(Row);
+      Row.MetricsJson = std::move(R.MetricsJson);
       std::printf("  %-8s %10.2f ms  %10llu pops  %8.2f MB\n",
                   Row.Kind.c_str(), Row.WallMs,
                   static_cast<unsigned long long>(Row.WorklistPops),
                   R.peakMb());
+      Rows.push_back(std::move(Row));
     }
 
     // Parallel wavefront at each thread count vs the sequential LCD+HCD
@@ -106,7 +120,8 @@ int main(int Argc, char **Argv) {
     for (unsigned Threads : {1u, 2u, 4u, 8u}) {
       SolverOptions Opts;
       Opts.Threads = Threads;
-      RunResult R = runSolver(S, SolverKind::LCDHCD, PtsRepr::Bitmap, Opts);
+      RunResult R = runSolver(S, SolverKind::LCDHCD, PtsRepr::Bitmap, Opts,
+                              /*CaptureMetrics=*/true);
       ParallelRow P;
       P.Suite = S.Name;
       P.Threads = Threads;
@@ -118,16 +133,58 @@ int main(int Argc, char **Argv) {
       P.ParallelRounds = R.Stats.ParallelRounds;
       P.Propagations = R.Stats.Propagations;
       P.Identical = R.SolutionHash == SeqHash;
+      P.MetricsJson = std::move(R.MetricsJson);
       AllIdentical &= P.Identical;
-      ParRows.push_back(P);
       std::printf("  par x%-2u  %10.2f ms  speedup %5.2f  scaling %5.2f  "
                   "rounds %llu  props %llu  %s\n",
                   Threads, P.WallMs, P.Speedup, P.Scaling,
                   static_cast<unsigned long long>(P.ParallelRounds),
                   static_cast<unsigned long long>(P.Propagations),
                   P.Identical ? "identical" : "DIVERGED");
+      ParRows.push_back(std::move(P));
     }
   }
+
+  // --- Observability overhead guardrail: LCD/bitmap on the first suite,
+  // best of OverheadReps with every channel off vs trace+metrics on. The
+  // disabled number is what cross-PR comparisons gate on (<2% regression
+  // vs an uninstrumented build); the ratio bounds the enabled cost.
+  const Suite *Guard = &Suites.front();
+  for (const Suite &S : Suites)
+    if (S.RawConstraints > Guard->RawConstraints)
+      Guard = &S;
+  const Suite &GuardSuite = *Guard;
+  constexpr int OverheadReps = 3;
+  uint32_t SavedChannels =
+      obs::ChannelBits.load(std::memory_order_relaxed);
+  obs::ChannelBits.store(0, std::memory_order_relaxed);
+  double DisabledBestMs = 0;
+  for (int Rep = 0; Rep != OverheadReps; ++Rep) {
+    RunResult R = runSolver(GuardSuite, SolverKind::LCD, PtsRepr::Bitmap);
+    double Ms = R.Seconds * 1e3;
+    if (Rep == 0 || Ms < DisabledBestMs)
+      DisabledBestMs = Ms;
+  }
+  obs::setTraceEnabled(true);
+  obs::setMetricsEnabled(true);
+  double EnabledBestMs = 0;
+  for (int Rep = 0; Rep != OverheadReps; ++Rep) {
+    obs::TraceRecorder::instance().clear();
+    obs::MetricsRegistry::instance().reset();
+    RunResult R = runSolver(GuardSuite, SolverKind::LCD, PtsRepr::Bitmap);
+    double Ms = R.Seconds * 1e3;
+    if (Rep == 0 || Ms < EnabledBestMs)
+      EnabledBestMs = Ms;
+  }
+  obs::TraceRecorder::instance().clear();
+  obs::MetricsRegistry::instance().reset();
+  obs::ChannelBits.store(SavedChannels, std::memory_order_relaxed);
+  double OverheadRatio =
+      DisabledBestMs > 0 ? EnabledBestMs / DisabledBestMs : 0;
+  std::printf("\nobs overhead (LCD bitmap, %s, best of %d): off %.2f ms, "
+              "trace+metrics %.2f ms, ratio %.3f\n",
+              GuardSuite.Name.c_str(), OverheadReps, DisabledBestMs,
+              EnabledBestMs, OverheadRatio);
 
   std::string Json = "{\n";
   Json += "  \"scale\": " + std::to_string(Scale) + ",\n";
@@ -140,8 +197,8 @@ int main(int Argc, char **Argv) {
     Json += "\", \"kind\": \"";
     appendJsonEscaped(Json, R.Kind);
     Json += "\", \"wall_ms\": " + std::to_string(R.WallMs) +
-            ", \"worklist_pops\": " + std::to_string(R.WorklistPops) +
-            ", \"peak_tracked_bytes\": " + std::to_string(R.PeakBytes) + "}";
+            ", \"peak_tracked_bytes\": " + std::to_string(R.PeakBytes) +
+            ", \"metrics\": " + R.MetricsJson + "}";
     Json += I + 1 == Rows.size() ? "\n" : ",\n";
   }
   Json += "  ],\n";
@@ -154,13 +211,21 @@ int main(int Argc, char **Argv) {
             ", \"wall_ms\": " + std::to_string(P.WallMs) +
             ", \"speedup_vs_sequential\": " + std::to_string(P.Speedup) +
             ", \"scaling_vs_one_thread\": " + std::to_string(P.Scaling) +
-            ", \"parallel_rounds\": " + std::to_string(P.ParallelRounds) +
-            ", \"propagations\": " + std::to_string(P.Propagations) +
             ", \"solution_identical\": " +
-            (P.Identical ? "true" : "false") + "}";
+            (P.Identical ? "true" : "false") +
+            ", \"metrics\": " + P.MetricsJson + "}";
     Json += I + 1 == ParRows.size() ? "\n" : ",\n";
   }
-  Json += "  ]\n}\n";
+  Json += "  ],\n";
+  Json += "  \"obs_overhead\": {\"suite\": \"";
+  appendJsonEscaped(Json, GuardSuite.Name);
+  Json += "\", \"kind\": \"LCD\", \"repr\": \"bitmap\", \"reps\": " +
+          std::to_string(OverheadReps) +
+          ", \"disabled_best_ms\": " + std::to_string(DisabledBestMs) +
+          ", \"enabled_best_ms\": " + std::to_string(EnabledBestMs) +
+          ", \"enabled_over_disabled\": " + std::to_string(OverheadRatio) +
+          "}\n";
+  Json += "}\n";
 
   if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
     std::fputs(Json.c_str(), F);

@@ -40,13 +40,20 @@
 
 #include "constraints/OfflineVariableSubstitution.h"
 #include "frontend/ConstraintGen.h"
+#include "obs/FlightRecorder.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
 #include "serve/Snapshot.h"
 #include "solvers/Solve.h"
 #include "workload/WorkloadGen.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <iostream>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -79,7 +86,9 @@ int usage() {
                "HT+HCD|PKH+HCD|BLQ+HCD|LCD+HCD|Naive]\n"
                "               [--timeout <seconds>] [--max-mem-mb <mb>]\n"
                "               [--max-steps <n>] [--no-fallback]\n"
-               "               [--threads <n>]\n"
+               "               [--threads <n>] [--trace-out=<file>]\n"
+               "               [--metrics-out=<file>] "
+               "[--metrics-interval-ms=<n>]\n"
                "       ptatool query <file.cons> <name1> <name2>\n"
                "       ptatool snapshot <file.cons> <out.snap> [algo] "
                "[budget flags]\n"
@@ -241,6 +250,82 @@ struct SolveFlags {
   SolverKind Kind = SolverKind::LCDHCD;
   SolveBudget Budget;
   SolverOptions Opts;
+  /// Observability outputs (empty = channel stays off).
+  std::string TraceOut;
+  std::string MetricsOut;
+  uint64_t MetricsIntervalMs = 0;
+};
+
+/// Enables the requested observability channels for the duration of a
+/// command and writes the output files on destruction. Arms the flight
+/// recorder's dump-on-trip while any output was requested, and runs an
+/// optional sampler thread that republishes memory peaks into the trace
+/// every MetricsIntervalMs (the final publish at scope exit keeps the
+/// metrics JSON itself interval-independent, hence run-to-run identical).
+class ObsSession {
+public:
+  explicit ObsSession(const SolveFlags &F)
+      : TraceOut(F.TraceOut), MetricsOut(F.MetricsOut) {
+    if (!TraceOut.empty()) {
+      obs::TraceRecorder::instance().clear();
+      obs::setTraceEnabled(true);
+    }
+    if (!MetricsOut.empty()) {
+      obs::MetricsRegistry::instance().reset();
+      obs::setMetricsEnabled(true);
+    }
+    if (!TraceOut.empty() || !MetricsOut.empty())
+      obs::FlightRecorder::instance().setDumpOnTrip(true);
+    if (F.MetricsIntervalMs > 0 && !TraceOut.empty())
+      Sampler = std::thread([this, Interval = F.MetricsIntervalMs] {
+        std::unique_lock<std::mutex> Lock(Mu);
+        while (!Done.load(std::memory_order_relaxed)) {
+          Cv.wait_for(Lock, std::chrono::milliseconds(Interval));
+          if (Done.load(std::memory_order_relaxed))
+            break;
+          obs::publishMemPeaks();
+        }
+      });
+  }
+
+  ~ObsSession() {
+    if (Sampler.joinable()) {
+      Done.store(true, std::memory_order_relaxed);
+      Cv.notify_all();
+      Sampler.join();
+    }
+    obs::publishMemPeaks();
+    if (!TraceOut.empty()) {
+      obs::setTraceEnabled(false);
+      if (Status St = obs::TraceRecorder::instance().writeJson(TraceOut);
+          !St.ok())
+        std::fprintf(stderr, "warning: %s\n", St.toString().c_str());
+      else
+        std::fprintf(stderr, "wrote trace to %s (%zu events)\n",
+                     TraceOut.c_str(),
+                     obs::TraceRecorder::instance().eventCount());
+    }
+    if (!MetricsOut.empty()) {
+      obs::setMetricsEnabled(false);
+      std::ofstream Os(MetricsOut, std::ios::binary | std::ios::trunc);
+      std::string Json = obs::MetricsRegistry::instance().renderJson();
+      Os.write(Json.data(), std::streamsize(Json.size()));
+      if (!Os)
+        std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                     MetricsOut.c_str());
+      else
+        std::fprintf(stderr, "wrote metrics to %s\n", MetricsOut.c_str());
+    }
+    obs::FlightRecorder::instance().setDumpOnTrip(false);
+  }
+
+private:
+  std::string TraceOut;
+  std::string MetricsOut;
+  std::thread Sampler;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::atomic<bool> Done{false};
 };
 
 /// Parses the optional [algo] positional plus the budget flags starting at
@@ -253,6 +338,40 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
   bool SawKind = false;
   for (int I = Start; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    // Observability flags accept --flag=value and --flag value forms.
+    {
+      std::string Name = Arg, Value;
+      bool HasValue = false;
+      if (size_t Eq = Arg.find('='); Eq != std::string::npos) {
+        Name = Arg.substr(0, Eq);
+        Value = Arg.substr(Eq + 1);
+        HasValue = true;
+      }
+      if (Name == "--trace-out" || Name == "--metrics-out" ||
+          Name == "--metrics-interval-ms") {
+        if (!HasValue) {
+          if (I + 1 >= Argc) {
+            std::fprintf(stderr, "error: %s expects a value\n", Name.c_str());
+            return usage();
+          }
+          Value = Argv[++I];
+        }
+        if (Value.empty()) {
+          std::fprintf(stderr, "error: %s expects a value\n", Name.c_str());
+          return usage();
+        }
+        if (Name == "--trace-out") {
+          F.TraceOut = Value;
+        } else if (Name == "--metrics-out") {
+          F.MetricsOut = Value;
+        } else if (!parsePositiveU64(Value.c_str(), F.MetricsIntervalMs)) {
+          std::fprintf(stderr, "error: bad value '%s' for %s\n",
+                       Value.c_str(), Name.c_str());
+          return usage();
+        }
+        continue;
+      }
+    }
     if (Arg == "--no-fallback") {
       F.Budget.AllowFallback = false;
     } else if (Arg == "--timeout" || Arg == "--max-mem-mb" ||
@@ -316,6 +435,7 @@ int cmdSolve(int Argc, char **Argv) {
   SolverKind Kind = F.Kind;
   SolveBudget Budget = F.Budget;
   SolverOptions Opts = F.Opts;
+  ObsSession Obs(F);
 
   auto T0 = std::chrono::steady_clock::now();
   OvsResult Ovs = runOfflineVariableSubstitution(CS);
@@ -390,6 +510,7 @@ int cmdSnapshot(int Argc, char **Argv) {
   SolveFlags F;
   if (int Rc = parseSolveFlags(Argc, Argv, 4, /*AllowKind=*/true, F))
     return Rc;
+  ObsSession Obs(F);
 
   OvsResult Ovs = runOfflineVariableSubstitution(CS);
   SolverStats Stats;
@@ -466,6 +587,9 @@ void printIdList(const char *What, const std::string &Ref,
 int cmdServe(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
+  // A serving process always collects metrics (the `stats` command reads
+  // them) and keeps the flight ring; full tracing stays off.
+  obs::setMetricsEnabled(true);
   Snapshot Snap;
   if (Status St = readSnapshotFile(Argv[2], Snap); !St.ok()) {
     std::fprintf(stderr, "error: %s\n", St.toString().c_str());
@@ -501,7 +625,7 @@ int cmdServe(int Argc, char **Argv) {
     if (Cmd == "help") {
       std::printf("commands: pts <v> | alias <p> <q> | aliasbatch <p> <q> "
                   "[<p> <q>]... | pointedby <o> | callees <v> | callgraph | "
-                  "stats | help | quit\n"
+                  "stats | trace | help | quit\n"
                   "node refs are decimal ids or node names\n");
       continue;
     }
@@ -513,6 +637,14 @@ int cmdServe(int Argc, char **Argv) {
                   static_cast<unsigned long long>(S.Misses),
                   static_cast<unsigned long long>(S.Evictions),
                   static_cast<unsigned long long>(S.Entries));
+      std::printf("%s", obs::MetricsRegistry::instance().renderText().c_str());
+      continue;
+    }
+    if (Cmd == "trace") {
+      obs::FlightRecorder &FR = obs::FlightRecorder::instance();
+      std::printf("flight recorder: %llu events total\n",
+                  static_cast<unsigned long long>(FR.totalRecorded()));
+      std::printf("%s", FR.dumpText().c_str());
       continue;
     }
     if (Cmd == "callgraph") {
@@ -595,6 +727,7 @@ int cmdResolve(int Argc, char **Argv) {
   SolveFlags F;
   if (int Rc = parseSolveFlags(Argc, Argv, 4, /*AllowKind=*/false, F))
     return Rc;
+  ObsSession Obs(F);
 
   IncrementalSolver Inc(std::move(Snap));
   if (!Inc.valid().ok()) {

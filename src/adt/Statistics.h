@@ -7,14 +7,22 @@
 /// \file
 /// Counters for the three quantities Section 5.3 of the paper uses to
 /// explain relative solver performance — nodes collapsed, nodes searched
-/// during DFS, and points-to propagations — plus a few supporting counts.
-/// Each solver owns one SolverStats and increments it inline.
+/// during DFS, and points-to propagations — plus supporting counts added
+/// by the parallel (PR 2) and serve (PR 3) layers. Each solver owns one
+/// SolverStats and increments it inline.
+///
+/// Every consumer — mergeFrom, toString, and the observability layer's
+/// MetricsRegistry::absorb — iterates the single forEachField enumerator,
+/// so adding a counter in one place updates all of them: a field can no
+/// longer be silently dropped from merging the way hand-written per-field
+/// code allows.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AG_ADT_STATISTICS_H
 #define AG_ADT_STATISTICS_H
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -46,42 +54,76 @@ struct SolverStats {
   uint64_t LcdTriggerProbes = 0;
   /// Wavefront rounds executed by the parallel solver (0 for sequential).
   uint64_t ParallelRounds = 0;
+  /// Collapse epochs completed by the parallel solver. Trails
+  /// ParallelRounds when a budget trip aborts an epoch mid-flight.
+  uint64_t ParallelEpochs = 0;
+  /// Points-to elements pushed through complex-constraint resolution
+  /// frontiers (the difference-propagation work the MDE deduplication
+  /// line of work targets — re-resolution shows up here).
+  uint64_t DiffElementsResolved = 0;
+  /// Warm-start re-solves: nodes seeded into the initial worklist (the
+  /// delta-touched set).
+  uint64_t WarmSeededNodes = 0;
+  /// Warm-start re-solves: delta constraints that were genuinely new.
+  uint64_t WarmNewConstraints = 0;
+
+  /// Number of counters; keep in sync with forEachField (asserted by
+  /// mergeFrom).
+  static constexpr size_t NumFields = 14;
+
+  /// Invokes \p F with ("stable_name", field reference) for every counter,
+  /// in declaration order. The single source of truth for merging,
+  /// rendering and metrics absorption.
+  template <typename Fn> void forEachField(Fn F) {
+    F("nodes_collapsed", NodesCollapsed);
+    F("nodes_searched", NodesSearched);
+    F("propagations", Propagations);
+    F("changed_propagations", ChangedPropagations);
+    F("cycle_detect_attempts", CycleDetectAttempts);
+    F("edges_added", EdgesAdded);
+    F("worklist_pops", WorklistPops);
+    F("hcd_collapses", HcdCollapses);
+    F("lcd_trigger_probes", LcdTriggerProbes);
+    F("parallel_rounds", ParallelRounds);
+    F("parallel_epochs", ParallelEpochs);
+    F("diff_elements_resolved", DiffElementsResolved);
+    F("warm_seeded_nodes", WarmSeededNodes);
+    F("warm_new_constraints", WarmNewConstraints);
+  }
+
+  /// Const enumeration: \p F receives ("stable_name", value).
+  template <typename Fn> void forEachField(Fn F) const {
+    const_cast<SolverStats *>(this)->forEachField(
+        [&](const char *Name, uint64_t &V) {
+          F(Name, static_cast<uint64_t>(V));
+        });
+  }
 
   /// Accumulates \p RHS into this (used to fold per-worker counters into
-  /// the run's totals at epoch boundaries).
+  /// the run's totals at epoch boundaries, and warm-start stats into
+  /// session totals).
   void mergeFrom(const SolverStats &RHS) {
-    NodesCollapsed += RHS.NodesCollapsed;
-    NodesSearched += RHS.NodesSearched;
-    Propagations += RHS.Propagations;
-    ChangedPropagations += RHS.ChangedPropagations;
-    CycleDetectAttempts += RHS.CycleDetectAttempts;
-    EdgesAdded += RHS.EdgesAdded;
-    WorklistPops += RHS.WorklistPops;
-    HcdCollapses += RHS.HcdCollapses;
-    LcdTriggerProbes += RHS.LcdTriggerProbes;
-    ParallelRounds += RHS.ParallelRounds;
+    uint64_t Vals[NumFields];
+    size_t I = 0;
+    RHS.forEachField([&](const char *, uint64_t V) {
+      assert(I < NumFields && "forEachField out of sync with NumFields");
+      Vals[I++] = V;
+    });
+    assert(I == NumFields && "forEachField out of sync with NumFields");
+    I = 0;
+    forEachField([&](const char *, uint64_t &V) { V += Vals[I++]; });
   }
 
   /// Renders one counter per line, prefixed by \p Prefix.
   std::string toString(const std::string &Prefix = "") const {
     std::string Out;
-    auto Row = [&](const char *Name, uint64_t V) {
+    forEachField([&](const char *Name, uint64_t V) {
       Out += Prefix;
       Out += Name;
       Out += ": ";
       Out += std::to_string(V);
       Out += '\n';
-    };
-    Row("nodes_collapsed", NodesCollapsed);
-    Row("nodes_searched", NodesSearched);
-    Row("propagations", Propagations);
-    Row("changed_propagations", ChangedPropagations);
-    Row("cycle_detect_attempts", CycleDetectAttempts);
-    Row("edges_added", EdgesAdded);
-    Row("worklist_pops", WorklistPops);
-    Row("hcd_collapses", HcdCollapses);
-    Row("lcd_trigger_probes", LcdTriggerProbes);
-    Row("parallel_rounds", ParallelRounds);
+    });
     return Out;
   }
 };

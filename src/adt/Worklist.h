@@ -51,6 +51,9 @@ public:
 
   bool empty() const { return Current.empty() && Next.empty(); }
 
+  /// Nodes currently enqueued across both divisions.
+  size_t size() const { return Current.size() + Next.size(); }
+
   /// Enqueues \p Id unless it is already enqueued.
   void push(uint32_t Id) {
     assert(Id < InList.size() && "worklist id out of range");

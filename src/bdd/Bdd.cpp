@@ -6,6 +6,8 @@
 
 #include "bdd/Bdd.h"
 
+#include "obs/MetricsRegistry.h"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -233,8 +235,10 @@ bool BddManager::cacheLookup(uint64_t Key, uint32_t Extra,
   const CacheEntry &E = OpCache[Key & OpCacheMask];
   if (E.Key == Key && E.Extra == Extra) {
     Result = E.Result;
+    obs::count(obs::Counter::BddCacheHits);
     return true;
   }
+  obs::count(obs::Counter::BddCacheMisses);
   return false;
 }
 

@@ -7,6 +7,7 @@
 #include "constraints/OfflineVariableSubstitution.h"
 
 #include "adt/Scc.h"
+#include "obs/TraceRecorder.h"
 
 #include <algorithm>
 #include <cassert>
@@ -31,6 +32,7 @@ struct LabelSetHash {
 } // namespace
 
 OvsResult ag::runOfflineVariableSubstitution(const ConstraintSystem &CS) {
+  obs::PhaseSpan Span("ovs_offline", "offline");
   const uint32_t N = CS.numNodes();
   constexpr uint32_t BottomLabel = 0;
 

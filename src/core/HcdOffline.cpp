@@ -7,12 +7,14 @@
 #include "core/HcdOffline.h"
 
 #include "adt/Scc.h"
+#include "obs/TraceRecorder.h"
 
 #include <cassert>
 
 using namespace ag;
 
 HcdResult ag::runHcdOffline(const ConstraintSystem &CS) {
+  obs::PhaseSpan Span("hcd_offline", "offline");
   const uint32_t N = CS.numNodes();
   // Offline node space: [0, N) are VAR nodes, [N, 2N) are REF nodes.
   std::vector<std::vector<uint32_t>> Succs(2 * size_t(N));

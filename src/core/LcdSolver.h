@@ -81,6 +81,11 @@ private:
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
       ++G.Stats.WorklistPops;
+      if ((G.Stats.WorklistPops & 1023) == 0) {
+        obs::observe(obs::Hist::WorklistDepth, W.size());
+        if (obs::traceEnabled())
+          obs::TraceRecorder::instance().counter("worklist_depth", W.size());
+      }
       G.governorStep();
 
       // HCD first (Figure 5's check of the lazy table L).
@@ -103,7 +108,14 @@ private:
         if (!alreadyTriggered(Node, Z) && !G.Pts[Node].empty() &&
             G.Pts[Z].equals(G.Ctx, G.Pts[Node]) &&
             markTriggered(Node, Z)) {
-          if (G.detectAndCollapseFrom(Z) > 0) {
+          if (obs::traceEnabled())
+            obs::TraceRecorder::instance().instant("lcd_trigger", "solver",
+                                                   "root", Z);
+          uint32_t Merges = G.detectAndCollapseFrom(Z);
+          if (obs::traceEnabled())
+            obs::TraceRecorder::instance().instant("lcd_collapse", "solver",
+                                                   "merges", Merges);
+          if (Merges > 0) {
             // Re-queue every merge survivor (their points-to sets grew).
             // The edge iterator only becomes unsafe when Node itself was
             // involved: merged away, or the survivor whose edge set was

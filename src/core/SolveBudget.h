@@ -30,6 +30,7 @@
 #include "adt/FaultInjector.h"
 #include "adt/MemTracker.h"
 #include "adt/Status.h"
+#include "obs/Obs.h"
 
 #include <atomic>
 #include <chrono>
@@ -269,6 +270,7 @@ private:
   [[noreturn]] void trip(Status St) {
     if (TripSt.ok())
       TripSt = St;
+    obs::onGovernorTrip(St);
     throw BudgetExceededError(std::move(St));
   }
 

@@ -33,6 +33,8 @@
 #include "core/PointsToSolution.h"
 #include "core/PtsSet.h"
 #include "core/SolveBudget.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
 
 #include <algorithm>
 #include <vector>
@@ -230,7 +232,9 @@ public:
       // Difference resolution: only elements this group hasn't seen.
       // (With UseDiffResolution off, Resolved stays empty and the full
       // set re-scans on every visit — the Figure-1 literal behaviour.)
+      uint64_t FrontierSize = 0;
       Pts[N].forEachDiff(Ctx, G.Resolved, [&](NodeId V) {
+        ++FrontierSize;
         for (const Deref &D : G.Loads) {
           NodeId T = CS.offsetTarget(V, D.Offset);
           if (T != InvalidNode && addEdge(T, D.Other)) {
@@ -246,6 +250,8 @@ public:
           }
         }
       });
+      Stats.DiffElementsResolved += FrontierSize;
+      obs::observe(obs::Hist::PtsDiffSize, FrontierSize);
     }
     // Every group is now resolved against the full current set:
     // consolidate back to one group with a shared frontier.
@@ -307,6 +313,7 @@ public:
     ++CurrentEpoch;
     NextDfsNum = 0;
     ++Stats.CycleDetectAttempts;
+    obs::TraceSpan Span("tarjan", "solver");
     return tarjanFrom(find(Root));
   }
 
@@ -316,6 +323,7 @@ public:
     ++CurrentEpoch;
     NextDfsNum = 0;
     ++Stats.CycleDetectAttempts;
+    obs::TraceSpan Span("tarjan", "solver");
     uint32_t Merges = 0;
     for (NodeId V = 0; V != CS.numNodes(); ++V) {
       NodeId R = find(V);
@@ -444,6 +452,7 @@ private:
         // above U on the stack merge into U's class; U itself is the
         // initial survivor.
         NodeId Survivor = U;
+        uint64_t Members = 1;
         for (;;) {
           NodeId W = SccStack.back();
           SccStack.pop_back();
@@ -452,7 +461,10 @@ private:
             break;
           Survivor = merge(Survivor, W);
           ++Merges;
+          ++Members;
         }
+        if (Members > 1)
+          obs::observe(obs::Hist::CycleSize, Members);
         // The survivor keeps a valid visited stamp so later edges into the
         // collapsed SCC are treated as done.
         VisitEpoch[Survivor] = CurrentEpoch;

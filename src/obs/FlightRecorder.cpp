@@ -1,0 +1,70 @@
+//===- FlightRecorder.cpp - Recent-event ring buffer ----------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/FlightRecorder.h"
+#include "obs/TraceRecorder.h"
+
+#include <cstdio>
+
+using namespace ag;
+using namespace ag::obs;
+
+FlightRecorder &FlightRecorder::instance() {
+  static FlightRecorder R;
+  return R;
+}
+
+void FlightRecorder::record(const char *What, uint64_t A, uint64_t B) {
+  uint64_t Ts = nowNanos();
+  uint32_t Tid = trackId();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Event &E = Ring[NextSeq % Capacity];
+  E.Seq = NextSeq++;
+  E.TsNanos = Ts;
+  E.What = What;
+  E.A = A;
+  E.B = B;
+  E.Tid = Tid;
+}
+
+std::string FlightRecorder::dumpText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  if (NextSeq == 0) {
+    Out = "  (flight ring empty)\n";
+    return Out;
+  }
+  uint64_t First = NextSeq > Capacity ? NextSeq - Capacity : 0;
+  char Buf[96];
+  for (uint64_t Seq = First; Seq != NextSeq; ++Seq) {
+    const Event &E = Ring[Seq % Capacity];
+    std::snprintf(Buf, sizeof(Buf), "  [%llu] +%llu.%03llu s tid=%u ",
+                  static_cast<unsigned long long>(E.Seq),
+                  static_cast<unsigned long long>(E.TsNanos / 1000000000),
+                  static_cast<unsigned long long>((E.TsNanos / 1000000) %
+                                                  1000),
+                  E.Tid);
+    Out += Buf;
+    Out += E.What ? E.What : "?";
+    Out += " a=";
+    Out += std::to_string(E.A);
+    Out += " b=";
+    Out += std::to_string(E.B);
+    Out += '\n';
+  }
+  return Out;
+}
+
+uint64_t FlightRecorder::totalRecorded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NextSeq;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  NextSeq = 0;
+  Ring.fill(Event{});
+}

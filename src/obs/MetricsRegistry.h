@@ -1,0 +1,219 @@
+//===- MetricsRegistry.h - Process-wide metrics -----------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: a fixed universe of named
+/// counters (lock-free, sharded per thread to avoid cache-line ping-pong),
+/// gauges (monotone high-water marks), and log2-bucket histograms. The
+/// registry absorbs each run's SolverStats (superseding ad-hoc plumbing of
+/// individual fields through bench/tool code) and additionally collects
+/// signals the flat struct never carried: points-to diff sizes, worklist
+/// depth, LRU hit/miss, collapsed cycle sizes, and BDD operation-cache hit
+/// rates.
+///
+/// Rendering is deterministic: renderJson() emits every counter, gauge and
+/// histogram in enum order with a schema tag ("ag.metrics.v1"), so two runs
+/// at the same seed produce bit-identical files and CI can validate the
+/// key set against tests/metrics_schema.json (schema stability rules in
+/// DESIGN.md §11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_OBS_METRICSREGISTRY_H
+#define AG_OBS_METRICSREGISTRY_H
+
+#include "adt/Statistics.h"
+#include "obs/Obs.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ag {
+namespace obs {
+
+/// Counter universe. The first SolverStats::NumFields entries mirror
+/// SolverStats in field order — absorb() relies on that correspondence.
+enum class Counter : unsigned {
+  // --- absorbed from SolverStats (declaration order must match) ---
+  SolverNodesCollapsed,
+  SolverNodesSearched,
+  SolverPropagations,
+  SolverChangedPropagations,
+  SolverCycleDetectAttempts,
+  SolverEdgesAdded,
+  SolverWorklistPops,
+  SolverHcdCollapses,
+  SolverLcdTriggerProbes,
+  SolverParallelRounds,
+  SolverParallelEpochs,
+  SolverDiffElementsResolved,
+  SolverWarmSeededNodes,
+  SolverWarmNewConstraints,
+  // --- incremented directly at instrumentation points ---
+  SolverRuns,           ///< solve() completions (any kind).
+  SolverFallbacks,      ///< Steensgaard degradations substituted.
+  GovernorTrips,        ///< Budget trips (any reason).
+  BddCacheHits,         ///< BDD operation-cache hits.
+  BddCacheMisses,       ///< BDD operation-cache misses.
+  ServeQueries,         ///< Queries answered by QueryEngine.
+  ServeLruHits,         ///< Result-cache hits across both caches.
+  ServeLruMisses,       ///< Result-cache misses across both caches.
+  ServeSnapshotLoads,   ///< Snapshot files read successfully.
+  ServeWarmStarts,      ///< Warm-start re-solves attempted.
+  NumCounters,
+};
+
+/// Gauge universe (monotone high-water marks within a window).
+enum class Gauge : unsigned {
+  MemPeakBitmapBytes,
+  MemPeakBddBytes,
+  MemPeakOtherBytes,
+  MemPeakJointBytes,
+  NumGauges,
+};
+
+/// Histogram universe (log2 buckets: value v lands in bucket bit_width(v),
+/// i.e. bucket k holds values in [2^(k-1), 2^k), bucket 0 holds zero).
+enum class Hist : unsigned {
+  PtsDiffSize,   ///< New elements per complex-resolution frontier pass.
+  CycleSize,     ///< Members per collapsed SCC (size >= 2).
+  WorklistDepth, ///< Worklist depth sampled every 1024 pops / per round.
+  QueryBatch,    ///< aliasBatch sizes.
+  NumHists,
+};
+
+/// Stable machine-readable names ("solver.propagations", ...).
+const char *counterName(Counter C);
+const char *gaugeName(Gauge G);
+const char *histName(Hist H);
+
+/// True if the counter's value is independent of parallel-worker
+/// scheduling (identical across repeated runs at any thread count, given
+/// the same seed). Scheduling-sensitive counters — e.g. propagations,
+/// whose per-round totals depend on which edges a worker's snapshot saw —
+/// are only run-to-run stable single-threaded. Tests and downstream
+/// tooling use this to pick the comparison set (DESIGN.md §11).
+bool counterIsSchedulingInvariant(Counter C);
+
+/// Process-wide metrics store. All mutators are thread-safe; counters are
+/// sharded so concurrent workers do not contend on one cache line.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  static constexpr unsigned NumShards = 8;
+  /// log2 buckets 0..64 (bit_width of a uint64_t value).
+  static constexpr unsigned NumBuckets = 65;
+
+  void add(Counter C, uint64_t N = 1) {
+    Shards[shardIndex()].Counts[unsigned(C)].fetch_add(
+        N, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to \p V if above its current value.
+  void maxGauge(Gauge G, uint64_t V) {
+    std::atomic<uint64_t> &Slot = Gauges[unsigned(G)];
+    uint64_t Prev = Slot.load(std::memory_order_relaxed);
+    while (V > Prev &&
+           !Slot.compare_exchange_weak(Prev, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  void observe(Hist H, uint64_t V) {
+    HistData &D = Hists[unsigned(H)];
+    D.Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    D.Count.fetch_add(1, std::memory_order_relaxed);
+    D.Sum.fetch_add(V, std::memory_order_relaxed);
+  }
+
+  uint64_t counterValue(Counter C) const {
+    uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.Counts[unsigned(C)].load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  uint64_t gaugeValue(Gauge G) const {
+    return Gauges[unsigned(G)].load(std::memory_order_relaxed);
+  }
+
+  uint64_t histCount(Hist H) const {
+    return Hists[unsigned(H)].Count.load(std::memory_order_relaxed);
+  }
+  uint64_t histSum(Hist H) const {
+    return Hists[unsigned(H)].Sum.load(std::memory_order_relaxed);
+  }
+  uint64_t histBucket(Hist H, unsigned B) const {
+    return Hists[unsigned(H)].Buckets[B].load(std::memory_order_relaxed);
+  }
+
+  /// Folds one run's SolverStats into the solver.* counters. Called by
+  /// solve()/solveGoverned() on completion; the struct stays the per-run
+  /// carrier, the registry the cross-run aggregate.
+  void absorb(const SolverStats &S);
+
+  /// Zeroes every counter, gauge and histogram (tests and per-run bench
+  /// windows).
+  void reset();
+
+  /// One "name: value" line per counter/gauge plus histogram summaries —
+  /// the human rendering (ptatool serve's `stats` command).
+  std::string renderText() const;
+
+  /// The stable machine-readable schema (see file header). \p Compact
+  /// omits newlines/indentation for embedding into other JSON documents.
+  std::string renderJson(bool Compact = false) const;
+
+  static unsigned bucketOf(uint64_t V) {
+    unsigned W = 0;
+    while (V != 0) {
+      ++W;
+      V >>= 1;
+    }
+    return W; // bit_width; 0 for V == 0.
+  }
+
+private:
+  MetricsRegistry() = default;
+
+  static unsigned shardIndex() {
+    thread_local unsigned Idx = NextShard.fetch_add(
+                                    1, std::memory_order_relaxed) %
+                                NumShards;
+    return Idx;
+  }
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Counts[unsigned(Counter::NumCounters)] = {};
+  };
+  struct HistData {
+    std::array<std::atomic<uint64_t>, NumBuckets> Buckets = {};
+    std::atomic<uint64_t> Count{0};
+    std::atomic<uint64_t> Sum{0};
+  };
+
+  static inline std::atomic<unsigned> NextShard{0};
+  std::array<Shard, NumShards> Shards;
+  std::array<std::atomic<uint64_t>, unsigned(Gauge::NumGauges)> Gauges = {};
+  std::array<HistData, unsigned(Hist::NumHists)> Hists;
+};
+
+/// Hot-path helpers: one relaxed load + branch when the channel is off.
+inline void count(Counter C, uint64_t N = 1) {
+  if (metricsEnabled())
+    MetricsRegistry::instance().add(C, N);
+}
+inline void observe(Hist H, uint64_t V) {
+  if (metricsEnabled())
+    MetricsRegistry::instance().observe(H, V);
+}
+
+} // namespace obs
+} // namespace ag
+
+#endif // AG_OBS_METRICSREGISTRY_H

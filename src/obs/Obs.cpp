@@ -1,0 +1,65 @@
+//===- Obs.cpp - Cross-channel observability hooks ------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "adt/MemTracker.h"
+#include "adt/Status.h"
+#include "obs/FlightRecorder.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ag;
+using namespace ag::obs;
+
+void ag::obs::onGovernorTrip(const Status &St) {
+  if (!CompiledIn)
+    return;
+  count(Counter::GovernorTrips);
+  if (traceEnabled())
+    TraceRecorder::instance().instant("governor_trip", "governor", "code",
+                                      uint64_t(St.code()));
+  flight("governor_trip", uint64_t(St.code()));
+  FlightRecorder &FR = FlightRecorder::instance();
+  if (FR.dumpOnTrip()) {
+    std::string Dump = FR.dumpText();
+    std::fprintf(stderr,
+                 "governor trip (%s); flight recorder (last %llu of %llu "
+                 "events):\n%s",
+                 St.toString().c_str(),
+                 static_cast<unsigned long long>(
+                     std::min<uint64_t>(FR.totalRecorded(),
+                                        FlightRecorder::Capacity)),
+                 static_cast<unsigned long long>(FR.totalRecorded()),
+                 Dump.c_str());
+  }
+}
+
+void ag::obs::publishMemPeaks() {
+  if (!metricsEnabled() && !traceEnabled())
+    return;
+  MemTracker &MT = MemTracker::instance();
+  uint64_t Bitmap = MT.peakBytes(MemCategory::Bitmap);
+  uint64_t Bdd = MT.peakBytes(MemCategory::BddTable);
+  uint64_t Other = MT.peakBytes(MemCategory::Other);
+  uint64_t Joint = MT.peakBytesJoint();
+  if (metricsEnabled()) {
+    MetricsRegistry &R = MetricsRegistry::instance();
+    R.maxGauge(Gauge::MemPeakBitmapBytes, Bitmap);
+    R.maxGauge(Gauge::MemPeakBddBytes, Bdd);
+    R.maxGauge(Gauge::MemPeakOtherBytes, Other);
+    R.maxGauge(Gauge::MemPeakJointBytes, Joint);
+  }
+  if (traceEnabled()) {
+    TraceRecorder &T = TraceRecorder::instance();
+    T.counter("mem.peak_bitmap_bytes", Bitmap);
+    T.counter("mem.peak_bdd_bytes", Bdd);
+    T.counter("mem.peak_joint_bytes", Joint);
+  }
+}

@@ -7,6 +7,9 @@
 #include "serve/IncrementalSolver.h"
 
 #include "core/LcdSolver.h"
+#include "obs/FlightRecorder.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
 #include "solvers/ParallelLcdSolver.h"
 
 #include <algorithm>
@@ -41,6 +44,9 @@ void IncrementalSolver::warmSolve(WarmStartResult &R, SolverT &Solver,
                                   ConstraintSystem &FullCS,
                                   const std::vector<Constraint> &Applied,
                                   SolveGovernor &Gov, bool AllowFallback) {
+  obs::PhaseSpan Span("warm_solve", "serve");
+  obs::count(obs::Counter::ServeWarmStarts);
+  obs::flight("warm_solve", Applied.size());
   auto &G = Solver.context();
   const uint32_t OldN = Cur.Solution.numNodes();
 
@@ -110,6 +116,7 @@ void IncrementalSolver::warmSolve(WarmStartResult &R, SolverT &Solver,
     Touched.erase(std::unique(Touched.begin(), Touched.end()),
                   Touched.end());
     R.SeededNodes = uint32_t(Touched.size());
+    R.Stats.WarmSeededNodes += Touched.size();
 
     G.Governor = SolverPhaseGovernor;
     R.Solution = Solver.solveFrom(Touched);
@@ -189,6 +196,7 @@ IncrementalSolver::resolve(const std::vector<Constraint> &Delta,
     return R;
   }
   R.NewConstraints = uint32_t(Applied.size());
+  R.Stats.WarmNewConstraints += Applied.size();
 
   // Seed the union-find with the snapshot's full representative table,
   // extended by identity over nodes added since the base solve.
@@ -215,6 +223,10 @@ IncrementalSolver::resolve(const std::vector<Constraint> &Delta,
                                       nullptr, &Seeds);
     warmSolve(R, Solver, FullCS, Applied, Gov, Budget.AllowFallback);
   }
+  // Warm re-solves bypass ag::solve(), so fold this run's stats into the
+  // registry here (R.Stats is fresh per call — no double counting).
+  if (obs::metricsEnabled())
+    obs::MetricsRegistry::instance().absorb(R.Stats);
   return R;
 }
 

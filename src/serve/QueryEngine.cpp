@@ -6,6 +6,9 @@
 
 #include "serve/QueryEngine.h"
 
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -21,9 +24,14 @@ QueryEngine::QueryEngine(Snapshot S, const Options &Opts)
 
 QueryEngine::IdList QueryEngine::pointsTo(NodeId V) {
   assert(validNode(V) && "query for unknown node");
+  obs::TraceSpan Span("query.points_to", "serve");
+  obs::count(obs::Counter::ServeQueries);
   uint64_t Key = listKey(TagPts, Snap.Solution.repOf(V));
-  if (auto Hit = ListCache.get(Key))
+  if (auto Hit = ListCache.get(Key)) {
+    obs::count(obs::Counter::ServeLruHits);
     return *Hit;
+  }
+  obs::count(obs::Counter::ServeLruMisses);
   auto Result = std::make_shared<const std::vector<NodeId>>(
       Snap.Solution.pointsToVector(V));
   ListCache.put(Key, Result);
@@ -32,12 +40,17 @@ QueryEngine::IdList QueryEngine::pointsTo(NodeId V) {
 
 bool QueryEngine::alias(NodeId P, NodeId Q) {
   assert(validNode(P) && validNode(Q) && "query for unknown node");
+  obs::TraceSpan Span("query.alias", "serve");
+  obs::count(obs::Counter::ServeQueries);
   NodeId A = Snap.Solution.repOf(P), B = Snap.Solution.repOf(Q);
   if (A > B)
     std::swap(A, B);
   uint64_t Key = (uint64_t(A) << 32) | B;
-  if (auto Hit = AliasCache.get(Key))
+  if (auto Hit = AliasCache.get(Key)) {
+    obs::count(obs::Counter::ServeLruHits);
     return *Hit;
+  }
+  obs::count(obs::Counter::ServeLruMisses);
   bool Result = Snap.Solution.mayAlias(P, Q);
   AliasCache.put(Key, Result);
   return Result;
@@ -45,6 +58,7 @@ bool QueryEngine::alias(NodeId P, NodeId Q) {
 
 std::vector<bool>
 QueryEngine::aliasBatch(const std::vector<std::pair<NodeId, NodeId>> &Pairs) {
+  obs::observe(obs::Hist::QueryBatch, Pairs.size());
   std::vector<bool> Out;
   Out.reserve(Pairs.size());
   for (const auto &[P, Q] : Pairs)
@@ -70,9 +84,14 @@ void QueryEngine::buildReverseIndex() {
 
 QueryEngine::IdList QueryEngine::pointedBy(NodeId Obj) {
   assert(validNode(Obj) && "query for unknown node");
+  obs::TraceSpan Span("query.pointed_by", "serve");
+  obs::count(obs::Counter::ServeQueries);
   uint64_t Key = listKey(TagPointedBy, Obj);
-  if (auto Hit = ListCache.get(Key))
+  if (auto Hit = ListCache.get(Key)) {
+    obs::count(obs::Counter::ServeLruHits);
     return *Hit;
+  }
+  obs::count(obs::Counter::ServeLruMisses);
   std::call_once(ReverseOnce, [this] { buildReverseIndex(); });
   std::vector<NodeId> Pointers;
   for (NodeId R : ReverseIndex[Obj])
@@ -90,9 +109,14 @@ QueryEngine::IdList QueryEngine::pointedBy(NodeId Obj) {
 
 QueryEngine::IdList QueryEngine::callees(NodeId V) {
   assert(validNode(V) && "query for unknown node");
+  obs::TraceSpan Span("query.callees", "serve");
+  obs::count(obs::Counter::ServeQueries);
   uint64_t Key = listKey(TagCallees, Snap.Solution.repOf(V));
-  if (auto Hit = ListCache.get(Key))
+  if (auto Hit = ListCache.get(Key)) {
+    obs::count(obs::Counter::ServeLruHits);
     return *Hit;
+  }
+  obs::count(obs::Counter::ServeLruMisses);
   std::vector<NodeId> Funs;
   for (uint32_t Obj : Snap.Solution.pointsTo(V))
     if (Snap.CS.isFunction(Obj))

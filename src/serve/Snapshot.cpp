@@ -7,6 +7,9 @@
 #include "serve/Snapshot.h"
 
 #include "adt/Hashing.h"
+#include "obs/FlightRecorder.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
 
 #include <cstring>
 #include <fstream>
@@ -282,6 +285,7 @@ Status ag::writeSnapshotFile(const Snapshot &Snap, const std::string &Path) {
 }
 
 Status ag::readSnapshotFile(const std::string &Path, Snapshot &Snap) {
+  obs::TraceSpan Span("snapshot_load", "serve");
   std::ifstream F(Path, std::ios::binary);
   if (!F)
     return Status::ioError("cannot open " + Path);
@@ -289,5 +293,10 @@ Status ag::readSnapshotFile(const std::string &Path, Snapshot &Snap) {
                     std::istreambuf_iterator<char>());
   if (F.bad())
     return Status::ioError("read error on " + Path);
-  return readSnapshotBytes(Bytes, Snap);
+  Status St = readSnapshotBytes(Bytes, Snap);
+  if (St.ok()) {
+    obs::count(obs::Counter::ServeSnapshotLoads);
+    obs::flight("snapshot_load", Bytes.size());
+  }
+  return St;
 }

@@ -49,6 +49,7 @@
 #include "core/HcdOffline.h"
 #include "core/Solver.h"
 #include "core/SolverContext.h"
+#include "obs/FlightRecorder.h"
 
 #include <array>
 #include <atomic>
@@ -112,11 +113,23 @@ private:
   PointsToSolution run() {
     // Canonicalizing through find() here is single-threaded: compression
     // is safe between rounds.
-    while (WL.beginRound([this](uint32_t Id) { return G.find(Id); }) != 0) {
+    uint64_t Pending;
+    while ((Pending = WL.beginRound(
+                [this](uint32_t Id) { return G.find(Id); })) != 0) {
       ++G.Stats.ParallelRounds;
+      obs::observe(obs::Hist::WorklistDepth, Pending);
+      obs::flight("parallel_round", G.Stats.ParallelRounds, Pending);
+      if (obs::traceEnabled())
+        obs::TraceRecorder::instance().counter("parallel_pending", Pending);
       AbortFlag.store(false, std::memory_order_relaxed);
-      Pool.runOnWorkers([this](unsigned W) { workerRound(W); });
-      collapseEpoch(); // May throw BudgetExceededError (this thread only).
+      {
+        obs::TraceSpan Round("round", "parallel");
+        Pool.runOnWorkers([this](unsigned W) { workerRound(W); });
+      }
+      // May throw BudgetExceededError (this thread only); the RAII span
+      // keeps B/E balanced through the unwind.
+      obs::TraceSpan Epoch("collapse_epoch", "parallel");
+      collapseEpoch();
     }
     return G.extractSolution();
   }
@@ -279,6 +292,9 @@ private:
   /// One worker's share of a wavefront round: propagation and edge
   /// resolution only — no merging, no exceptions.
   void workerRound(unsigned W) {
+    // Spans land on this worker's own track (trackId is thread-local), so
+    // the trace renders one lane per pool thread.
+    obs::TraceSpan Span("worker_round", "parallel");
     WorkerState &S = Workers[W];
     const std::vector<uint32_t> &Cur = WL.current(W);
     const uint32_t PollInterval =
@@ -369,6 +385,9 @@ private:
     for (NodeId S : EpochSurvivors)
       consolidateDerefsConservative(G.find(S));
     G.Governor = nullptr;
+    // Counted only on completion: trails ParallelRounds when a budget trip
+    // aborts the epoch mid-flight.
+    ++G.Stats.ParallelEpochs;
   }
 
   /// Merges a node's deref groups into one. Unlike the sequential solver —

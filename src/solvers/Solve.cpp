@@ -16,7 +16,12 @@
 #include "solvers/PkhSolver.h"
 #include "solvers/SteensgaardSolver.h"
 
+#include "obs/FlightRecorder.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRecorder.h"
+
 #include <cassert>
+#include <exception>
 
 using namespace ag;
 
@@ -117,6 +122,41 @@ PointsToSolution dispatch(const ConstraintSystem &CS, SolverKind Kind,
   return PointsToSolution(CS.numNodes());
 }
 
+/// Folds the stats accrued during one solve() into the MetricsRegistry on
+/// scope exit — including budget-tripped unwinds, so a partial run's work
+/// is still visible in the registry. Absorbs the *delta* against the entry
+/// snapshot: callers may hand solve() a struct that already carries counts
+/// from earlier runs (warm-start sessions merge into one struct).
+class RunMetricsScope {
+public:
+  explicit RunMetricsScope(SolverStats &S)
+      : S(S), Before(S), BaseExceptions(std::uncaught_exceptions()) {}
+  ~RunMetricsScope() {
+    if (!obs::metricsEnabled())
+      return;
+    uint64_t BeforeVals[SolverStats::NumFields];
+    size_t I = 0;
+    Before.forEachField(
+        [&](const char *, uint64_t V) { BeforeVals[I++] = V; });
+    SolverStats Delta;
+    I = 0;
+    uint64_t AfterVals[SolverStats::NumFields];
+    size_t J = 0;
+    S.forEachField([&](const char *, uint64_t V) { AfterVals[J++] = V; });
+    Delta.forEachField(
+        [&](const char *, uint64_t &V) { V = AfterVals[I] - BeforeVals[I]; ++I; });
+    obs::MetricsRegistry &R = obs::MetricsRegistry::instance();
+    R.absorb(Delta);
+    if (std::uncaught_exceptions() == BaseExceptions)
+      R.add(obs::Counter::SolverRuns);
+  }
+
+private:
+  SolverStats &S;
+  SolverStats Before;
+  int BaseExceptions;
+};
+
 } // namespace
 
 /// A seed-merged variable carries no constraints of its own, so
@@ -126,6 +166,9 @@ PointsToSolution dispatch(const ConstraintSystem &CS, SolverKind Kind,
 /// inclusion-based solver would compute for the seeded system.
 PointsToSolution ag::steensgaardFallback(const ConstraintSystem &CS,
                                          const std::vector<NodeId> *SeedReps) {
+  obs::TraceSpan Span("steensgaard_fallback", "solve");
+  obs::count(obs::Counter::SolverFallbacks);
+  obs::flight("steensgaard_fallback");
   PointsToSolution Steens = solveSteensgaard(CS);
   if (!SeedReps)
     return Steens;
@@ -164,6 +207,12 @@ PointsToSolution ag::solve(const ConstraintSystem &CS, SolverKind Kind,
     assert(false && "invalid solver kind");
     return PointsToSolution(CS.numNodes());
   }
+
+  // The solve span is named after the kind (solverKindName returns string
+  // literals, which is what the recorder stores).
+  obs::PhaseSpan Span(solverKindName(Kind), "solve");
+  obs::flight("solve_begin", uint64_t(Kind), CS.numNodes());
+  RunMetricsScope Metrics(Stats);
 
   // Run (or adopt) the HCD offline analysis and fold its variable-only
   // SCCs into the seed representatives.
