@@ -17,27 +17,44 @@
 ///   ptatool query <file.cons> <v> <w>    may-alias query by node name
 ///   ptatool snapshot <file.cons> <out.snap> [algo]
 ///                                        solve and persist the solution
-///   ptatool serve <file.snap>            line-protocol query REPL on stdin
+///   ptatool serve <file.snap|dir>        line-protocol query REPL on stdin
 ///   ptatool resolve <file.snap> <delta.cons>
 ///                                        warm-start re-solve with a delta
+///   ptatool check <file.cons|file.snap> [algo]
+///                                        solve (or load) and certify the
+///                                        solution is a fixed point; --all
+///                                        cross-checks every solver kind
 ///
 /// solve, snapshot and resolve accept resource-budget flags (--timeout,
 /// --max-mem-mb, --max-steps, --no-fallback), plus --threads <n> to run
 /// the parallel wavefront solver (LCD / LCD+HCD over bitmaps; budgets
-/// still apply — workers poll the governor cooperatively), and report how
-/// the run concluded through their exit code:
+/// still apply — workers poll the governor cooperatively) and
+/// --stall-timeout <s> to arm the stall watchdog on parallel solves, and
+/// report how the run concluded through their exit code:
 ///   0  precise solve within budget
 ///   1  error (bad input, unreadable file)
 ///   2  usage
 ///   3  budget tripped; the Steensgaard fallback solution was used
 ///   4  budget tripped with --no-fallback; partial (unsound) state printed
+///   5  stall watchdog tripped (the fallback/partial rules above still
+///      decide what was printed; the exit code reports the stall)
 /// snapshot writes its output for exit codes 0 and 3 (a fallback snapshot
 /// still serves queries soundly, but cannot seed `resolve`) and writes
-/// nothing on 4. serve exits 0 on EOF or `quit`, 1 if the snapshot cannot
-/// be loaded.
+/// nothing on 4. When snapshot's output path is an existing directory it
+/// writes a new crash-safe generation (gen-N.snap, --keep <n> retained)
+/// and serve recovers the newest valid generation from such a directory.
+/// serve exits 0 on EOF or `quit`, 1 if the snapshot cannot be loaded;
+/// its REPL is hardened (bounded lines, structured errors) and takes
+/// --max-queue/--deadline-ms for load-shedding plus the budget flags
+/// above as the per-`resolve` budget (retried with backoff, see
+/// --attempts/--backoff). --inject-fault <site>:<n> arms a FaultInjector
+/// site for crash/fault drills on any command.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "adt/FaultInjector.h"
+#include "check/Differential.h"
+#include "check/SolutionChecker.h"
 #include "constraints/OfflineVariableSubstitution.h"
 #include "frontend/ConstraintGen.h"
 #include "obs/FlightRecorder.h"
@@ -45,7 +62,9 @@
 #include "obs/TraceRecorder.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
+#include "serve/ServeSession.h"
 #include "serve/Snapshot.h"
+#include "serve/SnapshotStore.h"
 #include "solvers/Solve.h"
 #include "workload/WorkloadGen.h"
 
@@ -77,6 +96,21 @@ constexpr int ExitError = 1;
 constexpr int ExitUsage = 2;
 constexpr int ExitFallback = 3;
 constexpr int ExitPartial = 4;
+constexpr int ExitStalled = 5;
+
+/// Maps a governed outcome to the exit code. A stall watchdog trip
+/// dominates: the caller learns the solve hung (and was converted into a
+/// governed cancellation) even though fallback/partial output rules
+/// already ran.
+int outcomeExit(SolveOutcome Outcome, const Status &St) {
+  if (St.code() == StatusCode::Stalled)
+    return ExitStalled;
+  if (Outcome == SolveOutcome::Fallback)
+    return ExitFallback;
+  if (Outcome == SolveOutcome::Partial)
+    return ExitPartial;
+  return ExitPrecise;
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -90,13 +124,22 @@ int usage() {
                "               [--metrics-out=<file>] "
                "[--metrics-interval-ms=<n>]\n"
                "       ptatool query <file.cons> <name1> <name2>\n"
-               "       ptatool snapshot <file.cons> <out.snap> [algo] "
+               "       ptatool snapshot <file.cons> <out.snap|dir> [algo] "
+               "[budget flags] [--keep <n>]\n"
+               "       ptatool serve <file.snap|dir> [--max-queue <n>] "
+               "[--deadline-ms <n>]\n"
+               "               [--attempts <n>] [--backoff <f>] "
                "[budget flags]\n"
-               "       ptatool serve <file.snap>\n"
                "       ptatool resolve <file.snap> <delta.cons> "
                "[budget flags]\n"
+               "       ptatool check <file.cons|file.snap> [algo] [--all] "
+               "[--bdd] [--threads <n>]\n"
+               "budget flags: --timeout <s> --max-mem-mb <mb> --max-steps "
+               "<n> --no-fallback\n"
+               "              --threads <n> --stall-timeout <s> "
+               "--inject-fault <site>:<n>\n"
                "solve/snapshot/resolve exit codes: 0 precise, 1 error, "
-               "2 usage, 3 fallback, 4 partial\n");
+               "2 usage, 3 fallback, 4 partial, 5 stalled\n");
   return ExitUsage;
 }
 
@@ -254,7 +297,37 @@ struct SolveFlags {
   std::string TraceOut;
   std::string MetricsOut;
   uint64_t MetricsIntervalMs = 0;
+  /// snapshot --keep: generations retained when writing to a directory.
+  uint64_t KeepGenerations = 3;
+  /// serve --max-queue / --deadline-ms: admission queue bound (0 =
+  /// synchronous) and per-request deadline.
+  uint64_t MaxQueue = 0;
+  uint64_t DeadlineMs = 0;
+  /// serve --attempts / --backoff: resolve retry schedule.
+  uint64_t ResolveAttempts = 3;
+  double ResolveBackoff = 4.0;
 };
+
+/// Parses "<site>:<countdown>" and arms the named FaultInjector site.
+/// Countdown 0 fires on the first check.
+bool armInjectedFault(const std::string &Spec) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return false;
+  FaultSite Site;
+  if (!parseFaultSite(Spec.substr(0, Colon), Site))
+    return false;
+  const std::string Count = Spec.substr(Colon + 1);
+  if (Count.empty() ||
+      Count.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  uint64_t N = std::strtoull(Count.c_str(), nullptr, 10);
+  if (errno == ERANGE)
+    return false;
+  FaultInjector::instance().armAfter(Site, N);
+  return true;
+}
 
 /// Enables the requested observability channels for the duration of a
 /// command and writes the output files on destruction. Arms the flight
@@ -375,7 +448,11 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
     if (Arg == "--no-fallback") {
       F.Budget.AllowFallback = false;
     } else if (Arg == "--timeout" || Arg == "--max-mem-mb" ||
-               Arg == "--max-steps" || Arg == "--threads") {
+               Arg == "--max-steps" || Arg == "--threads" ||
+               Arg == "--stall-timeout" || Arg == "--inject-fault" ||
+               Arg == "--keep" || Arg == "--max-queue" ||
+               Arg == "--deadline-ms" || Arg == "--attempts" ||
+               Arg == "--backoff") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s expects a value\n", Arg.c_str());
         return usage();
@@ -391,6 +468,22 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
         F.Budget.MaxMemoryBytes = Mb << 20;
       } else if (Arg == "--max-steps") {
         Valid = parsePositiveU64(Value, F.Budget.MaxPropagations);
+      } else if (Arg == "--stall-timeout") {
+        Valid = parsePositiveDouble(Value, F.Opts.StallTimeoutSeconds);
+      } else if (Arg == "--inject-fault") {
+        Valid = armInjectedFault(Value);
+      } else if (Arg == "--keep") {
+        Valid = parsePositiveU64(Value, F.KeepGenerations);
+      } else if (Arg == "--max-queue") {
+        Valid = parsePositiveU64(Value, F.MaxQueue);
+      } else if (Arg == "--deadline-ms") {
+        Valid = parsePositiveU64(Value, F.DeadlineMs);
+      } else if (Arg == "--attempts") {
+        Valid = parsePositiveU64(Value, F.ResolveAttempts) &&
+                F.ResolveAttempts <= 16;
+      } else if (Arg == "--backoff") {
+        Valid = parsePositiveDouble(Value, F.ResolveBackoff) &&
+                F.ResolveBackoff >= 1.0;
       } else { // --threads
         // Parallel wavefront solving applies to LCD / LCD+HCD (the default
         // algorithm) over bitmap sets; other kinds quietly run sequential.
@@ -465,11 +558,7 @@ int cmdSolve(int Argc, char **Argv) {
               static_cast<unsigned long long>(Sol.totalPointsToSize()),
               static_cast<unsigned long long>(Sol.hash()));
   std::printf("%s", Stats.toString("  ").c_str());
-  if (R.Outcome == SolveOutcome::Fallback)
-    return ExitFallback;
-  if (R.Outcome == SolveOutcome::Partial)
-    return ExitPartial;
-  return ExitPrecise;
+  return outcomeExit(R.Outcome, R.St);
 }
 
 int cmdQuery(int Argc, char **Argv) {
@@ -527,7 +616,7 @@ int cmdSnapshot(int Argc, char **Argv) {
                  "warning: budget tripped with --no-fallback; partial "
                  "solution NOT written (%s)\n",
                  R.St.toString().c_str());
-    return ExitPartial;
+    return outcomeExit(SolveOutcome::Partial, R.St);
   }
 
   Snapshot Snap;
@@ -538,179 +627,181 @@ int cmdSnapshot(int Argc, char **Argv) {
   Snap.Repr = PtsRepr::Bitmap;
   Snap.Outcome = R.Outcome;
   Snap.Sound = true;
-  if (Status St = writeSnapshotFile(Snap, Argv[3]); !St.ok()) {
-    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
-    return ExitError;
-  }
-  std::printf("wrote %s: %s/%s, %u nodes, total |pts| %llu\n", Argv[3],
-              solverKindName(F.Kind), solveOutcomeName(R.Outcome),
-              Snap.CS.numNodes(),
-              static_cast<unsigned long long>(
-                  Snap.Solution.totalPointsToSize()));
-  if (R.Outcome == SolveOutcome::Fallback) {
-    std::printf("  budget: %s\n", R.St.toString().c_str());
-    return ExitFallback;
-  }
-  return ExitPrecise;
-}
-
-/// Resolves a REPL node reference: a decimal id, or a node name from the
-/// snapshot's node table. Returns false (with a message on stdout, so the
-/// client sees it in-protocol) if the reference does not name a node.
-bool resolveNodeRef(const std::string &Tok, const ConstraintSystem &CS,
-                    const std::unordered_map<std::string, NodeId> &Names,
-                    NodeId &Out) {
-  if (!Tok.empty() && Tok.find_first_not_of("0123456789") == std::string::npos) {
-    uint64_t Id = 0;
-    errno = 0;
-    Id = std::strtoull(Tok.c_str(), nullptr, 10);
-    if (errno != ERANGE && Id < CS.numNodes()) {
-      Out = static_cast<NodeId>(Id);
-      return true;
+  if (SnapshotStore::isDirectory(Argv[3])) {
+    // Directory target: write a new crash-safe generation and prune old
+    // ones, so a crash mid-write can never lose the last durable snapshot.
+    SnapshotStore::Options SOpts;
+    SOpts.KeepGenerations = static_cast<unsigned>(F.KeepGenerations);
+    SnapshotStore Store(Argv[3], SOpts);
+    uint64_t Gen = 0;
+    if (Status St = Store.write(Snap, &Gen); !St.ok()) {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return ExitError;
     }
-  } else if (auto It = Names.find(Tok); It != Names.end()) {
-    Out = It->second;
-    return true;
+    std::printf("wrote %s/gen-%llu.snap: %s/%s, %u nodes, total |pts| "
+                "%llu\n",
+                Argv[3], static_cast<unsigned long long>(Gen),
+                solverKindName(F.Kind), solveOutcomeName(R.Outcome),
+                Snap.CS.numNodes(),
+                static_cast<unsigned long long>(
+                    Snap.Solution.totalPointsToSize()));
+  } else {
+    if (Status St = writeSnapshotFile(Snap, Argv[3]); !St.ok()) {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return ExitError;
+    }
+    std::printf("wrote %s: %s/%s, %u nodes, total |pts| %llu\n", Argv[3],
+                solverKindName(F.Kind), solveOutcomeName(R.Outcome),
+                Snap.CS.numNodes(),
+                static_cast<unsigned long long>(
+                    Snap.Solution.totalPointsToSize()));
   }
-  std::printf("error: unknown node '%s'\n", Tok.c_str());
-  return false;
-}
-
-void printIdList(const char *What, const std::string &Ref,
-                 const QueryEngine::IdList &List) {
-  std::printf("%s(%s):", What, Ref.c_str());
-  for (NodeId V : *List)
-    std::printf(" %u", V);
-  std::printf("\n");
+  if (R.Outcome == SolveOutcome::Fallback)
+    std::printf("  budget: %s\n", R.St.toString().c_str());
+  return outcomeExit(R.Outcome, R.St);
 }
 
 int cmdServe(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
+  SolveFlags F;
+  if (int Rc = parseSolveFlags(Argc, Argv, 3, /*AllowKind=*/false, F))
+    return Rc;
   // A serving process always collects metrics (the `stats` command reads
   // them) and keeps the flight ring; full tracing stays off.
   obs::setMetricsEnabled(true);
+
   Snapshot Snap;
-  if (Status St = readSnapshotFile(Argv[2], Snap); !St.ok()) {
+  if (SnapshotStore::isDirectory(Argv[2])) {
+    // Directory target: recover the newest durable generation, skipping
+    // torn or corrupt files from interrupted writes.
+    SnapshotStore Store(Argv[2]);
+    SnapshotStore::RecoveryInfo Info;
+    if (Status St = Store.recover(Snap, &Info); !St.ok()) {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return ExitError;
+    }
+    std::fprintf(stderr,
+                 "recovered generation %llu (%u corrupt skipped, %u temp "
+                 "files removed)\n",
+                 static_cast<unsigned long long>(Info.Generation),
+                 Info.CorruptSkipped, Info.TempsRemoved);
+  } else if (Status St = readSnapshotFile(Argv[2], Snap); !St.ok()) {
     std::fprintf(stderr, "error: %s\n", St.toString().c_str());
     return ExitError;
   }
 
-  // Name -> id map for the REPL (first occurrence wins; interior slots
-  // have generated names like "a[1]" and resolve too).
-  std::unordered_map<std::string, NodeId> Names;
-  for (NodeId V = 0; V != Snap.CS.numNodes(); ++V) {
-    const std::string &Name = Snap.CS.nameOf(V);
-    if (!Name.empty())
-      Names.emplace(Name, V);
+  ServeOptions SO;
+  SO.QueueCapacity = static_cast<size_t>(F.MaxQueue);
+  SO.DeadlineSeconds = static_cast<double>(F.DeadlineMs) / 1000.0;
+  SO.ResolveBudget = F.Budget;
+  SO.ResolveOpts = F.Opts;
+  SO.ResolveAttempts = static_cast<unsigned>(F.ResolveAttempts);
+  SO.ResolveBackoff = F.ResolveBackoff;
+  ServeSession Session(std::move(Snap), SO);
+  return Session.run(std::cin, std::cout);
+}
+
+/// `ptatool check`: certify that a solution is a fixed point of its
+/// constraint system. For a .snap input the persisted solution is checked
+/// as-is; for a .cons input the system is solved first (default LCD+HCD,
+/// or the named algorithm). --all solves with every kind and
+/// cross-compares solution hashes — any disagreement or failed
+/// certification exits 1.
+int cmdCheck(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  const std::string Path = Argv[2];
+  SolverKind Kind = SolverKind::LCDHCD;
+  PtsRepr Repr = PtsRepr::Bitmap;
+  unsigned Threads = 0;
+  bool All = false;
+  bool SawKind = false;
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--all") {
+      All = true;
+    } else if (Arg == "--bdd") {
+      Repr = PtsRepr::Bdd;
+    } else if (Arg == "--threads") {
+      uint64_t N = 0;
+      if (I + 1 >= Argc || !parsePositiveU64(Argv[I + 1], N) || N > 256) {
+        std::fprintf(stderr, "error: --threads expects a value\n");
+        return usage();
+      }
+      Threads = static_cast<unsigned>(N);
+      ++I;
+    } else if (!SawKind && parseKind(Arg, Kind)) {
+      SawKind = true;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", Arg.c_str());
+      return usage();
+    }
   }
 
-  QueryEngine Engine(std::move(Snap));
-  const ConstraintSystem &CS = Engine.snapshot().CS;
-  std::printf("serving %u nodes, %zu constraints (type 'help')\n",
-              Engine.numNodes(), CS.constraints().size());
-
-  std::string Line;
-  while (std::getline(std::cin, Line)) {
-    std::istringstream Iss(Line);
-    std::string Cmd;
-    if (!(Iss >> Cmd))
-      continue; // Blank line.
-    std::vector<std::string> Args;
-    for (std::string Tok; Iss >> Tok;)
-      Args.push_back(Tok);
-
-    if (Cmd == "quit")
-      return ExitPrecise;
-    if (Cmd == "help") {
-      std::printf("commands: pts <v> | alias <p> <q> | aliasbatch <p> <q> "
-                  "[<p> <q>]... | pointedby <o> | callees <v> | callgraph | "
-                  "stats | trace | help | quit\n"
-                  "node refs are decimal ids or node names\n");
-      continue;
-    }
-    if (Cmd == "stats") {
-      CacheStats S = Engine.cacheStats();
-      std::printf("stats: hits %llu misses %llu evictions %llu entries "
-                  "%llu\n",
-                  static_cast<unsigned long long>(S.Hits),
-                  static_cast<unsigned long long>(S.Misses),
-                  static_cast<unsigned long long>(S.Evictions),
-                  static_cast<unsigned long long>(S.Entries));
-      std::printf("%s", obs::MetricsRegistry::instance().renderText().c_str());
-      continue;
-    }
-    if (Cmd == "trace") {
-      obs::FlightRecorder &FR = obs::FlightRecorder::instance();
-      std::printf("flight recorder: %llu events total\n",
-                  static_cast<unsigned long long>(FR.totalRecorded()));
-      std::printf("%s", FR.dumpText().c_str());
-      continue;
-    }
-    if (Cmd == "callgraph") {
-      const auto &Edges = Engine.callGraph();
-      std::printf("callgraph: %zu edges\n", Edges.size());
-      for (const auto &[Base, Callee] : Edges)
-        std::printf("edge %u %u\n", Base, Callee);
-      continue;
-    }
-    if (Cmd == "pts" || Cmd == "pointedby" || Cmd == "callees") {
-      if (Args.size() != 1) {
-        std::printf("error: %s expects one node\n", Cmd.c_str());
-        continue;
+  // Snapshot input: check the persisted solution against the persisted
+  // system (sniffed by magic, so either file kind can be handed in).
+  {
+    std::ifstream In(Path, std::ios::binary);
+    char Magic[8] = {};
+    if (In.read(Magic, sizeof(Magic)) &&
+        std::memcmp(Magic, "AGPTSNAP", 8) == 0) {
+      Snapshot Snap;
+      if (Status St = readSnapshotFile(Path, Snap); !St.ok()) {
+        std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+        return ExitError;
       }
-      NodeId V = InvalidNode;
-      if (!resolveNodeRef(Args[0], CS, Names, V))
-        continue;
-      if (Cmd == "pts")
-        printIdList("pts", Args[0], Engine.pointsTo(V));
-      else if (Cmd == "pointedby")
-        printIdList("pointedby", Args[0], Engine.pointedBy(V));
-      else
-        printIdList("callees", Args[0], Engine.callees(V));
-      continue;
-    }
-    if (Cmd == "alias") {
-      if (Args.size() != 2) {
-        std::printf("error: alias expects two nodes\n");
-        continue;
+      if (Snap.Outcome == SolveOutcome::Partial) {
+        std::printf("check %s: not a fixed point (partial snapshot)\n",
+                    Path.c_str());
+        return ExitError;
       }
-      NodeId P = InvalidNode, Q = InvalidNode;
-      if (!resolveNodeRef(Args[0], CS, Names, P) ||
-          !resolveNodeRef(Args[1], CS, Names, Q))
-        continue;
-      std::printf("alias(%s,%s) = %s\n", Args[0].c_str(), Args[1].c_str(),
-                  Engine.alias(P, Q) ? "yes" : "no");
-      continue;
+      CheckReport R = checkSolution(Snap.CS, Snap.Solution);
+      std::printf("check %s (%s/%s): %s\n", Path.c_str(),
+                  solverKindName(Snap.Kind), solveOutcomeName(Snap.Outcome),
+                  R.summary(Snap.CS).c_str());
+      return R.ok() ? ExitPrecise : ExitError;
     }
-    if (Cmd == "aliasbatch") {
-      if (Args.empty() || Args.size() % 2 != 0) {
-        std::printf("error: aliasbatch expects an even number of nodes\n");
-        continue;
-      }
-      std::vector<std::pair<NodeId, NodeId>> Pairs;
-      bool Ok = true;
-      for (size_t I = 0; I < Args.size(); I += 2) {
-        NodeId P = InvalidNode, Q = InvalidNode;
-        if (!resolveNodeRef(Args[I], CS, Names, P) ||
-            !resolveNodeRef(Args[I + 1], CS, Names, Q)) {
-          Ok = false;
-          break;
-        }
-        Pairs.emplace_back(P, Q);
-      }
-      if (!Ok)
-        continue;
-      std::vector<bool> Verdicts = Engine.aliasBatch(Pairs);
-      std::printf("aliasbatch:");
-      for (bool B : Verdicts)
-        std::printf(" %s", B ? "yes" : "no");
-      std::printf("\n");
-      continue;
-    }
-    std::printf("error: unknown command '%s' (type 'help')\n", Cmd.c_str());
   }
-  return ExitPrecise; // EOF.
+
+  ConstraintSystem CS;
+  if (!loadSystem(Path, CS))
+    return ExitError;
+
+  std::vector<SolverKind> Kinds;
+  if (All)
+    Kinds.assign(std::begin(AllSolverKinds), std::end(AllSolverKinds));
+  else
+    Kinds.push_back(Kind);
+
+  bool AllOk = true;
+  uint64_t FirstHash = 0;
+  SolverKind FirstKind = Kinds.front();
+  PointsToSolution FirstSol;
+  for (size_t I = 0; I != Kinds.size(); ++I) {
+    PointsToSolution Sol = solveFnFor(Kinds[I], Repr, Threads)(CS);
+    CheckReport R = checkSolution(CS, Sol);
+    uint64_t Hash = Sol.hash();
+    std::printf("check %s with %s (threads %u): %s, hash %016llx\n",
+                Path.c_str(), solverKindName(Kinds[I]), Threads,
+                R.summary(CS).c_str(),
+                static_cast<unsigned long long>(Hash));
+    if (!R.ok())
+      AllOk = false;
+    if (I == 0) {
+      FirstHash = Hash;
+      FirstSol = std::move(Sol);
+    } else if (Hash != FirstHash) {
+      AllOk = false;
+      std::printf("MISMATCH: %s disagrees with %s: %s\n",
+                  solverKindName(Kinds[I]), solverKindName(FirstKind),
+                  diffSolutions(FirstSol, Sol).toString().c_str());
+    }
+  }
+  if (All && AllOk)
+    std::printf("all %zu solver kinds agree (hash %016llx)\n", Kinds.size(),
+                static_cast<unsigned long long>(FirstHash));
+  return AllOk ? ExitPrecise : ExitError;
 }
 
 int cmdResolve(int Argc, char **Argv) {
@@ -756,11 +847,7 @@ int cmdResolve(int Argc, char **Argv) {
                   R.Solution.totalPointsToSize()),
               static_cast<unsigned long long>(R.Solution.hash()));
   std::printf("%s", R.Stats.toString("  ").c_str());
-  if (R.Outcome == SolveOutcome::Fallback)
-    return ExitFallback;
-  if (R.Outcome == SolveOutcome::Partial)
-    return ExitPartial;
-  return ExitPrecise;
+  return outcomeExit(R.Outcome, R.St);
 }
 
 } // namespace
@@ -782,5 +869,7 @@ int main(int Argc, char **Argv) {
     return cmdServe(Argc, Argv);
   if (std::strcmp(Argv[1], "resolve") == 0)
     return cmdResolve(Argc, Argv);
+  if (std::strcmp(Argv[1], "check") == 0)
+    return cmdCheck(Argc, Argv);
   return usage();
 }

@@ -29,16 +29,57 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 namespace ag {
 
 /// Instrumented failure points.
 enum class FaultSite : unsigned {
-  GovernorCheck, ///< The solver governor's periodic budget check.
-  Allocation,    ///< Tracked allocation (memAllocate) pressure point.
+  GovernorCheck,  ///< The solver governor's periodic budget check.
+  Allocation,     ///< Tracked allocation (memAllocate) pressure point.
+  SnapshotWrite,  ///< Snapshot payload write (fires mid-write: torn file).
+  SnapshotFsync,  ///< Snapshot fsync (data written but not durable).
+  SnapshotRename, ///< Atomic publish rename (durable temp, unpublished).
+  ServeRequest,   ///< Serve REPL request entry (per-request failure).
+  WorkerStall,    ///< Parallel-solver worker hangs (stops heartbeating).
 };
 
-constexpr unsigned NumFaultSites = 2;
+constexpr unsigned NumFaultSites = 7;
+
+/// Returns a stable lower_snake name for \p Site (used by ptatool's
+/// --inject-fault flag and in diagnostics).
+inline const char *faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::GovernorCheck:
+    return "governor_check";
+  case FaultSite::Allocation:
+    return "allocation";
+  case FaultSite::SnapshotWrite:
+    return "snapshot_write";
+  case FaultSite::SnapshotFsync:
+    return "snapshot_fsync";
+  case FaultSite::SnapshotRename:
+    return "snapshot_rename";
+  case FaultSite::ServeRequest:
+    return "serve_request";
+  case FaultSite::WorkerStall:
+    return "worker_stall";
+  }
+  return "?";
+}
+
+/// Parses a fault-site name produced by faultSiteName. \returns false if
+/// \p Name matches no site.
+inline bool parseFaultSite(const std::string &Name, FaultSite &Out) {
+  for (unsigned I = 0; I != NumFaultSites; ++I) {
+    FaultSite Site = static_cast<FaultSite>(I);
+    if (Name == faultSiteName(Site)) {
+      Out = Site;
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Deterministic fault-injection registry (singleton, like MemTracker).
 class FaultInjector {

@@ -34,6 +34,7 @@ enum class StatusCode : uint8_t {
   StepLimit,        ///< SolveBudget propagation/edge ceiling tripped.
   Cancelled,        ///< Cooperative cancellation was requested.
   FaultInjected,    ///< A test-armed FaultInjector site fired.
+  Stalled,          ///< A stall watchdog detected a hung worker/round.
   Internal,         ///< Invariant violation surfaced as an error.
 };
 
@@ -58,6 +59,8 @@ inline const char *statusCodeName(StatusCode Code) {
     return "cancelled";
   case StatusCode::FaultInjected:
     return "fault_injected";
+  case StatusCode::Stalled:
+    return "stalled";
   case StatusCode::Internal:
     return "internal";
   }
@@ -99,6 +102,9 @@ public:
   static Status faultInjected(std::string Msg) {
     return Status(StatusCode::FaultInjected, std::move(Msg));
   }
+  static Status stalled(std::string Msg) {
+    return Status(StatusCode::Stalled, std::move(Msg));
+  }
   static Status internal(std::string Msg) {
     return Status(StatusCode::Internal, std::move(Msg));
   }
@@ -113,7 +119,8 @@ public:
            Code == StatusCode::MemoryLimit ||
            Code == StatusCode::StepLimit ||
            Code == StatusCode::Cancelled ||
-           Code == StatusCode::FaultInjected;
+           Code == StatusCode::FaultInjected ||
+           Code == StatusCode::Stalled;
   }
 
   /// "code: message" rendering for diagnostics.

@@ -1,0 +1,106 @@
+//===- SolutionChecker.h - Independent fixed-point verification -*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent verifier that certifies a PointsToSolution against its
+/// ConstraintSystem, without trusting any solver machinery (no worklists,
+/// no union-find, no difference propagation — just the declarative closure
+/// rules of the paper's Table 1 evaluated against the final sets):
+///
+///   AddressOf a = &b :  b ∈ pts(a)
+///   Copy      a = b  :  pts(b) ⊆ pts(a)
+///   Load      a = *(b+k) :  ∀v ∈ pts(b), t = v+k valid:  pts(t) ⊆ pts(a)
+///   Store     *(a+k) = b :  ∀v ∈ pts(a), t = v+k valid:  pts(b) ⊆ pts(t)
+///
+/// plus structural invariants on the representative table (in range,
+/// idempotent). A solution passing all rules is a (not necessarily least)
+/// fixed point of the system — i.e. a *sound* answer: every precise solve,
+/// and every sound over-approximation (Steensgaard fallback, seeded warm
+/// starts), must pass; a budget-truncated partial solution generally must
+/// not. checkSuperset additionally verifies a per-node containment between
+/// two solutions of the same system (fallback ⊇ precise, differential
+/// comparisons).
+///
+/// Cost: one pass over the constraints with two-pointer subset merges —
+/// O(Σ set sizes) per constraint, no solver state. This is the oracle the
+/// differential harness (Differential.h) and `ptatool check` build on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_CHECK_SOLUTIONCHECKER_H
+#define AG_CHECK_SOLUTIONCHECKER_H
+
+#include "constraints/ConstraintSystem.h"
+#include "core/PointsToSolution.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ag {
+
+/// One violated invariant.
+struct CheckViolation {
+  enum class Kind : uint8_t {
+    RepRange,      ///< Rep table entry out of the node id space.
+    RepIdempotent, ///< rep(rep(v)) != rep(v).
+    AddressOf,     ///< b missing from pts(a) for a = &b.
+    Copy,          ///< pts(src) not contained in pts(dst).
+    Load,          ///< pts(v+k) not contained in pts(dst) for v in pts(src).
+    Store,         ///< pts(src) not contained in pts(v+k) for v in pts(dst).
+    Superset,      ///< checkSuperset: an element of Small missing in Big.
+  };
+
+  Kind What;
+  /// Index into ConstraintSystem::constraints() for the closure kinds;
+  /// unused (0) for structural and superset violations.
+  size_t ConstraintIndex = 0;
+  /// The node whose set is deficient (or whose rep entry is broken).
+  NodeId Node = InvalidNode;
+  /// A witness: the object id that should be present but is not (closure,
+  /// superset), or the bogus rep value (structural).
+  NodeId Witness = InvalidNode;
+
+  /// Human-readable one-liner, e.g.
+  /// "copy #12 (n7 = n3): pts(n7) is missing object 5".
+  std::string toString(const ConstraintSystem &CS) const;
+};
+
+/// Verification outcome plus work counters.
+struct CheckReport {
+  std::vector<CheckViolation> Violations;
+  uint64_t ConstraintsChecked = 0;
+  /// Subset containments evaluated (copy, and per-pointee load/store).
+  uint64_t SubsetChecks = 0;
+
+  bool ok() const { return Violations.empty(); }
+
+  /// "certified: N constraints, M subset checks" or
+  /// "FAILED: K violations (first: ...)".
+  std::string summary(const ConstraintSystem &CS) const;
+};
+
+struct CheckOptions {
+  /// Stop collecting after this many violations (the pass still visits
+  /// every constraint; this only bounds report size). 0 means unbounded.
+  size_t MaxViolations = 16;
+};
+
+/// Certifies \p Sol as a fixed point of \p CS (see file comment).
+CheckReport checkSolution(const ConstraintSystem &CS,
+                          const PointsToSolution &Sol,
+                          const CheckOptions &Opts = CheckOptions());
+
+/// Verifies pts_Big(v) ⊇ pts_Small(v) for every node — the soundness
+/// contract between a fallback/over-approximate solution and a precise
+/// one. Both solutions must cover the same node count.
+CheckReport checkSuperset(const PointsToSolution &Big,
+                          const PointsToSolution &Small,
+                          const CheckOptions &Opts = CheckOptions());
+
+} // namespace ag
+
+#endif // AG_CHECK_SOLUTIONCHECKER_H

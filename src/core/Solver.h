@@ -113,6 +113,15 @@ struct SolverOptions {
   /// thread); other kinds and the BDD representation ignore this — the
   /// BDD manager's hash-consed node table is inherently single-threaded.
   unsigned Threads = 0;
+
+  /// Stall watchdog for the parallel solver: if > 0, a monitor thread
+  /// samples worker heartbeats and converts a round in which no worker
+  /// makes progress for this many seconds into a governed cancellation
+  /// (StatusCode::Stalled) with a FlightRecorder dump, instead of an
+  /// indefinite hang. 0 (default) disables the watchdog. Sequential
+  /// solvers ignore this — a stalled single thread cannot be observed
+  /// from within itself.
+  double StallTimeoutSeconds = 0;
 };
 
 } // namespace ag

@@ -77,12 +77,8 @@ const char *ag::obs::histName(Hist H) { return HistNames[unsigned(H)]; }
 
 bool ag::obs::counterIsSchedulingInvariant(Counter C) {
   switch (C) {
-  // The graph reached at fixpoint is unique, so totals derived from "new"
-  // state transitions (distinct edges inserted, nodes merged away) and
-  // from single-threaded or count-of-run events are stable across worker
-  // schedules.
-  case Counter::SolverNodesCollapsed:
-  case Counter::SolverEdgesAdded:
+  // Totals fixed by the input (HCD's offline-dictated merges, warm-start
+  // seeding, count-of-run events) are stable across worker schedules.
   case Counter::SolverHcdCollapses:
   case Counter::SolverWarmSeededNodes:
   case Counter::SolverWarmNewConstraints:
@@ -96,7 +92,11 @@ bool ag::obs::counterIsSchedulingInvariant(Counter C) {
     return true;
   // Propagation totals, search visits, trigger probes, pop counts, round
   // counts and trip counts all depend on which interleaving the workers
-  // happened to take.
+  // happened to take. So do edges_added and nodes_collapsed: the parallel
+  // solver's lazy cycle trigger compares points-to sets at propagation
+  // time, so which cycles it catches — and therefore which canonical
+  // (rep, rep) edges count as distinct inserts — varies with preemption,
+  // even though the points-to solution at fixpoint is identical.
   default:
     return false;
   }

@@ -1,0 +1,505 @@
+//===- ServeSession.cpp - Hardened serving REPL ---------------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeSession.h"
+
+#include "adt/FaultInjector.h"
+#include "check/SolutionChecker.h"
+#include "obs/FlightRecorder.h"
+#include "obs/MetricsRegistry.h"
+#include "solvers/Solve.h"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+enum class LineStatus { Ok, TooLong, Eof };
+
+/// Reads one '\n'-terminated line of at most \p Max bytes. An overlong
+/// line is consumed to its end (or EOF) without buffering it, so a
+/// hostile client cannot grow memory. A final unterminated line is
+/// delivered as a normal line; Eof is only returned with no bytes read.
+LineStatus readLineBounded(std::istream &In, std::string &Line, size_t Max) {
+  Line.clear();
+  using Traits = std::istream::traits_type;
+  int C;
+  while ((C = In.get()) != Traits::eof()) {
+    if (C == '\n')
+      return LineStatus::Ok;
+    if (Line.size() >= Max) {
+      while ((C = In.get()) != Traits::eof() && C != '\n') {
+      }
+      return LineStatus::TooLong;
+    }
+    Line.push_back(static_cast<char>(C));
+  }
+  return Line.empty() ? LineStatus::Eof : LineStatus::Ok;
+}
+
+/// Scales one budget limit; unlimited (0) stays unlimited.
+uint64_t scaleLimit(uint64_t Limit, double Factor) {
+  if (Limit == 0)
+    return 0;
+  double Scaled = static_cast<double>(Limit) * Factor;
+  if (Scaled >= 1.8e19)
+    return UINT64_MAX;
+  return static_cast<uint64_t>(Scaled);
+}
+
+} // namespace
+
+ServeSession::ServeSession(Snapshot Snap, ServeOptions O) : Opts(O) {
+  // Only a precise snapshot can seed warm-start re-solves; a session over
+  // a fallback snapshot still serves queries but rejects `resolve`.
+  if (Snap.Outcome == SolveOutcome::Precise) {
+    auto I = std::make_unique<IncrementalSolver>(Snap);
+    if (I->valid().ok())
+      Inc = std::move(I);
+  }
+  Engine = std::make_unique<QueryEngine>(std::move(Snap));
+  rebuildNames();
+}
+
+ServeSession::~ServeSession() = default;
+
+ServeCounters ServeSession::counters() const {
+  ServeCounters S;
+  S.Requests = C.Requests.load(std::memory_order_relaxed);
+  S.Admitted = C.Admitted.load(std::memory_order_relaxed);
+  S.Shed = C.Shed.load(std::memory_order_relaxed);
+  S.DeadlineDropped = C.DeadlineDropped.load(std::memory_order_relaxed);
+  S.OversizedLines = C.OversizedLines.load(std::memory_order_relaxed);
+  S.ResolveRetries = C.ResolveRetries.load(std::memory_order_relaxed);
+  S.InjectedFaults = C.InjectedFaults.load(std::memory_order_relaxed);
+  return S;
+}
+
+void ServeSession::rebuildNames() {
+  // First occurrence wins; interior slots have generated names like
+  // "a[1]" and resolve too.
+  Names.clear();
+  const ConstraintSystem &CS = Engine->snapshot().CS;
+  for (NodeId V = 0; V != CS.numNodes(); ++V) {
+    const std::string &Name = CS.nameOf(V);
+    if (!Name.empty())
+      Names.emplace(Name, V);
+  }
+}
+
+bool ServeSession::resolveNodeRef(const std::string &Tok, std::ostream &Out,
+                                  NodeId &Id) const {
+  const ConstraintSystem &CS = Engine->snapshot().CS;
+  if (!Tok.empty() &&
+      Tok.find_first_not_of("0123456789") == std::string::npos) {
+    errno = 0;
+    uint64_t Raw = std::strtoull(Tok.c_str(), nullptr, 10);
+    if (errno != ERANGE && Raw < CS.numNodes()) {
+      Id = static_cast<NodeId>(Raw);
+      return true;
+    }
+  } else if (auto It = Names.find(Tok); It != Names.end()) {
+    Id = It->second;
+    return true;
+  }
+  Out << "error: unknown node '" << Tok << "'\n";
+  return false;
+}
+
+namespace {
+
+void printIdList(std::ostream &Out, const char *What, const std::string &Ref,
+                 const QueryEngine::IdList &List) {
+  Out << What << "(" << Ref << "):";
+  for (NodeId V : *List)
+    Out << " " << V;
+  Out << "\n";
+}
+
+} // namespace
+
+void ServeSession::cmdCheck(std::ostream &Out) {
+  const Snapshot &Snap = Engine->snapshot();
+  if (Snap.Outcome == SolveOutcome::Partial) {
+    // A partial solution is not a fixed point by construction; say so
+    // without burning a full closure pass.
+    Out << "check: not a fixed point (partial snapshot)\n";
+    return;
+  }
+  CheckReport R = checkSolution(Snap.CS, Snap.Solution);
+  Out << "check: " << R.summary(Snap.CS) << "\n";
+}
+
+void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
+  if (!Inc) {
+    Out << "error: resolve requires a precise snapshot\n";
+    return;
+  }
+  ConstraintSystem DeltaCS;
+  if (Status St = ConstraintSystem::loadFromFile(Path, DeltaCS); !St.ok()) {
+    Out << "error: " << St.toString() << "\n";
+    return;
+  }
+
+  const unsigned Attempts = Opts.ResolveAttempts > 0 ? Opts.ResolveAttempts : 1;
+  const double Backoff = Opts.ResolveBackoff > 1.0 ? Opts.ResolveBackoff : 1.0;
+  WarmStartResult R;
+  unsigned Attempt = 1;
+  for (;; ++Attempt) {
+    const bool Final = Attempt >= Attempts;
+    double Factor = std::pow(Backoff, static_cast<double>(Attempt - 1));
+    SolveBudget B = Opts.ResolveBudget;
+    if (B.TimeoutSeconds > 0)
+      B.TimeoutSeconds *= Factor;
+    B.MaxPropagations = scaleLimit(B.MaxPropagations, Factor);
+    B.MaxEdges = scaleLimit(B.MaxEdges, Factor);
+    // Earlier attempts must not degrade: a fallback here would discard a
+    // precise answer a bigger budget can still reach.
+    B.AllowFallback = Final && Opts.ResolveBudget.AllowFallback;
+
+    R = Inc->resolveSystem(DeltaCS, B, Opts.ResolveOpts);
+    if (R.Outcome == SolveOutcome::Precise || R.Outcome == SolveOutcome::Failed)
+      break;
+    if (Final)
+      break;
+    C.ResolveRetries.fetch_add(1, std::memory_order_relaxed);
+    obs::flight("serve_resolve_retry", Attempt);
+  }
+
+  switch (R.Outcome) {
+  case SolveOutcome::Failed:
+    Out << "error: " << R.St.toString() << "\n";
+    return;
+  case SolveOutcome::Precise: {
+    // Adopt for serving; the IncrementalSolver already folded the delta
+    // and stays the warm-start base for the next resolve.
+    Engine = std::make_unique<QueryEngine>(Inc->snapshot());
+    rebuildNames();
+    Out << "resolved: outcome precise, attempt " << Attempt << "/" << Attempts
+        << ", new constraints " << R.NewConstraints << ", seeded "
+        << R.SeededNodes << ", total |pts| "
+        << Inc->solution().totalPointsToSize() << "\n";
+    return;
+  }
+  case SolveOutcome::Fallback: {
+    // Serve the sound fallback, but keep the precise base in Inc so a
+    // later resolve (or a retry with a bigger budget) can still warm-start.
+    // The full system is the warm-start base plus the delta: resolveSystem
+    // already adopted the delta's new nodes, and re-adding the delta's
+    // constraints dedups against the base exactly as the solve did.
+    Snapshot FS;
+    FS.CS = Inc->system();
+    for (const Constraint &Con : DeltaCS.constraints())
+      FS.CS.add(Con);
+    FS.SeedReps = Inc->snapshot().SeedReps;
+    FS.Solution = std::move(R.Solution);
+    FS.Kind = Inc->snapshot().Kind;
+    FS.Repr = Inc->snapshot().Repr;
+    FS.Outcome = SolveOutcome::Fallback;
+    FS.Sound = true;
+    Engine = std::make_unique<QueryEngine>(std::move(FS));
+    rebuildNames();
+    Out << "resolved: outcome fallback after " << Attempt << " attempts ("
+        << R.St.toString() << "); serving sound fallback\n";
+    return;
+  }
+  case SolveOutcome::Partial:
+    Out << "resolved: outcome partial after " << Attempt << " attempts ("
+        << R.St.toString() << "); solution not adopted\n";
+    return;
+  }
+}
+
+void ServeSession::cmdStats(std::ostream &Out) {
+  CacheStats S = Engine->cacheStats();
+  Out << "stats: hits " << S.Hits << " misses " << S.Misses << " evictions "
+      << S.Evictions << " entries " << S.Entries << "\n";
+  ServeCounters SC = counters();
+  Out << "serve: requests " << SC.Requests << " admitted " << SC.Admitted
+      << " shed " << SC.Shed << " deadline " << SC.DeadlineDropped
+      << " oversized " << SC.OversizedLines << " resolve_retries "
+      << SC.ResolveRetries << " injected_faults " << SC.InjectedFaults
+      << "\n";
+  Out << obs::MetricsRegistry::instance().renderText();
+}
+
+bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
+  std::istringstream Iss(Line);
+  std::string Cmd;
+  if (!(Iss >> Cmd))
+    return true; // Blank line.
+  std::vector<std::string> Args;
+  for (std::string Tok; Iss >> Tok;)
+    Args.push_back(Tok);
+
+  C.Requests.fetch_add(1, std::memory_order_relaxed);
+  if (FaultInjector::instance().shouldFail(FaultSite::ServeRequest)) {
+    C.InjectedFaults.fetch_add(1, std::memory_order_relaxed);
+    obs::flight("serve_request_fault");
+    Out << "ERR internal: injected fault on request\n";
+    return true; // A failed request never kills the session.
+  }
+
+  const ConstraintSystem &CS = Engine->snapshot().CS;
+
+  if (Cmd == "quit")
+    return false;
+  if (Cmd == "help") {
+    Out << "commands: pts <v> | alias <p> <q> | aliasbatch <p> <q> "
+           "[<p> <q>]... | pointedby <o> | callees <v> | callgraph | "
+           "check | resolve <delta.cons> | stats | trace | sleep <ms> | "
+           "help | quit\n"
+           "node refs are decimal ids or node names\n";
+    return true;
+  }
+  if (Cmd == "stats") {
+    cmdStats(Out);
+    return true;
+  }
+  if (Cmd == "trace") {
+    obs::FlightRecorder &FR = obs::FlightRecorder::instance();
+    Out << "flight recorder: " << FR.totalRecorded() << " events total\n";
+    Out << FR.dumpText();
+    return true;
+  }
+  if (Cmd == "callgraph") {
+    const auto &Edges = Engine->callGraph();
+    Out << "callgraph: " << Edges.size() << " edges\n";
+    for (const auto &[Base, Callee] : Edges)
+      Out << "edge " << Base << " " << Callee << "\n";
+    return true;
+  }
+  if (Cmd == "check") {
+    cmdCheck(Out);
+    return true;
+  }
+  if (Cmd == "resolve") {
+    if (Args.size() != 1) {
+      Out << "error: resolve expects one constraint file\n";
+      return true;
+    }
+    cmdResolve(Args[0], Out);
+    return true;
+  }
+  if (Cmd == "sleep") {
+    // Test/ops aid: occupies the worker so queue overload is reproducible.
+    uint64_t Ms = 0;
+    if (Args.size() != 1 ||
+        Args[0].find_first_not_of("0123456789") != std::string::npos ||
+        Args[0].empty()) {
+      Out << "error: sleep expects milliseconds\n";
+      return true;
+    }
+    errno = 0;
+    Ms = std::strtoull(Args[0].c_str(), nullptr, 10);
+    if (errno == ERANGE || Ms > 10000) {
+      Out << "error: sleep is capped at 10000 ms\n";
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+    Out << "slept " << Ms << " ms\n";
+    return true;
+  }
+  if (Cmd == "pts" || Cmd == "pointedby" || Cmd == "callees") {
+    if (Args.size() != 1) {
+      Out << "error: " << Cmd << " expects one node\n";
+      return true;
+    }
+    NodeId V = InvalidNode;
+    if (!resolveNodeRef(Args[0], Out, V))
+      return true;
+    if (Cmd == "pts")
+      printIdList(Out, "pts", Args[0], Engine->pointsTo(V));
+    else if (Cmd == "pointedby")
+      printIdList(Out, "pointedby", Args[0], Engine->pointedBy(V));
+    else
+      printIdList(Out, "callees", Args[0], Engine->callees(V));
+    return true;
+  }
+  if (Cmd == "alias") {
+    if (Args.size() != 2) {
+      Out << "error: alias expects two nodes\n";
+      return true;
+    }
+    NodeId P = InvalidNode, Q = InvalidNode;
+    if (!resolveNodeRef(Args[0], Out, P) || !resolveNodeRef(Args[1], Out, Q))
+      return true;
+    Out << "alias(" << Args[0] << "," << Args[1] << ") = "
+        << (Engine->alias(P, Q) ? "yes" : "no") << "\n";
+    return true;
+  }
+  if (Cmd == "aliasbatch") {
+    if (Args.empty() || Args.size() % 2 != 0) {
+      Out << "error: aliasbatch expects an even number of nodes\n";
+      return true;
+    }
+    std::vector<std::pair<NodeId, NodeId>> Pairs;
+    for (size_t I = 0; I < Args.size(); I += 2) {
+      NodeId P = InvalidNode, Q = InvalidNode;
+      if (!resolveNodeRef(Args[I], Out, P) ||
+          !resolveNodeRef(Args[I + 1], Out, Q))
+        return true;
+      Pairs.emplace_back(P, Q);
+    }
+    std::vector<bool> Verdicts = Engine->aliasBatch(Pairs);
+    Out << "aliasbatch:";
+    for (bool B : Verdicts)
+      Out << " " << (B ? "yes" : "no");
+    Out << "\n";
+    return true;
+  }
+  (void)CS;
+  Out << "error: unknown command '" << Cmd << "' (type 'help')\n";
+  return true;
+}
+
+int ServeSession::run(std::istream &In, std::ostream &Out) {
+  Out << "serving " << Engine->numNodes() << " nodes, "
+      << Engine->snapshot().CS.constraints().size()
+      << " constraints (type 'help')\n";
+  Out.flush();
+
+  if (Opts.QueueCapacity > 0)
+    return runQueued(In, Out);
+
+  std::string Line;
+  for (;;) {
+    LineStatus LS = readLineBounded(In, Line, Opts.MaxLineBytes);
+    if (LS == LineStatus::Eof)
+      return 0;
+    if (LS == LineStatus::TooLong) {
+      C.OversizedLines.fetch_add(1, std::memory_order_relaxed);
+      Out << "error: line too long (max " << Opts.MaxLineBytes << " bytes)\n";
+      continue;
+    }
+    if (!handleLine(Line, Out))
+      return 0;
+  }
+}
+
+int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
+  using Clock = std::chrono::steady_clock;
+  struct Request {
+    std::string Line;
+    Clock::time_point Enqueued;
+  };
+
+  std::mutex QMu;
+  std::condition_variable QCv;
+  std::deque<Request> Queue;
+  bool InputDone = false;
+  bool Quit = false;
+
+  // Replies are written whole under one lock so worker replies and
+  // reader-side shed errors never interleave mid-line.
+  std::mutex OutMu;
+  auto Reply = [&](const std::string &Text) {
+    std::lock_guard<std::mutex> Lock(OutMu);
+    Out << Text;
+    Out.flush();
+  };
+
+  std::thread Worker([&] {
+    for (;;) {
+      Request Req;
+      bool Draining = false;
+      {
+        std::unique_lock<std::mutex> Lock(QMu);
+        QCv.wait(Lock, [&] { return !Queue.empty() || InputDone; });
+        if (Queue.empty())
+          return; // Input done and fully drained.
+        Req = std::move(Queue.front());
+        Queue.pop_front();
+        Draining = Quit;
+      }
+      if (Draining) {
+        // Admitted after quit: still gets exactly one (structured) reply.
+        Reply("ERR shutdown: session closing\n");
+        continue;
+      }
+      if (Opts.DeadlineSeconds > 0) {
+        auto WaitedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - Req.Enqueued)
+                            .count();
+        auto LimitMs =
+            static_cast<long long>(Opts.DeadlineSeconds * 1000.0);
+        if (WaitedMs > LimitMs) {
+          C.DeadlineDropped.fetch_add(1, std::memory_order_relaxed);
+          obs::flight("serve_deadline_drop",
+                      static_cast<uint64_t>(WaitedMs));
+          std::ostringstream Oss;
+          Oss << "ERR deadline: waited " << WaitedMs << " ms (limit "
+              << LimitMs << " ms)\n";
+          Reply(Oss.str());
+          continue;
+        }
+      }
+      std::ostringstream Oss;
+      bool Continue = handleLine(Req.Line, Oss);
+      Reply(Oss.str());
+      if (!Continue) {
+        std::lock_guard<std::mutex> Lock(QMu);
+        Quit = true;
+      }
+    }
+  });
+
+  std::string Line;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(QMu);
+      if (Quit)
+        break;
+    }
+    LineStatus LS = readLineBounded(In, Line, Opts.MaxLineBytes);
+    if (LS == LineStatus::Eof)
+      break;
+    if (LS == LineStatus::TooLong) {
+      C.OversizedLines.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream Oss;
+      Oss << "error: line too long (max " << Opts.MaxLineBytes << " bytes)\n";
+      Reply(Oss.str());
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(QMu);
+    if (Quit)
+      break;
+    if (Queue.size() >= Opts.QueueCapacity) {
+      size_t Pending = Queue.size();
+      Lock.unlock();
+      C.Shed.fetch_add(1, std::memory_order_relaxed);
+      obs::flight("serve_overload_shed", Pending);
+      std::ostringstream Oss;
+      Oss << "ERR overloaded: queue full (" << Pending << " pending)\n";
+      Reply(Oss.str());
+      continue;
+    }
+    C.Admitted.fetch_add(1, std::memory_order_relaxed);
+    Queue.push_back(Request{std::move(Line), Clock::now()});
+    Line = std::string();
+    Lock.unlock();
+    QCv.notify_one();
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    InputDone = true;
+  }
+  QCv.notify_all();
+  Worker.join();
+  return 0;
+}

@@ -1,0 +1,158 @@
+//===- ServeSession.h - Hardened serving REPL -------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `ptatool serve` line-protocol session as a library, hardened for
+/// production use and testable without a subprocess:
+///
+///  * Bounded line reading — a line longer than MaxLineBytes is consumed
+///    (never buffered) and answered with a structured error; EOF mid-line
+///    processes the partial line and ends the session cleanly; garbage
+///    and unknown commands get structured errors and the session stays
+///    alive. No input can assert, hang, or grow memory unboundedly.
+///  * Overload control — with QueueCapacity > 0, a bounded admission
+///    queue decouples the reading thread from a worker executing
+///    requests. A full queue sheds load with `ERR overloaded`; a request
+///    that waited past DeadlineSeconds is dropped with `ERR deadline`
+///    before any work is done for it. Every admitted request gets exactly
+///    one reply, in admission order.
+///  * Warm-start resolve with retry-with-backoff — the `resolve` command
+///    re-solves with the delta under the configured budget, retrying with
+///    a geometrically growing budget (fallback disallowed) before the
+///    final attempt is allowed to degrade to the Steensgaard fallback.
+///    A precise result is adopted for serving *and* as the next
+///    warm-start base; a fallback result is served (sound) while the
+///    precise base is kept for future resolve attempts.
+///  * Self-check — the `check` command certifies the currently served
+///    solution against its constraint system (src/check/).
+///  * The FaultInjector site ServeRequest fails individual requests with
+///    a structured error, proving request failures never kill a session.
+///
+/// Queue-mode output interleaving: replies are written atomically (one
+/// lock per reply), reader-side errors (`ERR overloaded`, line-too-long)
+/// may interleave *between* worker replies — clients match replies to
+/// requests by content, as the existing tests do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SERVE_SERVESESSION_H
+#define AG_SERVE_SERVESESSION_H
+
+#include "core/SolveBudget.h"
+#include "serve/IncrementalSolver.h"
+#include "serve/QueryEngine.h"
+#include "serve/Snapshot.h"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace ag {
+
+/// Serving-session tuning. Defaults reproduce the original synchronous
+/// REPL (no queue, no deadline) with bounded lines.
+struct ServeOptions {
+  /// Longest accepted request line; longer lines are drained and answered
+  /// with an error (the session continues).
+  size_t MaxLineBytes = 1 << 16;
+
+  /// Admission-queue capacity. 0 runs synchronously on the caller's
+  /// thread; > 0 starts one worker thread and sheds load when the queue
+  /// is full.
+  size_t QueueCapacity = 0;
+
+  /// Per-request deadline (seconds spent waiting in the admission queue);
+  /// expired requests are answered with `ERR deadline` instead of being
+  /// executed. 0 disables. Only meaningful with QueueCapacity > 0.
+  double DeadlineSeconds = 0;
+
+  /// Base budget for one `resolve` attempt (scaled by ResolveBackoff on
+  /// each retry). AllowFallback applies to the *final* attempt only;
+  /// earlier attempts always disallow fallback so a retry can still
+  /// reach the precise answer.
+  SolveBudget ResolveBudget;
+
+  /// Solver options (threads, stall watchdog) for `resolve`.
+  SolverOptions ResolveOpts;
+
+  /// Total resolve attempts (>= 1); attempts 1..N-1 retry precise with a
+  /// growing budget, attempt N may degrade per ResolveBudget.
+  unsigned ResolveAttempts = 3;
+
+  /// Budget multiplier between attempts (> 1).
+  double ResolveBackoff = 4.0;
+};
+
+/// Monotonic per-session counters (exposed via the `stats` command).
+struct ServeCounters {
+  uint64_t Requests = 0;        ///< Requests executed (any outcome).
+  uint64_t Admitted = 0;        ///< Requests accepted into the queue.
+  uint64_t Shed = 0;            ///< Requests rejected: queue full.
+  uint64_t DeadlineDropped = 0; ///< Requests dropped: waited too long.
+  uint64_t OversizedLines = 0;  ///< Lines over MaxLineBytes.
+  uint64_t ResolveRetries = 0;  ///< Resolve attempts that tripped and retried.
+  uint64_t InjectedFaults = 0;  ///< ServeRequest faults fired.
+};
+
+/// One serving session over a loaded snapshot (see file comment).
+class ServeSession {
+public:
+  explicit ServeSession(Snapshot Snap, ServeOptions Opts = ServeOptions());
+  ~ServeSession();
+
+  ServeSession(const ServeSession &) = delete;
+  ServeSession &operator=(const ServeSession &) = delete;
+
+  /// Runs the session until EOF or `quit`. Returns the process exit code
+  /// (always 0 — load errors are rejected before a session exists, and
+  /// no request can kill a running session).
+  int run(std::istream &In, std::ostream &Out);
+
+  /// Executes one request line (test entry; also the worker's core).
+  /// \returns false when the session should end (`quit`).
+  bool handleLine(const std::string &Line, std::ostream &Out);
+
+  ServeCounters counters() const;
+
+  /// The snapshot currently being served (changes after a successful
+  /// `resolve`).
+  const Snapshot &servingSnapshot() const { return Engine->snapshot(); }
+
+private:
+  void rebuildNames();
+  bool resolveNodeRef(const std::string &Tok, std::ostream &Out,
+                      NodeId &Id) const;
+  void cmdCheck(std::ostream &Out);
+  void cmdResolve(const std::string &Path, std::ostream &Out);
+  void cmdStats(std::ostream &Out);
+  int runQueued(std::istream &In, std::ostream &Out);
+
+  ServeOptions Opts;
+  /// Serves queries; rebuilt when `resolve` adopts a new solution.
+  std::unique_ptr<QueryEngine> Engine;
+  /// Warm-start base: always the newest *precise* snapshot (null when the
+  /// session was started from a fallback snapshot).
+  std::unique_ptr<IncrementalSolver> Inc;
+  std::unordered_map<std::string, NodeId> Names;
+
+  struct AtomicCounters {
+    std::atomic<uint64_t> Requests{0};
+    std::atomic<uint64_t> Admitted{0};
+    std::atomic<uint64_t> Shed{0};
+    std::atomic<uint64_t> DeadlineDropped{0};
+    std::atomic<uint64_t> OversizedLines{0};
+    std::atomic<uint64_t> ResolveRetries{0};
+    std::atomic<uint64_t> InjectedFaults{0};
+  };
+  mutable AtomicCounters C;
+};
+
+} // namespace ag
+
+#endif // AG_SERVE_SERVESESSION_H

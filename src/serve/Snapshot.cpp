@@ -6,6 +6,8 @@
 
 #include "serve/Snapshot.h"
 
+#include "serve/SnapshotStore.h"
+
 #include "adt/Hashing.h"
 #include "obs/FlightRecorder.h"
 #include "obs/MetricsRegistry.h"
@@ -274,14 +276,9 @@ Status ag::writeSnapshotFile(const Snapshot &Snap, const std::string &Path) {
   std::string Bytes;
   if (Status St = writeSnapshotBytes(Snap, Bytes); !St.ok())
     return St;
-  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
-  if (!F)
-    return Status::ioError("cannot open " + Path + " for writing");
-  F.write(Bytes.data(), std::streamsize(Bytes.size()));
-  F.flush();
-  if (!F)
-    return Status::ioError("short write to " + Path);
-  return Status::okStatus();
+  // Crash-safe even for flat files: a failed write leaves any existing
+  // snapshot at Path untouched (see SnapshotStore.h).
+  return writeFileDurable(Path, Bytes);
 }
 
 Status ag::readSnapshotFile(const std::string &Path, Snapshot &Snap) {

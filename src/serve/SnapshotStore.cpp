@@ -1,0 +1,251 @@
+//===- SnapshotStore.cpp - Crash-safe generational snapshots --------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SnapshotStore.h"
+
+#include "adt/FaultInjector.h"
+#include "obs/FlightRecorder.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace ag;
+
+namespace {
+
+Status errnoStatus(const std::string &What) {
+  return Status::ioError(What + ": " + std::strerror(errno));
+}
+
+/// write(2) the whole buffer, riding out partial writes and EINTR.
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  size_t Done = 0;
+  while (Done != Len) {
+    ssize_t W = ::write(Fd, Data + Done, Len - Done);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += size_t(W);
+  }
+  return true;
+}
+
+/// fsync the directory containing \p Path so a rename within it is
+/// durable. Best effort on filesystems that reject directory fsync.
+void fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? std::string(".")
+                                               : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+/// Parses "gen-<digits>.snap"; returns false for anything else.
+bool parseGenerationName(const std::string &Name, uint64_t &Gen) {
+  const std::string Prefix = "gen-", Suffix = ".snap";
+  if (Name.size() <= Prefix.size() + Suffix.size())
+    return false;
+  if (Name.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  if (Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    return false;
+  std::string Digits =
+      Name.substr(Prefix.size(), Name.size() - Prefix.size() - Suffix.size());
+  if (Digits.empty() || Digits.size() > 19)
+    return false;
+  uint64_t V = 0;
+  for (char C : Digits) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + uint64_t(C - '0');
+  }
+  Gen = V;
+  return true;
+}
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+} // namespace
+
+Status ag::writeFileDurable(const std::string &Path,
+                            const std::string &Bytes) {
+  FaultInjector &Inj = FaultInjector::instance();
+  const std::string Tmp = Path + ".tmp";
+
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return errnoStatus("cannot create " + Tmp);
+
+  // Kill-point: crash mid-write. Leave a deliberately torn temp file so
+  // recovery must prove it never trusts one.
+  if (Inj.shouldFail(FaultSite::SnapshotWrite)) {
+    writeAll(Fd, Bytes.data(), Bytes.size() / 2);
+    ::close(Fd);
+    return Status::ioError("injected fault: torn write to " + Tmp);
+  }
+
+  if (!writeAll(Fd, Bytes.data(), Bytes.size())) {
+    Status St = errnoStatus("short write to " + Tmp);
+    ::close(Fd);
+    return St;
+  }
+
+  // Kill-point: crash after the data hit the page cache but before it was
+  // forced to stable storage — the temp is complete but not durable, and
+  // must never have been published.
+  if (Inj.shouldFail(FaultSite::SnapshotFsync)) {
+    ::close(Fd);
+    return Status::ioError("injected fault: lost fsync of " + Tmp);
+  }
+
+  if (::fsync(Fd) != 0) {
+    Status St = errnoStatus("fsync of " + Tmp);
+    ::close(Fd);
+    return St;
+  }
+  if (::close(Fd) != 0)
+    return errnoStatus("close of " + Tmp);
+
+  // Kill-point: crash between durability and publication — a complete,
+  // durable temp that was never renamed into place.
+  if (Inj.shouldFail(FaultSite::SnapshotRename))
+    return Status::ioError("injected fault: unpublished rename of " + Tmp);
+
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0)
+    return errnoStatus("rename " + Tmp + " -> " + Path);
+  fsyncParentDir(Path);
+  return Status::okStatus();
+}
+
+Status SnapshotStore::prepare() const {
+  if (::mkdir(Dir.c_str(), 0755) == 0)
+    return Status::okStatus();
+  if (errno == EEXIST) {
+    if (isDirectory(Dir))
+      return Status::okStatus();
+    return Status::ioError(Dir + " exists and is not a directory");
+  }
+  return errnoStatus("cannot create " + Dir);
+}
+
+std::string SnapshotStore::generationPath(uint64_t Gen) const {
+  return Dir + "/gen-" + std::to_string(Gen) + ".snap";
+}
+
+bool SnapshotStore::isDirectory(const std::string &Path) {
+  struct stat SB;
+  return ::stat(Path.c_str(), &SB) == 0 && S_ISDIR(SB.st_mode);
+}
+
+Status SnapshotStore::listGenerations(std::vector<uint64_t> &Out) const {
+  Out.clear();
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return errnoStatus("cannot open " + Dir);
+  while (struct dirent *E = ::readdir(D)) {
+    uint64_t Gen;
+    if (parseGenerationName(E->d_name, Gen))
+      Out.push_back(Gen);
+  }
+  ::closedir(D);
+  std::sort(Out.begin(), Out.end());
+  return Status::okStatus();
+}
+
+Status SnapshotStore::write(const Snapshot &Snap, uint64_t *GenOut) {
+  if (Opts.KeepGenerations == 0)
+    return Status::invalidArgument("KeepGenerations must be >= 1");
+  if (Status St = prepare(); !St.ok())
+    return St;
+
+  std::string Bytes;
+  if (Status St = writeSnapshotBytes(Snap, Bytes); !St.ok())
+    return St;
+
+  std::vector<uint64_t> Gens;
+  if (Status St = listGenerations(Gens); !St.ok())
+    return St;
+  uint64_t Gen = Gens.empty() ? 1 : Gens.back() + 1;
+
+  if (Status St = writeFileDurable(generationPath(Gen), Bytes); !St.ok())
+    return St;
+  obs::flight("snapshot_store_write", Gen, Bytes.size());
+  if (GenOut)
+    *GenOut = Gen;
+
+  // Prune beyond the retention window. Failures here are harmless (the
+  // write above is already published); recovery tolerates extras.
+  Gens.push_back(Gen);
+  if (Gens.size() > Opts.KeepGenerations) {
+    size_t Drop = Gens.size() - Opts.KeepGenerations;
+    for (size_t I = 0; I != Drop; ++I)
+      ::unlink(generationPath(Gens[I]).c_str());
+  }
+  return Status::okStatus();
+}
+
+Status SnapshotStore::recover(Snapshot &Snap, RecoveryInfo *Info) const {
+  RecoveryInfo Local;
+
+  // Remove temp-file litter from interrupted writes: a temp was never
+  // published, so deleting it can never lose durable state.
+  {
+    DIR *D = ::opendir(Dir.c_str());
+    if (!D)
+      return errnoStatus("cannot open " + Dir);
+    std::vector<std::string> Temps;
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (endsWith(Name, ".tmp"))
+        Temps.push_back(Name);
+    }
+    ::closedir(D);
+    for (const std::string &Name : Temps)
+      if (::unlink((Dir + "/" + Name).c_str()) == 0)
+        ++Local.TempsRemoved;
+  }
+
+  std::vector<uint64_t> Gens;
+  if (Status St = listGenerations(Gens); !St.ok())
+    return St;
+
+  // Newest first: adopt the first generation that passes full validation.
+  for (auto It = Gens.rbegin(); It != Gens.rend(); ++It) {
+    Status St = readSnapshotFile(generationPath(*It), Snap);
+    if (St.ok()) {
+      Local.Generation = *It;
+      obs::flight("snapshot_store_recover", *It, Local.CorruptSkipped);
+      if (Info)
+        *Info = Local;
+      return Status::okStatus();
+    }
+    ++Local.CorruptSkipped;
+  }
+  if (Info)
+    *Info = Local;
+  return Status::ioError("no valid snapshot generation in " + Dir +
+                         (Local.CorruptSkipped
+                              ? " (" + std::to_string(Local.CorruptSkipped) +
+                                    " corrupt)"
+                              : ""));
+}

@@ -44,16 +44,22 @@
 #ifndef AG_SOLVERS_PARALLELLCDSOLVER_H
 #define AG_SOLVERS_PARALLELLCDSOLVER_H
 
+#include "adt/FaultInjector.h"
 #include "adt/ShardedWorklist.h"
 #include "adt/ThreadPool.h"
 #include "core/HcdOffline.h"
+#include "core/SolveBudget.h"
 #include "core/Solver.h"
 #include "core/SolverContext.h"
 #include "obs/FlightRecorder.h"
+#include "solvers/StallWatchdog.h"
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -111,6 +117,16 @@ public:
 private:
   /// The round loop, from whatever the sharded worklist currently holds.
   PointsToSolution run() {
+    // Optional stall watchdog (SolverOptions::StallTimeoutSeconds): lives
+    // for the whole solve; its monitor thread only observes heartbeat
+    // counters while a round is active.
+    std::unique_ptr<StallWatchdog> Dog;
+    if (Opts.StallTimeoutSeconds > 0)
+      Dog = std::make_unique<StallWatchdog>(
+          NumWorkers, Opts.StallTimeoutSeconds,
+          [this] { AbortFlag.store(true, std::memory_order_relaxed); });
+    Watchdog = Dog.get();
+
     // Canonicalizing through find() here is single-threaded: compression
     // is safe between rounds.
     uint64_t Pending;
@@ -122,15 +138,33 @@ private:
       if (obs::traceEnabled())
         obs::TraceRecorder::instance().counter("parallel_pending", Pending);
       AbortFlag.store(false, std::memory_order_relaxed);
+      if (Dog)
+        Dog->roundBegin(G.Stats.ParallelRounds);
       {
         obs::TraceSpan Round("round", "parallel");
         Pool.runOnWorkers([this](unsigned W) { workerRound(W); });
+      }
+      if (Dog) {
+        Dog->roundEnd();
+        if (Dog->stalled()) {
+          // Convert the hang into a governed cancellation on this (the
+          // coordinator's) thread — the same unwinding path as a tripped
+          // budget, so fallback/partial semantics apply unchanged.
+          Status St = Status::stalled(
+              "no worker heartbeat for " +
+              std::to_string(Opts.StallTimeoutSeconds) + " s in round " +
+              std::to_string(Dog->stalledRound()));
+          obs::onGovernorTrip(St);
+          Watchdog = nullptr;
+          throw BudgetExceededError(std::move(St));
+        }
       }
       // May throw BudgetExceededError (this thread only); the RAII span
       // keeps B/E balanced through the unwind.
       obs::TraceSpan Epoch("collapse_epoch", "parallel");
       collapseEpoch();
     }
+    Watchdog = nullptr;
     return G.extractSolution();
   }
 
@@ -312,6 +346,20 @@ private:
           WL.pushRemote(Cur[J]);
         break;
       }
+      if (Watchdog)
+        Watchdog->beat(W);
+      // Test-armed stall: this worker stops heartbeating and parks until
+      // the watchdog (or a governor poll on another worker) raises the
+      // abort flag — a deterministic stand-in for a wedged thread that
+      // still honours cooperative cancellation.
+      if (FaultInjector::instance().shouldFail(FaultSite::WorkerStall)) {
+        obs::flight("worker_stall_injected", W);
+        while (!AbortFlag.load(std::memory_order_acquire))
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        for (size_t J = I; J != Cur.size(); ++J)
+          WL.pushRemote(Cur[J]);
+        break;
+      }
       NodeId Node = Cur[I]; // Canonical since no merge is in flight.
       ++S.RoundStats.WorklistPops;
       if (!G.HcdTargets[Node].empty())
@@ -445,6 +493,9 @@ private:
   std::atomic<uint64_t> RoundEdges{0};
   std::atomic<bool> AbortFlag{false};
   std::vector<NodeId> EpochSurvivors;
+  /// Owned by run()'s local unique_ptr; non-null only while a watchdog-
+  /// enabled solve is inside its round loop.
+  StallWatchdog *Watchdog = nullptr;
 };
 
 } // namespace ag

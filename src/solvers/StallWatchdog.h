@@ -1,0 +1,189 @@
+//===- StallWatchdog.h - Heartbeat monitor for parallel solves --*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A watchdog for the parallel wavefront solver: workers publish per-thread
+/// heartbeat counters (one relaxed increment per worklist pop), and a
+/// monitor thread samples them while a round is active. If no counter moves
+/// for the configured timeout while the round is still running, the round
+/// is declared stalled: the watchdog dumps a per-worker progress report and
+/// the FlightRecorder ring to stderr, latches a stalled flag, and invokes
+/// the abort callback (which raises the solver's cooperative abort flag).
+/// The coordinator converts the latched flag into a governed cancellation —
+/// BudgetExceededError with StatusCode::Stalled — after the round returns,
+/// so a hang degrades exactly like a tripped budget (fallback or partial)
+/// instead of waiting forever.
+///
+/// The conversion is cooperative: a worker that still observes the abort
+/// flag (as every loop in ParallelLcdSolver does) unwinds cleanly; a thread
+/// wedged in truly foreign code cannot be recovered, but the stderr dump
+/// still captures what every worker was doing when the round died.
+///
+/// Workers beat once per node pop, so the timeout must comfortably exceed
+/// the cost of processing one node; sub-second values are for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_SOLVERS_STALLWATCHDOG_H
+#define AG_SOLVERS_STALLWATCHDOG_H
+
+#include "obs/FlightRecorder.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ag {
+
+/// Monitors worker heartbeats during parallel rounds (see file comment).
+class StallWatchdog {
+  using Clock = std::chrono::steady_clock;
+
+public:
+  /// Starts the monitor thread. \p OnStall runs on the monitor thread,
+  /// exactly once per solve, after the diagnostics are written; it must be
+  /// async-safe with respect to the workers (set an atomic flag).
+  StallWatchdog(unsigned NumWorkers, double TimeoutSeconds,
+                std::function<void()> OnStall)
+      : Timeout(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(TimeoutSeconds))),
+        OnStall(std::move(OnStall)), Beats(NumWorkers),
+        LastSample(NumWorkers, 0) {
+    Monitor = std::thread([this] { monitorLoop(); });
+  }
+
+  ~StallWatchdog() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ShuttingDown = true;
+    }
+    CV.notify_all();
+    Monitor.join();
+  }
+
+  StallWatchdog(const StallWatchdog &) = delete;
+  StallWatchdog &operator=(const StallWatchdog &) = delete;
+
+  /// Worker-side heartbeat; one relaxed increment.
+  void beat(unsigned Worker) {
+    Beats[Worker].Count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Coordinator: a parallel round is starting. Resets the progress clock
+  /// so idle time between rounds never counts toward the timeout.
+  void roundBegin(uint64_t RoundNumber) {
+    std::lock_guard<std::mutex> L(Mu);
+    Round = RoundNumber;
+    RoundActive = true;
+    LastChange = Clock::now();
+    for (size_t W = 0; W != Beats.size(); ++W)
+      LastSample[W] = Beats[W].Count.load(std::memory_order_relaxed);
+  }
+
+  /// Coordinator: the round's workers have all returned.
+  void roundEnd() {
+    std::lock_guard<std::mutex> L(Mu);
+    RoundActive = false;
+  }
+
+  /// True once a stall was detected (latched for the rest of the solve).
+  bool stalled() const {
+    return StalledFlag.load(std::memory_order_acquire);
+  }
+
+  /// The round number the stall was detected in (valid when stalled()).
+  uint64_t stalledRound() const {
+    return StalledRound.load(std::memory_order_relaxed);
+  }
+
+private:
+  void monitorLoop() {
+    std::unique_lock<std::mutex> L(Mu);
+    // Sample a few times per timeout window so detection latency stays
+    // within ~1.25x the configured timeout.
+    const auto Poll = std::max<Clock::duration>(
+        Timeout / 4, std::chrono::milliseconds(1));
+    for (;;) {
+      CV.wait_for(L, Poll, [this] { return ShuttingDown; });
+      if (ShuttingDown)
+        return;
+      if (!RoundActive || StalledFlag.load(std::memory_order_relaxed))
+        continue;
+      bool Progress = false;
+      for (size_t W = 0; W != Beats.size(); ++W) {
+        uint64_t Now = Beats[W].Count.load(std::memory_order_relaxed);
+        if (Now != LastSample[W]) {
+          LastSample[W] = Now;
+          Progress = true;
+        }
+      }
+      auto Now = Clock::now();
+      if (Progress) {
+        LastChange = Now;
+        continue;
+      }
+      if (Now - LastChange < Timeout)
+        continue;
+      // Stall: no worker advanced for a full timeout inside a live round.
+      StalledRound.store(Round, std::memory_order_relaxed);
+      dumpDiagnostics(L);
+      StalledFlag.store(true, std::memory_order_release);
+      if (OnStall)
+        OnStall();
+    }
+  }
+
+  /// Writes the per-worker progress report and the flight ring to stderr.
+  /// Called with Mu held; the lock protects LastSample/Round only — the
+  /// recorder has its own locking.
+  void dumpDiagnostics(std::unique_lock<std::mutex> &) {
+    std::string Out = "=== stall watchdog: round " + std::to_string(Round) +
+                      " made no progress ===\n";
+    for (size_t W = 0; W != Beats.size(); ++W)
+      Out += "  worker " + std::to_string(W) + ": " +
+             std::to_string(
+                 Beats[W].Count.load(std::memory_order_relaxed)) +
+             " heartbeats\n";
+    Out += "--- flight recorder ring ---\n";
+    Out += obs::FlightRecorder::instance().dumpText();
+    std::fputs(Out.c_str(), stderr);
+    std::fflush(stderr);
+    if (obs::flightEnabled())
+      obs::FlightRecorder::instance().record("stall_detected", Round,
+                                             Beats.size());
+  }
+
+  struct alignas(64) Beat {
+    std::atomic<uint64_t> Count{0};
+  };
+
+  const Clock::duration Timeout;
+  std::function<void()> OnStall;
+  std::vector<Beat> Beats;
+
+  mutable std::mutex Mu;
+  std::condition_variable CV;
+  std::vector<uint64_t> LastSample;
+  Clock::time_point LastChange{};
+  uint64_t Round = 0;
+  bool RoundActive = false;
+  bool ShuttingDown = false;
+
+  std::atomic<bool> StalledFlag{false};
+  std::atomic<uint64_t> StalledRound{0};
+  std::thread Monitor;
+};
+
+} // namespace ag
+
+#endif // AG_SOLVERS_STALLWATCHDOG_H

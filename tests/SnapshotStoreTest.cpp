@@ -1,0 +1,280 @@
+//===- SnapshotStoreTest.cpp - Crash-safe snapshot persistence ------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safety of the generational snapshot store: a FaultInjector-driven
+/// crash at every stage of the durable write sequence (torn payload,
+/// skipped fsync, skipped rename) must never lose the previously durable
+/// generation; recovery skips corrupt newest generations and cleans temp
+/// litter; pruning retains exactly KeepGenerations; and a fuzz pass of
+/// random truncations/bit-flips over the newest file always recovers the
+/// older intact generation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/SnapshotStore.h"
+
+#include "adt/FaultInjector.h"
+#include "adt/Rng.h"
+#include "constraints/OfflineVariableSubstitution.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+Snapshot makeSnapshot(uint64_t Seed) {
+  RandomSpec Spec;
+  Spec.Seed = Seed;
+  Spec.NumVars = 48;
+  Spec.NumObjs = 12;
+  ConstraintSystem CS = generateRandom(Spec);
+  OvsResult Ovs = runOfflineVariableSubstitution(CS);
+  Snapshot Snap;
+  Snap.Solution = solve(Ovs.Reduced, SolverKind::LCDHCD, PtsRepr::Bitmap,
+                        nullptr, SolverOptions(), &Ovs.Rep);
+  Snap.CS = std::move(Ovs.Reduced);
+  Snap.SeedReps = std::move(Ovs.Rep);
+  return Snap;
+}
+
+/// Unique store directory per test (tests in one binary run sequentially,
+/// but ctest shards run concurrently in the same TempDir).
+std::string freshDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "snapstore_" + Tag;
+  std::string Cleanup = "rm -rf " + Dir;
+  (void)std::system(Cleanup.c_str());
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+TEST(SnapshotStore, WriteRecoverRoundTripAndGenerationNumbers) {
+  std::string Dir = freshDir("roundtrip");
+  SnapshotStore Store(Dir);
+  Snapshot First = makeSnapshot(1);
+  Snapshot Second = makeSnapshot(2);
+
+  uint64_t Gen = 0;
+  ASSERT_TRUE(Store.write(First, &Gen).ok());
+  EXPECT_EQ(Gen, 1u);
+  ASSERT_TRUE(Store.write(Second, &Gen).ok());
+  EXPECT_EQ(Gen, 2u);
+
+  Snapshot Recovered;
+  SnapshotStore::RecoveryInfo Info;
+  ASSERT_TRUE(Store.recover(Recovered, &Info).ok());
+  EXPECT_EQ(Info.Generation, 2u);
+  EXPECT_EQ(Info.CorruptSkipped, 0u);
+  EXPECT_EQ(Recovered.Solution.hash(), Second.Solution.hash());
+  EXPECT_EQ(Recovered.CS.numNodes(), Second.CS.numNodes());
+}
+
+TEST(SnapshotStore, CrashAtEveryWriteStageKeepsDurableGeneration) {
+  const FaultSite Stages[] = {FaultSite::SnapshotWrite,
+                              FaultSite::SnapshotFsync,
+                              FaultSite::SnapshotRename};
+  for (FaultSite Stage : Stages) {
+    std::string Dir = freshDir(std::string("crash_") + faultSiteName(Stage));
+    SnapshotStore Store(Dir);
+    Snapshot Durable = makeSnapshot(3);
+    ASSERT_TRUE(Store.write(Durable).ok());
+
+    Snapshot Next = makeSnapshot(4);
+    FaultInjector::instance().armAfter(Stage, 0);
+    Status St = Store.write(Next);
+    FaultInjector::instance().disarmAll();
+    EXPECT_FALSE(St.ok()) << faultSiteName(Stage)
+                          << ": injected crash must surface as an error";
+
+    // Whatever the crash stage left behind (torn temp, unsynced temp,
+    // unpublished temp), recovery must adopt the durable generation.
+    Snapshot Recovered;
+    SnapshotStore::RecoveryInfo Info;
+    ASSERT_TRUE(Store.recover(Recovered, &Info).ok())
+        << faultSiteName(Stage);
+    EXPECT_EQ(Info.Generation, 1u) << faultSiteName(Stage);
+    EXPECT_EQ(Recovered.Solution.hash(), Durable.Solution.hash())
+        << faultSiteName(Stage);
+
+    // After the crash, a clean write must succeed and become newest.
+    uint64_t Gen = 0;
+    ASSERT_TRUE(Store.write(Next, &Gen).ok()) << faultSiteName(Stage);
+    EXPECT_EQ(Gen, 2u);
+    ASSERT_TRUE(Store.recover(Recovered, &Info).ok());
+    EXPECT_EQ(Info.Generation, 2u);
+    EXPECT_EQ(Recovered.Solution.hash(), Next.Solution.hash());
+  }
+}
+
+TEST(SnapshotStore, RepeatedCrashSequencesNeverLoseDurableState) {
+  // Drive a crash at every stage back-to-back without repair in between:
+  // the store accumulates litter yet gen-1 stays recoverable throughout.
+  std::string Dir = freshDir("crashseq");
+  SnapshotStore Store(Dir);
+  Snapshot Durable = makeSnapshot(5);
+  ASSERT_TRUE(Store.write(Durable).ok());
+
+  Snapshot Next = makeSnapshot(6);
+  for (FaultSite Stage : {FaultSite::SnapshotWrite, FaultSite::SnapshotFsync,
+                          FaultSite::SnapshotRename}) {
+    FaultInjector::instance().armAfter(Stage, 0);
+    EXPECT_FALSE(Store.write(Next).ok());
+    FaultInjector::instance().disarmAll();
+
+    Snapshot Recovered;
+    SnapshotStore::RecoveryInfo Info;
+    ASSERT_TRUE(Store.recover(Recovered, &Info).ok());
+    EXPECT_EQ(Info.Generation, 1u);
+    EXPECT_EQ(Recovered.Solution.hash(), Durable.Solution.hash());
+  }
+}
+
+TEST(SnapshotStore, PruneRetainsNewestKeepGenerations) {
+  std::string Dir = freshDir("prune");
+  SnapshotStore::Options Opts;
+  Opts.KeepGenerations = 2;
+  SnapshotStore Store(Dir, Opts);
+  Snapshot Snap = makeSnapshot(7);
+  for (int I = 0; I != 4; ++I)
+    ASSERT_TRUE(Store.write(Snap).ok());
+
+  std::vector<uint64_t> Gens;
+  ASSERT_TRUE(Store.listGenerations(Gens).ok());
+  EXPECT_EQ(Gens, (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(SnapshotStore, CorruptNewestFallsBackToOlderGeneration) {
+  std::string Dir = freshDir("corrupt");
+  SnapshotStore Store(Dir);
+  Snapshot Old = makeSnapshot(8);
+  Snapshot New = makeSnapshot(9);
+  ASSERT_TRUE(Store.write(Old).ok());
+  ASSERT_TRUE(Store.write(New).ok());
+
+  // Flip one payload byte in the newest file: the FNV-1a checksum must
+  // reject it and recovery fall back.
+  std::string Newest = Dir + "/gen-2.snap";
+  {
+    std::fstream F(Newest, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.good());
+    F.seekg(0, std::ios::end);
+    std::streamoff Size = F.tellg();
+    ASSERT_GT(Size, 40);
+    F.seekp(Size / 2);
+    char Byte = 0;
+    F.seekg(Size / 2);
+    F.read(&Byte, 1);
+    Byte ^= 0x5a;
+    F.seekp(Size / 2);
+    F.write(&Byte, 1);
+  }
+
+  Snapshot Recovered;
+  SnapshotStore::RecoveryInfo Info;
+  ASSERT_TRUE(Store.recover(Recovered, &Info).ok());
+  EXPECT_EQ(Info.Generation, 1u);
+  EXPECT_EQ(Info.CorruptSkipped, 1u);
+  EXPECT_EQ(Recovered.Solution.hash(), Old.Solution.hash());
+}
+
+TEST(SnapshotStore, FuzzedNewestGenerationAlwaysRecoversIntactOne) {
+  std::string Dir = freshDir("fuzz");
+  SnapshotStore Store(Dir);
+  Snapshot Old = makeSnapshot(10);
+  Snapshot New = makeSnapshot(11);
+  ASSERT_TRUE(Store.write(Old).ok());
+  ASSERT_TRUE(Store.write(New).ok());
+
+  std::string Pristine;
+  {
+    std::ifstream In(Dir + "/gen-2.snap", std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Pristine = Buf.str();
+  }
+  ASSERT_FALSE(Pristine.empty());
+
+  Rng R(123);
+  for (int Iter = 0; Iter != 40; ++Iter) {
+    std::string Bytes = Pristine;
+    if (Iter % 2 == 0) {
+      // Truncation (torn write shape).
+      Bytes.resize(R.nextBelow(Bytes.size()));
+    } else {
+      // Bit flips anywhere, including header and checksum fields.
+      for (int F = 0; F != 3; ++F) {
+        size_t Pos = R.nextBelow(Bytes.size());
+        Bytes[Pos] = static_cast<char>(Bytes[Pos] ^
+                                       (1u << R.nextBelow(8)));
+      }
+    }
+    {
+      std::ofstream Out(Dir + "/gen-2.snap",
+                        std::ios::binary | std::ios::trunc);
+      Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+    }
+    Snapshot Recovered;
+    SnapshotStore::RecoveryInfo Info;
+    ASSERT_TRUE(Store.recover(Recovered, &Info).ok()) << "iter " << Iter;
+    if (Info.Generation == 2) {
+      // A flip can hit padding-free equal bytes (X ^ X); the adopted file
+      // must then be byte-equivalent in meaning, i.e. same solution.
+      EXPECT_EQ(Recovered.Solution.hash(), New.Solution.hash())
+          << "iter " << Iter << ": corrupt gen-2 was trusted";
+    } else {
+      EXPECT_EQ(Info.Generation, 1u);
+      EXPECT_EQ(Recovered.Solution.hash(), Old.Solution.hash())
+          << "iter " << Iter;
+    }
+  }
+}
+
+TEST(SnapshotStore, RecoveryCleansTempLitterAndFailsOnEmptyStore) {
+  std::string Dir = freshDir("litter");
+  SnapshotStore Store(Dir);
+
+  std::ofstream(Dir + "/gen-9.snap.tmp") << "torn";
+  std::ofstream(Dir + "/junk.txt") << "not a generation";
+  Snapshot Recovered;
+  SnapshotStore::RecoveryInfo Info;
+  Status St = Store.recover(Recovered, &Info);
+  EXPECT_FALSE(St.ok()) << "no valid generation must be an error";
+  EXPECT_EQ(Info.TempsRemoved, 1u);
+  // The temp file is gone; the unrelated file is untouched.
+  EXPECT_FALSE(std::ifstream(Dir + "/gen-9.snap.tmp").good());
+  EXPECT_TRUE(std::ifstream(Dir + "/junk.txt").good());
+}
+
+TEST(SnapshotStore, WriteFileDurableReplacesExistingFileAtomically) {
+  std::string Dir = freshDir("durable");
+  std::string Path = Dir + "/blob.bin";
+  ASSERT_TRUE(writeFileDurable(Path, "first contents").ok());
+  ASSERT_TRUE(writeFileDurable(Path, "second contents").ok());
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), "second contents");
+
+  // A failed replacement leaves the old contents readable.
+  FaultInjector::instance().armAfter(FaultSite::SnapshotWrite, 0);
+  EXPECT_FALSE(writeFileDurable(Path, "torn contents").ok());
+  FaultInjector::instance().disarmAll();
+  std::ifstream In2(Path, std::ios::binary);
+  std::ostringstream Buf2;
+  Buf2 << In2.rdbuf();
+  EXPECT_EQ(Buf2.str(), "second contents");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- WatchdogTest.cpp - Stall watchdog for the parallel solver ----------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stall watchdog must convert a hung parallel solve (driven by the
+/// WorkerStall fault-injection site, which parks one worker mid-round)
+/// into a governed cancellation: StatusCode::Stalled, a Steensgaard
+/// fallback (or a flagged partial when fallback is disallowed), a flight
+/// ring dump — and exit code 5 from ptatool. A healthy parallel solve
+/// under a generous timeout must be byte-identical to the sequential
+/// answer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solvers/Solve.h"
+
+#include "adt/FaultInjector.h"
+#include "check/SolutionChecker.h"
+#include "constraints/OfflineVariableSubstitution.h"
+#include "obs/FlightRecorder.h"
+#include "workload/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace ag;
+
+namespace {
+
+ConstraintSystem watchdogBench() {
+  BenchmarkSpec Spec;
+  Spec.NumFunctions = 12;
+  Spec.VarsPerFunction = 8;
+  Spec.NumGlobals = 16;
+  Spec.Seed = 41;
+  return generateBenchmark(Spec);
+}
+
+SolverOptions parallelOpts(double StallTimeoutSeconds) {
+  SolverOptions Opts;
+  Opts.Threads = 4;
+  Opts.StallTimeoutSeconds = StallTimeoutSeconds;
+  return Opts;
+}
+
+TEST(Watchdog, InjectedStallDegradesToSoundFallback) {
+  FaultInjector::instance().disarmAll();
+  ConstraintSystem CS = watchdogBench();
+  PointsToSolution Precise = solve(CS, SolverKind::LCD);
+
+  FaultInjector::instance().armAfter(FaultSite::WorkerStall, 0);
+  SolveResult R = solveGoverned(CS, SolverKind::LCD, SolveBudget(),
+                                PtsRepr::Bitmap, nullptr,
+                                parallelOpts(0.2));
+  FaultInjector::instance().disarmAll();
+
+  EXPECT_EQ(R.Outcome, SolveOutcome::Fallback)
+      << "a stalled solve must degrade, not hang: " << R.St.toString();
+  EXPECT_EQ(R.St.code(), StatusCode::Stalled) << R.St.toString();
+  EXPECT_TRUE(R.Sound);
+  EXPECT_TRUE(checkSuperset(R.Solution, Precise).ok())
+      << "the stall fallback must over-approximate the precise answer";
+}
+
+TEST(Watchdog, InjectedStallWithoutFallbackIsFlaggedPartial) {
+  FaultInjector::instance().disarmAll();
+  ConstraintSystem CS = watchdogBench();
+  SolveBudget Budget;
+  Budget.AllowFallback = false;
+
+  FaultInjector::instance().armAfter(FaultSite::WorkerStall, 0);
+  SolveResult R = solveGoverned(CS, SolverKind::LCDHCD, Budget,
+                                PtsRepr::Bitmap, nullptr,
+                                parallelOpts(0.2));
+  FaultInjector::instance().disarmAll();
+
+  EXPECT_EQ(R.Outcome, SolveOutcome::Partial) << R.St.toString();
+  EXPECT_EQ(R.St.code(), StatusCode::Stalled);
+  EXPECT_FALSE(R.Sound) << "a truncated parallel solve is not sound";
+}
+
+TEST(Watchdog, HealthyParallelSolveIsUnaffectedByWatchdog) {
+  FaultInjector::instance().disarmAll();
+  ConstraintSystem CS = watchdogBench();
+  PointsToSolution Sequential = solve(CS, SolverKind::LCD);
+
+  // Generous timeout: the watchdog arms, monitors, and never fires.
+  SolveResult R = solveGoverned(CS, SolverKind::LCD, SolveBudget(),
+                                PtsRepr::Bitmap, nullptr,
+                                parallelOpts(30.0));
+  EXPECT_EQ(R.Outcome, SolveOutcome::Precise) << R.St.toString();
+  EXPECT_EQ(R.Solution.hash(), Sequential.hash())
+      << "the watchdog must not perturb a healthy solve";
+}
+
+TEST(Watchdog, FlightRingRecordsStallDiagnostics) {
+  FaultInjector::instance().disarmAll();
+  ConstraintSystem CS = watchdogBench();
+
+  FaultInjector::instance().armAfter(FaultSite::WorkerStall, 0);
+  SolveResult R = solveGoverned(CS, SolverKind::LCD, SolveBudget(),
+                                PtsRepr::Bitmap, nullptr,
+                                parallelOpts(0.2));
+  FaultInjector::instance().disarmAll();
+  ASSERT_EQ(R.St.code(), StatusCode::Stalled);
+
+  // Flight recording defaults on; the ring must hold both the injection
+  // marker and the watchdog verdict for post-mortem triage.
+  std::string Ring = obs::FlightRecorder::instance().dumpText();
+  EXPECT_NE(Ring.find("stall_detected"), std::string::npos) << Ring;
+  EXPECT_NE(Ring.find("worker_stall_injected"), std::string::npos) << Ring;
+}
+
+#ifdef AG_PTATOOL_PATH
+
+TEST(WatchdogE2e, StalledSolveExitsWithCodeFive) {
+  std::string Dir = ::testing::TempDir();
+  std::string Cons = Dir + "watchdog_e2e.cons";
+  ASSERT_TRUE(watchdogBench().writeToFile(Cons));
+
+  std::string Base = std::string(AG_PTATOOL_PATH) + " solve " + Cons +
+                     " LCD --threads 4 --stall-timeout 0.2 "
+                     "--inject-fault worker_stall:0";
+  int Raw = std::system((Base + " > /dev/null 2> /dev/null").c_str());
+  EXPECT_EQ(WEXITSTATUS(Raw), 5)
+      << "a stall must map to the dedicated exit code even when the "
+         "fallback is served";
+  Raw = std::system(
+      (Base + " --no-fallback > /dev/null 2> /dev/null").c_str());
+  EXPECT_EQ(WEXITSTATUS(Raw), 5);
+}
+
+#endif // AG_PTATOOL_PATH
+
+} // namespace
