@@ -6,6 +6,8 @@
 
 #include "BenchHarness.h"
 
+#include "adt/ElementArena.h"
+#include "adt/InternTable.h"
 #include "adt/MemTracker.h"
 #include "obs/MetricsRegistry.h"
 
@@ -76,6 +78,8 @@ RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
     obs::setMetricsEnabled(true);
   }
   MemTracker::instance().resetPeaks();
+  ArenaStats::instance().resetPeaks();
+  InternStats::instance().reset();
   uint64_t BitmapBase =
       MemTracker::instance().currentBytes(MemCategory::Bitmap);
   uint64_t BddBase =
@@ -93,6 +97,13 @@ RunResult ag::bench::runSolver(const Suite &S, SolverKind Kind, PtsRepr Repr,
       MemTracker::instance().peakBytes(MemCategory::BddTable) - BddBase;
   R.SolutionHash = Sol.hash();
   R.TotalPtsSize = Sol.totalPointsToSize();
+  R.ArenaPeakBytes = ArenaStats::instance().peakReservedBytes();
+  R.ArenaPeakSlabs = ArenaStats::instance().peakSlabs();
+  R.InternedHits = InternStats::instance().hits();
+  R.InternedMisses = InternStats::instance().misses();
+  PointsToSolution::SharingSummary Sh = Sol.sharingSummary();
+  R.PhysicalSetBytes = Sh.PhysicalBytes;
+  R.RoutedSetBytes = Sh.RoutedBytes;
   if (CaptureMetrics) {
     R.MetricsJson =
         obs::MetricsRegistry::instance().renderJson(/*Compact=*/true);

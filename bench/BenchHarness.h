@@ -54,7 +54,15 @@ struct RunResult {
   uint64_t PeakBddBytes = 0;
   uint64_t SolutionHash = 0;
   uint64_t TotalPtsSize = 0;
-  /// Compact "ag.metrics.v1" JSON for this run, captured when the run was
+  /// Memory-kernel counters for the run (arena slab high-water mark,
+  /// set-interning tallies, and the extracted solution's sharing ratio).
+  uint64_t ArenaPeakBytes = 0;
+  uint64_t ArenaPeakSlabs = 0;
+  uint64_t InternedHits = 0;
+  uint64_t InternedMisses = 0;
+  uint64_t PhysicalSetBytes = 0; ///< Bytes of distinct solution sets.
+  uint64_t RoutedSetBytes = 0;   ///< Bytes if every rep held a private copy.
+  /// Compact "ag.metrics.v2" JSON for this run, captured when the run was
   /// made with CaptureMetrics (empty otherwise). Bench binaries embed it
   /// verbatim into their BENCH_*.json rows instead of hand-plumbing
   /// individual counter fields.

@@ -47,7 +47,7 @@ struct QueryRow {
   double WarmSolveMs = 0;
   double WarmSpeedup = 0;
   uint64_t DeltaConstraints = 0;
-  std::string MetricsJson; ///< Compact ag.metrics.v1 object for the suite.
+  std::string MetricsJson; ///< Compact ag.metrics.v2 object for the suite.
 };
 
 void appendJsonEscaped(std::string &Out, const std::string &S) {
@@ -117,7 +117,7 @@ int main(int Argc, char **Argv) {
   std::vector<QueryRow> Rows;
   bool Correct = true;
 
-  // One ag.metrics.v1 snapshot per suite covering the whole serving
+  // One ag.metrics.v2 snapshot per suite covering the whole serving
   // story: snapshot load, query mixes (LRU hits/misses), cold solve and
   // warm re-solve. Embedded into the JSON rows below.
   obs::setMetricsEnabled(true);

@@ -6,11 +6,14 @@
 ///
 /// \file
 /// Machine-readable solver comparison: for every algorithm (bitmap sets),
-/// wall-clock time, an embedded "ag.metrics.v1" snapshot and peak tracked
-/// bytes per suite; then the parallel wavefront solver at 1/2/4/8 threads
-/// against sequential LCD+HCD, verifying bit-identical solutions and
-/// recording the speedup. Results land in BENCH_solvers.json (argv[2] or
-/// the working directory).
+/// cold wall-clock time plus the min of three repetitions, an embedded
+/// "ag.metrics.v2" snapshot and peak tracked bytes per suite; then the
+/// parallel wavefront solver at 1/2/4/8 threads against sequential
+/// LCD+HCD, verifying bit-identical solutions and recording the speedup.
+/// A "memory" section records the memory-kernel story per suite (arena
+/// slab high-water mark, set-interning hit rate, physical vs routed
+/// solution bytes) from the LCD+HCD run. Results land in
+/// BENCH_solvers.json (argv[2] or the working directory).
 ///
 /// The JSON records the host's hardware concurrency alongside the speedups:
 /// parallel numbers are only meaningful relative to the cores the run
@@ -30,6 +33,7 @@
 #include "obs/Obs.h"
 #include "obs/TraceRecorder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -43,11 +47,24 @@ namespace {
 struct SolverRow {
   std::string Suite;
   std::string Kind;
-  double WallMs = 0;
+  double ColdMs = 0; ///< First repetition (cold allocator/caches).
+  double WallMs = 0; ///< Min of SolverReps repetitions.
   uint64_t WorklistPops = 0;
   uint64_t PeakBytes = 0;
   uint64_t Hash = 0;
-  std::string MetricsJson; ///< Compact ag.metrics.v1 object for this run.
+  std::string MetricsJson; ///< Compact ag.metrics.v2 object for this run.
+};
+
+/// Memory-kernel numbers for one suite (from the cold LCD+HCD run).
+struct MemoryRow {
+  std::string Suite;
+  uint64_t ArenaPeakBytes = 0;
+  uint64_t ArenaPeakSlabs = 0;
+  uint64_t InternedHits = 0;
+  uint64_t InternedMisses = 0;
+  uint64_t PeakBitmapBytes = 0;
+  uint64_t PhysicalSetBytes = 0;
+  uint64_t RoutedSetBytes = 0;
 };
 
 struct ParallelRow {
@@ -59,7 +76,7 @@ struct ParallelRow {
   uint64_t ParallelRounds = 0;
   uint64_t Propagations = 0;
   bool Identical = false; ///< Solution hash equals the sequential run's.
-  std::string MetricsJson; ///< Compact ag.metrics.v1 object for this run.
+  std::string MetricsJson; ///< Compact ag.metrics.v2 object for this run.
 };
 
 void appendJsonEscaped(std::string &Out, const std::string &S) {
@@ -84,8 +101,13 @@ int main(int Argc, char **Argv) {
 
   std::vector<Suite> Suites = loadSuites(Scale);
   std::vector<SolverRow> Rows;
+  std::vector<MemoryRow> MemRows;
   std::vector<ParallelRow> ParRows;
   bool AllIdentical = true;
+  // Per-kind repetitions: the first is recorded as the cold time, the
+  // minimum of all reps as the steady-state wall time (min, not mean —
+  // noise is one-sided).
+  constexpr int SolverReps = 3;
 
   for (const Suite &S : Suites) {
     std::printf("%s:\n", S.Name.c_str());
@@ -95,13 +117,30 @@ int main(int Argc, char **Argv) {
       SolverRow Row;
       Row.Suite = S.Name;
       Row.Kind = solverKindName(Kind);
-      Row.WallMs = R.Seconds * 1e3;
+      Row.ColdMs = R.Seconds * 1e3;
+      Row.WallMs = Row.ColdMs;
+      for (int Rep = 1; Rep != SolverReps; ++Rep) {
+        RunResult Warm = runSolver(S, Kind, PtsRepr::Bitmap);
+        Row.WallMs = std::min(Row.WallMs, Warm.Seconds * 1e3);
+      }
       Row.WorklistPops = R.Stats.WorklistPops;
       Row.PeakBytes = R.PeakBitmapBytes + R.PeakBddBytes;
       Row.Hash = R.SolutionHash;
       Row.MetricsJson = std::move(R.MetricsJson);
-      std::printf("  %-8s %10.2f ms  %10llu pops  %8.2f MB\n",
-                  Row.Kind.c_str(), Row.WallMs,
+      if (Kind == SolverKind::LCDHCD) {
+        MemoryRow M;
+        M.Suite = S.Name;
+        M.ArenaPeakBytes = R.ArenaPeakBytes;
+        M.ArenaPeakSlabs = R.ArenaPeakSlabs;
+        M.InternedHits = R.InternedHits;
+        M.InternedMisses = R.InternedMisses;
+        M.PeakBitmapBytes = R.PeakBitmapBytes;
+        M.PhysicalSetBytes = R.PhysicalSetBytes;
+        M.RoutedSetBytes = R.RoutedSetBytes;
+        MemRows.push_back(std::move(M));
+      }
+      std::printf("  %-8s %10.2f ms (cold %8.2f)  %10llu pops  %8.2f MB\n",
+                  Row.Kind.c_str(), Row.WallMs, Row.ColdMs,
                   static_cast<unsigned long long>(Row.WorklistPops),
                   R.peakMb());
       Rows.push_back(std::move(Row));
@@ -197,9 +236,34 @@ int main(int Argc, char **Argv) {
     Json += "\", \"kind\": \"";
     appendJsonEscaped(Json, R.Kind);
     Json += "\", \"wall_ms\": " + std::to_string(R.WallMs) +
+            ", \"cold_ms\": " + std::to_string(R.ColdMs) +
             ", \"peak_tracked_bytes\": " + std::to_string(R.PeakBytes) +
             ", \"metrics\": " + R.MetricsJson + "}";
     Json += I + 1 == Rows.size() ? "\n" : ",\n";
+  }
+  Json += "  ],\n";
+  Json += "  \"memory\": [\n";
+  for (size_t I = 0; I != MemRows.size(); ++I) {
+    const MemoryRow &M = MemRows[I];
+    uint64_t Interned = M.InternedHits + M.InternedMisses;
+    Json += "    {\"suite\": \"";
+    appendJsonEscaped(Json, M.Suite);
+    Json += "\", \"kind\": \"LCD+HCD\", \"arena_peak_bytes\": " +
+            std::to_string(M.ArenaPeakBytes) +
+            ", \"arena_peak_slabs\": " + std::to_string(M.ArenaPeakSlabs) +
+            ", \"interned_hits\": " + std::to_string(M.InternedHits) +
+            ", \"interned_misses\": " + std::to_string(M.InternedMisses) +
+            ", \"interned_hit_rate\": " +
+            std::to_string(Interned ? double(M.InternedHits) /
+                                          double(Interned)
+                                    : 0.0) +
+            ", \"peak_bitmap_bytes\": " +
+            std::to_string(M.PeakBitmapBytes) +
+            ", \"physical_set_bytes\": " +
+            std::to_string(M.PhysicalSetBytes) +
+            ", \"routed_set_bytes\": " + std::to_string(M.RoutedSetBytes) +
+            "}";
+    Json += I + 1 == MemRows.size() ? "\n" : ",\n";
   }
   Json += "  ],\n";
   Json += "  \"parallel_lcdhcd\": [\n";

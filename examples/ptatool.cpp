@@ -52,7 +52,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "adt/ElementArena.h"
 #include "adt/FaultInjector.h"
+#include "adt/InternTable.h"
 #include "check/Differential.h"
 #include "check/SolutionChecker.h"
 #include "constraints/OfflineVariableSubstitution.h"
@@ -119,7 +121,7 @@ int usage() {
                "       ptatool solve <file.cons> [HT|PKH|BLQ|LCD|HCD|"
                "HT+HCD|PKH+HCD|BLQ+HCD|LCD+HCD|Naive]\n"
                "               [--timeout <seconds>] [--max-mem-mb <mb>]\n"
-               "               [--max-steps <n>] [--no-fallback]\n"
+               "               [--max-steps <n>] [--no-fallback] [--stats]\n"
                "               [--threads <n>] [--trace-out=<file>]\n"
                "               [--metrics-out=<file>] "
                "[--metrics-interval-ms=<n>]\n"
@@ -306,6 +308,9 @@ struct SolveFlags {
   /// serve --attempts / --backoff: resolve retry schedule.
   uint64_t ResolveAttempts = 3;
   double ResolveBackoff = 4.0;
+  /// solve --stats: print the memory-kernel summary (arena footprint,
+  /// interning hit rate, physical/routed set sharing).
+  bool MemStats = false;
 };
 
 /// Parses "<site>:<countdown>" and arms the named FaultInjector site.
@@ -447,6 +452,8 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
     }
     if (Arg == "--no-fallback") {
       F.Budget.AllowFallback = false;
+    } else if (Arg == "--stats") {
+      F.MemStats = true;
     } else if (Arg == "--timeout" || Arg == "--max-mem-mb" ||
                Arg == "--max-steps" || Arg == "--threads" ||
                Arg == "--stall-timeout" || Arg == "--inject-fault" ||
@@ -558,6 +565,29 @@ int cmdSolve(int Argc, char **Argv) {
               static_cast<unsigned long long>(Sol.totalPointsToSize()),
               static_cast<unsigned long long>(Sol.hash()));
   std::printf("%s", Stats.toString("  ").c_str());
+  if (F.MemStats) {
+    ArenaStats &AS = ArenaStats::instance();
+    InternStats &IS = InternStats::instance();
+    uint64_t Interned = IS.hits() + IS.misses();
+    PointsToSolution::SharingSummary Sh = Sol.sharingSummary();
+    std::printf("  mem: arena peak %llu KiB in %llu slabs\n",
+                static_cast<unsigned long long>(AS.peakReservedBytes() >>
+                                                10),
+                static_cast<unsigned long long>(AS.peakSlabs()));
+    std::printf("  mem: interned %llu/%llu set extractions (%.1f%% hits, "
+                "%llu KiB deduped)\n",
+                static_cast<unsigned long long>(IS.hits()),
+                static_cast<unsigned long long>(Interned),
+                Interned ? 100.0 * double(IS.hits()) / double(Interned)
+                         : 0.0,
+                static_cast<unsigned long long>(IS.dedupedBytes() >> 10));
+    std::printf("  mem: %llu physical sets serve %llu reps (%llu KiB "
+                "held, %llu KiB if unshared)\n",
+                static_cast<unsigned long long>(Sh.PhysicalSets),
+                static_cast<unsigned long long>(Sh.Reps),
+                static_cast<unsigned long long>(Sh.PhysicalBytes >> 10),
+                static_cast<unsigned long long>(Sh.RoutedBytes >> 10));
+  }
   return outcomeExit(R.Outcome, R.St);
 }
 

@@ -108,16 +108,27 @@ bool SparseBitVector::reset(uint32_t Idx) {
 }
 
 bool SparseBitVector::unionWith(const SparseBitVector &RHS) {
+  if (this == &RHS || !RHS.Head)
+    return false;
+  if (!Head) { // Empty destination: bulk copy, no merge bookkeeping.
+    copyFrom(RHS);
+    return true;
+  }
   bool Changed = false;
   Element *Prev = nullptr;
   Element *L = Head;
   const Element *R = RHS.Head;
   while (R) {
     if (L && L->Index == R->Index) {
-      uint64_t Old0 = L->Words[0], Old1 = L->Words[1];
+      // Branch-light: compute the incoming-new words, OR both words
+      // unconditionally, and fold change detection into one test. The
+      // common difference-propagation probe (dst ⊇ src, nothing new)
+      // takes no data-dependent branches inside the element.
+      uint64_t New0 = R->Words[0] & ~L->Words[0];
+      uint64_t New1 = R->Words[1] & ~L->Words[1];
       L->Words[0] |= R->Words[0];
       L->Words[1] |= R->Words[1];
-      Changed |= (L->Words[0] != Old0) | (L->Words[1] != Old1);
+      Changed |= (New0 | New1) != 0;
       Prev = L;
       L = L->Next;
       R = R->Next;
@@ -266,6 +277,118 @@ bool SparseBitVector::unionWithMinus(const SparseBitVector &RHS,
   return Changed;
 }
 
+SparseBitVector::UnionResult
+SparseBitVector::unionWithStatus(const SparseBitVector &RHS) {
+  if (this == &RHS)
+    return {false, true};
+  bool Changed = false;
+  bool Equal = true;
+  Element *Prev = nullptr;
+  Element *L = Head;
+  const Element *R = RHS.Head;
+  while (R) {
+    if (L && L->Index == R->Index) {
+      uint64_t New0 = R->Words[0] & ~L->Words[0];
+      uint64_t New1 = R->Words[1] & ~L->Words[1];
+      Equal &= (L->Words[0] == R->Words[0]) & (L->Words[1] == R->Words[1]);
+      L->Words[0] |= R->Words[0];
+      L->Words[1] |= R->Words[1];
+      Changed |= (New0 | New1) != 0;
+      Prev = L;
+      L = L->Next;
+      R = R->Next;
+    } else if (!L || L->Index > R->Index) {
+      Element *New = allocateElement(R->Index, L);
+      New->Words[0] = R->Words[0];
+      New->Words[1] = R->Words[1];
+      if (Prev)
+        Prev->Next = New;
+      else
+        Head = New;
+      Prev = New;
+      R = R->Next;
+      Changed = true;
+      Equal = false;
+    } else { // L->Index < R->Index: an element RHS lacks.
+      Equal = false;
+      Prev = L;
+      L = L->Next;
+    }
+  }
+  if (L) // Leftover destination elements RHS lacks.
+    Equal = false;
+  Curr = Head;
+  return {Changed, Equal};
+}
+
+bool SparseBitVector::unionWithDelta(const SparseBitVector &RHS,
+                                     SparseBitVector &Delta) {
+  assert(&Delta != this && &Delta != &RHS &&
+         "delta accumulator must be a distinct vector");
+  if (this == &RHS || !RHS.Head)
+    return false;
+  bool Changed = false;
+  Element *Prev = nullptr;
+  Element *L = Head;
+  const Element *R = RHS.Head;
+  // Insertion cursor into Delta: new indices arrive in ascending order
+  // within one merge, so the cursor never rewinds.
+  Element *DPrev = nullptr;
+  Element *DCur = Delta.Head;
+  auto recordDelta = [&](uint32_t Index, uint64_t New0, uint64_t New1) {
+    while (DCur && DCur->Index < Index) {
+      DPrev = DCur;
+      DCur = DCur->Next;
+    }
+    if (DCur && DCur->Index == Index) {
+      DCur->Words[0] |= New0;
+      DCur->Words[1] |= New1;
+    } else {
+      Element *E = Delta.allocateElement(Index, DCur);
+      E->Words[0] = New0;
+      E->Words[1] = New1;
+      if (DPrev)
+        DPrev->Next = E;
+      else
+        Delta.Head = E;
+      DPrev = E;
+    }
+  };
+  while (R) {
+    if (L && L->Index == R->Index) {
+      uint64_t New0 = R->Words[0] & ~L->Words[0];
+      uint64_t New1 = R->Words[1] & ~L->Words[1];
+      if (New0 | New1) {
+        L->Words[0] |= New0;
+        L->Words[1] |= New1;
+        Changed = true;
+        recordDelta(L->Index, New0, New1);
+      }
+      Prev = L;
+      L = L->Next;
+      R = R->Next;
+    } else if (!L || L->Index > R->Index) {
+      Element *New = allocateElement(R->Index, L);
+      New->Words[0] = R->Words[0];
+      New->Words[1] = R->Words[1];
+      if (Prev)
+        Prev->Next = New;
+      else
+        Head = New;
+      Prev = New;
+      Changed = true;
+      recordDelta(New->Index, New->Words[0], New->Words[1]);
+      R = R->Next;
+    } else { // L->Index < R->Index
+      Prev = L;
+      L = L->Next;
+    }
+  }
+  Curr = Head;
+  Delta.Curr = Delta.Head;
+  return Changed;
+}
+
 bool SparseBitVector::intersects(const SparseBitVector &RHS) const {
   const Element *L = Head;
   const Element *R = RHS.Head;
@@ -300,6 +423,8 @@ bool SparseBitVector::contains(const SparseBitVector &RHS) const {
 }
 
 bool SparseBitVector::operator==(const SparseBitVector &RHS) const {
+  if (NumElements != RHS.NumElements) // O(1) reject before the walk.
+    return false;
   const Element *L = Head;
   const Element *R = RHS.Head;
   while (L && R) {
@@ -310,6 +435,20 @@ bool SparseBitVector::operator==(const SparseBitVector &RHS) const {
     R = R->Next;
   }
   return L == R; // Both must be exhausted.
+}
+
+uint64_t SparseBitVector::contentHash() const {
+  uint64_t H = 14695981039346656037ULL; // FNV-1a offset basis.
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  for (const Element *E = Head; E; E = E->Next) {
+    Mix(E->Index);
+    Mix(E->Words[0]);
+    Mix(E->Words[1]);
+  }
+  return H;
 }
 
 uint32_t SparseBitVector::findFirst() const {

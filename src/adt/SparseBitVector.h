@@ -16,6 +16,7 @@
 #ifndef AG_ADT_SPARSEBITVECTOR_H
 #define AG_ADT_SPARSEBITVECTOR_H
 
+#include "adt/ElementArena.h"
 #include "adt/MemTracker.h"
 
 #include <bit>
@@ -71,7 +72,7 @@ public:
   SparseBitVector(const SparseBitVector &RHS) { copyFrom(RHS); }
 
   SparseBitVector(SparseBitVector &&RHS) noexcept
-      : Head(RHS.Head), Curr(RHS.Curr),
+      : Arena(RHS.Arena), Head(RHS.Head), Curr(RHS.Curr),
         NumElements(RHS.NumElements) {
     RHS.Head = RHS.Curr = nullptr;
     RHS.NumElements = 0;
@@ -88,17 +89,39 @@ public:
   SparseBitVector &operator=(SparseBitVector &&RHS) noexcept {
     if (this != &RHS) {
       clear();
-      Head = RHS.Head;
-
-      Curr = RHS.Curr;
-      NumElements = RHS.NumElements;
-      RHS.Head = RHS.Curr = nullptr;
-      RHS.NumElements = 0;
+      if (Arena == RHS.Arena) {
+        Head = RHS.Head;
+        Curr = RHS.Curr;
+        NumElements = RHS.NumElements;
+        RHS.Head = RHS.Curr = nullptr;
+        RHS.NumElements = 0;
+      } else {
+        // Elements must stay in the arena that allocated them, so a
+        // cross-arena move degrades to copy + clear.
+        copyFrom(RHS);
+        RHS.clear();
+      }
     }
     return *this;
   }
 
   ~SparseBitVector() { clear(); }
+
+  /// Binds this vector to \p A: every element it allocates or frees from
+  /// now on goes through that arena. Must be called before any bit is
+  /// set; the binding is fixed for the vector's lifetime (moves between
+  /// same-arena vectors transfer elements, cross-arena moves copy).
+  void setArena(ElementArena *A) {
+    assert(!Head && "arena binding must precede allocation");
+    assert(!A || A->blockBytes() >= sizeof(Element));
+    Arena = A;
+  }
+
+  /// The arena this vector allocates from (nullptr = global heap).
+  ElementArena *arena() const { return Arena; }
+
+  /// Bytes per list element — the block size arenas must serve.
+  static constexpr size_t elementBytes() { return sizeof(Element); }
 
   /// Removes all bits.
   void clear();
@@ -120,6 +143,73 @@ public:
 
   /// Sets this to the union with \p RHS. \returns true if this changed.
   bool unionWith(const SparseBitVector &RHS);
+
+  /// Result of a fused union: whether the destination changed, and
+  /// whether it was exactly equal to the source *before* the union (in
+  /// which case the union was necessarily a no-op).
+  struct UnionResult {
+    bool Changed;
+    bool WasEqual;
+  };
+
+  /// Fused `this |= RHS` + `this == RHS` probe in a single merge pass.
+  /// The lazy-cycle-detection edge loop needs both answers for every
+  /// copy edge; doing them separately walks both element lists twice.
+  UnionResult unionWithStatus(const SparseBitVector &RHS);
+
+  /// Fused `this |= RHS` that ORs every newly set bit into \p Delta in
+  /// the same merge pass — the producer side of difference propagation:
+  /// \p Delta accumulates exactly the bits that arrived in this set
+  /// since it was last drained. Word-level only (no per-bit visiting);
+  /// \p Delta insertions ride a forward cursor, so a single call costs
+  /// O(|RHS| + |Delta|) element steps. \p Delta must be a distinct
+  /// vector from both operands. \returns true if this changed.
+  bool unionWithDelta(const SparseBitVector &RHS, SparseBitVector &Delta);
+
+  /// Fused `this |= RHS` that invokes \p Fn once for every bit that was
+  /// in RHS but not previously in this, in increasing order, during the
+  /// same merge pass (difference propagation's forEachDiff + absorb in
+  /// one walk). \p Fn must not mutate this vector or \p RHS.
+  /// \returns true if this changed.
+  template <typename F>
+  bool unionWithVisitNew(const SparseBitVector &RHS, F Fn) {
+    if (this == &RHS || !RHS.Head)
+      return false;
+    bool Changed = false;
+    Element *Prev = nullptr;
+    Element *L = Head;
+    const Element *R = RHS.Head;
+    while (R) {
+      if (L && L->Index == R->Index) {
+        uint64_t New0 = R->Words[0] & ~L->Words[0];
+        uint64_t New1 = R->Words[1] & ~L->Words[1];
+        L->Words[0] |= R->Words[0];
+        L->Words[1] |= R->Words[1];
+        Changed |= (New0 | New1) != 0;
+        visitWords(L->Index, New0, New1, Fn);
+        Prev = L;
+        L = L->Next;
+        R = R->Next;
+      } else if (!L || L->Index > R->Index) {
+        Element *New = allocateElement(R->Index, L);
+        New->Words[0] = R->Words[0];
+        New->Words[1] = R->Words[1];
+        if (Prev)
+          Prev->Next = New;
+        else
+          Head = New;
+        Prev = New;
+        Changed = true;
+        visitWords(New->Index, New->Words[0], New->Words[1], Fn);
+        R = R->Next;
+      } else { // L->Index < R->Index
+        Prev = L;
+        L = L->Next;
+      }
+    }
+    Curr = Head;
+    return Changed;
+  }
 
   /// Sets this to the intersection with \p RHS. \returns true if changed.
   bool intersectWith(const SparseBitVector &RHS);
@@ -145,6 +235,11 @@ public:
 
   /// Returns the lowest set bit. Requires !empty().
   uint32_t findFirst() const;
+
+  /// FNV-1a over the element (Index, Words) stream — the interning key
+  /// for hash-consed shared points-to sets. Content-determined: equal
+  /// sets hash equal regardless of allocation history or arena.
+  uint64_t contentHash() const;
 
   /// Invokes \p Fn with every bit set in this but not in \p Exclude, in
   /// increasing order. A dual-cursor merge walk over the two element
@@ -248,9 +343,33 @@ public:
 private:
   void copyFrom(const SparseBitVector &RHS);
 
+  /// Emits Fn(bit) for every set bit of the (W0, W1) pair at \p Index.
+  template <typename F>
+  static void visitWords(uint32_t Index, uint64_t W0, uint64_t W1, F &Fn) {
+    uint32_t Base = Index * BitsPerElement;
+    while (W0) {
+      Fn(Base + static_cast<uint32_t>(std::countr_zero(W0)));
+      W0 &= W0 - 1;
+    }
+    while (W1) {
+      Fn(Base + WordBits + static_cast<uint32_t>(std::countr_zero(W1)));
+      W1 &= W1 - 1;
+    }
+  }
+
+  // Element is trivially constructible/destructible, so arena blocks and
+  // raw operator-new storage need no placement lifetime management.
+  // MemTracker keeps charging per element (MemCategory::Bitmap) so the
+  // memory governor and mem.peak_bitmap_bytes keep their exact meaning;
+  // slab reservations are tracked separately by ArenaStats.
   Element *allocateElement(uint32_t Index, Element *Next) {
+    // Charge the tracker only once the raw allocation has succeeded: a
+    // throwing allocation must not leave bytes charged that no element
+    // destructor will ever release (the governor would see phantom
+    // memory for the rest of the process).
+    Element *E = static_cast<Element *>(
+        Arena ? Arena->allocate() : ::operator new(sizeof(Element)));
     memAllocate(MemCategory::Bitmap, sizeof(Element));
-    Element *E = new Element;
     E->Next = Next;
     E->Index = Index;
     E->Words[0] = E->Words[1] = 0;
@@ -260,7 +379,10 @@ private:
 
   void freeElement(Element *E) {
     memRelease(MemCategory::Bitmap, sizeof(Element));
-    delete E;
+    if (Arena)
+      Arena->deallocate(E);
+    else
+      ::operator delete(E);
     --NumElements;
   }
 
@@ -268,6 +390,9 @@ private:
   /// smaller index (nullptr if none). Uses and updates the cursor cache.
   Element *findLowerBound(uint32_t ElementIndex) const;
 
+  /// Allocation source for elements; nullptr = global heap. Fixed for
+  /// the vector's lifetime once bound (see setArena).
+  ElementArena *Arena = nullptr;
   Element *Head = nullptr;
   /// Cursor cache: last element visited by point queries, used to start
   /// searches near the previous access instead of at Head.

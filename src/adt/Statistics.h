@@ -50,7 +50,10 @@ struct SolverStats {
   /// HCD preemptive collapses performed online.
   uint64_t HcdCollapses = 0;
   /// LCD R-set probes: hash lookups asking "has this edge triggered a
-  /// cycle search before" (the cheap pre-test guarding set equality).
+  /// cycle search before". Since the fused union+equality kernel made
+  /// the equality probe free, the R set is only consulted for edges
+  /// whose sets compared equal (not once per edge visit), so this
+  /// counts equality-passing edge visits. Scheduling-variant.
   uint64_t LcdTriggerProbes = 0;
   /// Wavefront rounds executed by the parallel solver (0 for sequential).
   uint64_t ParallelRounds = 0;

@@ -12,6 +12,14 @@
 /// collapses cycles. The worklist is LRF-prioritized and divided into
 /// current/next halves, as described in Section 5.1.
 ///
+/// The edge loop uses difference propagation (Pearce et al. 2003): each
+/// pop pushes only the bits that arrived at the node since its last
+/// completed sweep, not the full set — the fixpoint's tail is dominated
+/// by re-unions that change nothing, and deltas make those near-free.
+/// New edges (complex-constraint resolution) and cycle merges carry the
+/// full set once at birth; monotonicity gives the same unique least
+/// fixpoint either way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AG_CORE_LCDSOLVER_H
@@ -37,6 +45,7 @@ public:
             const std::vector<NodeId> *SeedReps = nullptr)
       : G(CS, Stats, SeedReps), Opts(Opts), W(Opts.Worklist) {
     G.UseDiffResolution = Opts.DifferenceResolution;
+    G.UseDeltaPropagation = true;
     G.Governor = Opts.Governor;
     if (Hcd)
       for (const auto &[N, Target] : Hcd->Lazy)
@@ -54,8 +63,10 @@ public:
     const uint32_t N = G.CS.numNodes();
     W.grow(N);
     for (NodeId V = 0; V != N; ++V)
-      if (G.find(V) == V && !G.Pts[V].empty())
+      if (G.find(V) == V && !G.Pts[V].empty()) {
+        G.seedDelta(V);
         W.push(V);
+      }
     return run();
   }
 
@@ -67,8 +78,11 @@ public:
   /// as long as every node whose inputs changed is seeded.
   PointsToSolution solveFrom(const std::vector<NodeId> &Seeds) {
     W.grow(G.CS.numNodes());
-    for (NodeId V : Seeds)
-      W.push(G.find(V));
+    for (NodeId V : Seeds) {
+      NodeId R = G.find(V);
+      G.seedDelta(R);
+      W.push(R);
+    }
     return run();
   }
 
@@ -78,6 +92,10 @@ private:
   /// The Figure-2 worklist loop, from whatever W currently holds.
   PointsToSolution run() {
     auto Push = [this](NodeId V) { W.push(V); };
+    // New edges found while walking a points-to set must not propagate
+    // mid-walk (the union target can alias the walked set); collect
+    // them and carry the full source set after the walk completes.
+    std::vector<std::pair<NodeId, NodeId>> NewEdges;
     while (!W.empty()) {
       NodeId Node = G.find(W.pop());
       ++G.Stats.WorklistPops;
@@ -91,23 +109,65 @@ private:
       // HCD first (Figure 5's check of the lazy table L).
       Node = G.applyHcd(Node, Push);
 
-      // Resolve the complex constraints indexed at this node.
-      G.resolveComplex(Node, Push);
-
-      // Propagate along outgoing edges, lazily sniffing for cycles.
+      // Resolve the complex constraints indexed at this node, with the
+      // pending delta as the candidate frontier — the delta invariant
+      // guarantees every unresolved bit is still in Delta[Node], so the
+      // frontier merge walks the small delta instead of the whole set.
+      // A brand-new edge has seen none of its source's set, so it gets
+      // one full (birth) propagation; from then on deltas suffice.
+      // Birth propagation retires Figure 1's push-the-source insertion
+      // (requeueing the source only served to carry its set across the
+      // new edge, which just happened), except when the destination is
+      // Node itself: those bits arrive after this resolve pass ran, so
+      // loop until Node stops growing — they must be resolved before
+      // the delta they landed in is swept and cleared below.
+      for (bool NodeGrew = true; NodeGrew;) {
+        NodeGrew = false;
+        NewEdges.clear();
+        G.resolveComplexFrom(
+            Node, G.pendingFrontier(Node), [](NodeId) {},
+            [&](NodeId F, NodeId T) { NewEdges.push_back({F, T}); });
+        for (auto [F, T] : NewEdges) {
+          if (!G.propagateFull(F, T))
+            continue;
+          if (T == Node)
+            NodeGrew = true;
+          else
+            W.push(T);
+        }
+      }
+      // Propagate this node's pending delta along outgoing edges,
+      // lazily sniffing for cycles.
       bool Restart = false;
+      bool NodeEmpty = G.Pts[Node].empty();
+      bool FullPending = G.FullDelta[Node] && !NodeEmpty;
+      bool HaveDelta = FullPending || !G.Delta[Node].empty();
+      uint32_t SweptTargets = 0, StaleTargets = 0;
       for (uint32_t Raw : G.Succs[Node]) {
         NodeId Z = G.find(Raw);
+        ++SweptTargets;
+        if (Z != Raw)
+          ++StaleTargets;
         if (Z == Node)
           continue;
+        bool Changed = HaveDelta && (FullPending ? G.propagateFull(Node, Z)
+                                                 : G.propagateDelta(Node, Z));
+        if (Changed)
+          W.push(Z);
         // The lazy trigger: identical points-to sets suggest a cycle —
-        // but never retrigger on the same edge (rule R in Figure 2). The
-        // R-set test runs first: it is a hash probe, while set equality
-        // costs a full scan exactly when the sets are equal (the common
-        // case at convergence).
-        if (!alreadyTriggered(Node, Z) && !G.Pts[Node].empty() &&
-            G.Pts[Z].equals(G.Ctx, G.Pts[Node]) &&
-            markTriggered(Node, Z)) {
+        // but never retrigger on the same edge (rule R in Figure 2).
+        // An unchanged destination is equal after the union iff it was
+        // equal before, so probing equality post-union on the !Changed
+        // path is exactly Figure 2's pre-propagation pts(n) == pts(z)
+        // check. The R set is probed *before* the equality test: a hash
+        // find is a handful of ns, while equality on sets that really
+        // are equal (the common steady state on converged edges) walks
+        // every word — and an edge that triggered once stays equal and
+        // would pay that walk on every subsequent sweep. Same triggers
+        // fire either way; only the probe cost moves.
+        if (!Changed && !NodeEmpty &&
+            !alreadyTriggered(Node, Z) &&
+            G.Pts[Node].equals(G.Ctx, G.Pts[Z]) && markTriggered(Node, Z)) {
           if (obs::traceEnabled())
             obs::TraceRecorder::instance().instant("lcd_trigger", "solver",
                                                    "root", Z);
@@ -133,11 +193,20 @@ private:
             }
           }
         }
-        if (G.propagate(Node, Z))
-          W.push(Z);
       }
       if (Restart)
         continue;
+      // Clean sweep: every successor has absorbed this node's pending
+      // frontier. (On Restart the node re-queues with its delta and
+      // full-pending flag intact, so no arrival is ever dropped.)
+      G.clearPending(Node);
+      // Cycle collapses leave merged-away target ids behind; once a
+      // quarter of this node's targets are stale, every future sweep
+      // (and Tarjan search) is paying find() plus a duplicate no-op
+      // union per stale id — rewrite the edge bitmap through find()
+      // once instead.
+      if (StaleTargets * 4 >= SweptTargets && SweptTargets >= 8)
+        G.compactSuccs(Node);
     }
     return G.extractSolution();
   }

@@ -35,6 +35,7 @@
 #ifndef AG_CORE_PTSSET_H
 #define AG_CORE_PTSSET_H
 
+#include "adt/ElementArena.h"
 #include "adt/SparseBitVector.h"
 #include "bdd/BddDomain.h"
 #include "constraints/Constraint.h"
@@ -42,6 +43,13 @@
 #include <memory>
 
 namespace ag {
+
+/// Result of a fused union across either policy: did the destination
+/// change, and was it exactly equal to the source before the union.
+struct SetUnionStatus {
+  bool Changed;
+  bool WasEqual;
+};
 
 /// Sparse-bitmap points-to sets (the GCC 4.1.1 representation).
 struct BitmapPtsPolicy {
@@ -55,6 +63,35 @@ struct BitmapPtsPolicy {
     bool unionWith(Context &, const Set &RHS) {
       return Bits.unionWith(RHS.Bits);
     }
+
+    /// Fused union + pre-union equality probe in one merge pass (the
+    /// LCD edge loop wants both).
+    SetUnionStatus unionWithStatus(Context &, const Set &RHS) {
+      SparseBitVector::UnionResult R = Bits.unionWithStatus(RHS.Bits);
+      return {R.Changed, R.WasEqual};
+    }
+
+    /// Fused union that visits every newly added element in ascending
+    /// order during the same pass (difference propagation's
+    /// forEachDiff + absorb as one walk). \p Fn must not mutate either
+    /// operand. \returns true if this changed.
+    template <typename F>
+    bool unionWithVisitNew(Context &, const Set &RHS, F Fn) {
+      return Bits.unionWithVisitNew(
+          RHS.Bits, [&](uint32_t N) { Fn(static_cast<NodeId>(N)); });
+    }
+
+    /// Fused union that ORs the newly added bits into \p Delta during
+    /// the same merge pass (difference propagation's producer side:
+    /// \p Delta accumulates what arrived here since it was last
+    /// drained). Word-level only — no per-bit iteration.
+    bool unionWithDelta(Context &, const Set &RHS, Set &Delta) {
+      return Bits.unionWithDelta(RHS.Bits, Delta.Bits);
+    }
+
+    /// Routes this set's element allocation through \p A (must precede
+    /// any insertion; see SparseBitVector::setArena).
+    void bindArena(ElementArena *A) { Bits.setArena(A); }
     bool intersectWith(Context &, const Set &RHS) {
       return Bits.intersectWith(RHS.Bits);
     }
@@ -130,6 +167,40 @@ struct BddPtsPolicy {
       Val = std::move(New);
       return Changed;
     }
+
+    /// Hash consing makes the equality half O(1), so the "fused" form
+    /// is just the two calls — it exists so solver templates can use one
+    /// spelling for both policies.
+    SetUnionStatus unionWithStatus(Context &Ctx, const Set &RHS) {
+      bool Eq = equals(Ctx, RHS);
+      bool Changed = unionWith(Ctx, RHS);
+      return {Changed, Eq};
+    }
+
+    /// Union + visit of the newly added elements. BDD diff is already a
+    /// single hash-consed operation, so this is diff-visit then union.
+    /// \p Fn must not mutate either operand.
+    template <typename F>
+    bool unionWithVisitNew(Context &Ctx, const Set &RHS, F Fn) {
+      RHS.forEachDiff(Ctx, *this, Fn);
+      return unionWith(Ctx, RHS);
+    }
+
+    /// Union recording the growth into \p Delta. The BDD delta is the
+    /// whole source set on any change — over-approximate but sound:
+    /// difference propagation may re-propagate known elements, it just
+    /// must never miss a new one. (An exact diff would cost a bddDiff
+    /// per changed union, which the hash-consed or already dominates.)
+    bool unionWithDelta(Context &Ctx, const Set &RHS, Set &Delta) {
+      bool Changed = unionWith(Ctx, RHS);
+      if (Changed)
+        Delta.unionWith(Ctx, RHS);
+      return Changed;
+    }
+
+    /// Arena binding is meaningless for BDD sets (storage lives in the
+    /// shared node table); accepted so templated solver code compiles.
+    void bindArena(ElementArena *) {}
 
     bool intersectWith(Context &Ctx, const Set &RHS) {
       if (empty())

@@ -26,6 +26,8 @@
 #ifndef AG_CORE_SOLVERCONTEXT_H
 #define AG_CORE_SOLVERCONTEXT_H
 
+#include "adt/ElementArena.h"
+#include "adt/InternTable.h"
 #include "adt/SparseBitVector.h"
 #include "adt/Statistics.h"
 #include "adt/UnionFind.h"
@@ -37,6 +39,7 @@
 #include "obs/TraceRecorder.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 namespace ag {
@@ -80,20 +83,46 @@ public:
   /// \p ReverseEdges stores each copy edge b -> a at node a instead of b,
   /// turning Succs into predecessor sets — the orientation the HT solver's
   /// reachability queries need. Only HT uses this.
+  /// \p ArenaShards (a power of two) is the number of element arenas the
+  /// per-node sets are distributed over by node id. Sequential solvers
+  /// keep the default 1; the parallel solver passes its stripe count so
+  /// concurrent workers allocate from different arenas. Sharding is only
+  /// a contention optimization — every arena is itself thread-safe, so
+  /// sets whose elements migrate between stripes (merges) stay sound.
   SolverContext(const ConstraintSystem &CS, SolverStats &Stats,
                 const std::vector<NodeId> *SeedReps = nullptr,
-                bool ReverseEdges = false)
+                bool ReverseEdges = false, uint32_t ArenaShards = 1)
       : CS(CS), Stats(Stats), Ctx(CS.numNodes()) {
     const uint32_t N = CS.numNodes();
     Reps.grow(N);
     Pts.resize(N);
+    Delta.resize(N);
     HcdSeen.resize(N);
     Succs.resize(N);
     Derefs.resize(N);
     HcdTargets.resize(N);
+    FullDelta.assign(N, 0);
     VisitEpoch.assign(N, 0);
     DfsNum.assign(N, 0);
     OnStackEpoch.assign(N, 0);
+
+    assert(ArenaShards != 0 && (ArenaShards & (ArenaShards - 1)) == 0 &&
+           "arena shard count must be a power of two");
+    ArenaShardMask = ArenaShards - 1;
+    Arenas.reserve(ArenaShards);
+    for (uint32_t I = 0; I != ArenaShards; ++I)
+      Arenas.push_back(
+          std::make_unique<ElementArena>(SparseBitVector::elementBytes()));
+    // Bind every per-node set before any bit is inserted. The binding is
+    // fixed for the solve's lifetime; unwind order is safe because the
+    // arenas are declared before the set vectors below.
+    for (NodeId V = 0; V != N; ++V) {
+      ElementArena *A = Arenas[V & ArenaShardMask].get();
+      Pts[V].bindArena(A);
+      Delta[V].bindArena(A);
+      HcdSeen[V].bindArena(A);
+      Succs[V].setArena(A);
+    }
 
     if (SeedReps) {
       assert(SeedReps->size() == N && "seed rep table size mismatch");
@@ -138,8 +167,14 @@ public:
   /// Adds the copy edge find(From) -> find(To).
   /// \returns true if the edge is new (self edges report false).
   bool addEdge(NodeId From, NodeId To) {
-    From = find(From);
-    To = find(To);
+    return addEdgeReps(find(From), find(To));
+  }
+
+  /// addEdge() for operands the caller already routed through find().
+  /// Complex-constraint resolution proposes edges once per (element,
+  /// deref) pair with mostly-duplicate results, so the per-attempt
+  /// find() calls are hoisted out of this path.
+  bool addEdgeReps(NodeId From, NodeId To) {
     if (From == To)
       return false;
     if (!Succs[From].set(To))
@@ -165,6 +200,91 @@ public:
     return Changed;
   }
 
+  /// Difference propagation: unions only the bits that arrived at
+  /// \p From since its last completed edge sweep (its pending delta)
+  /// into pts(\p To), appending whatever is genuinely new at \p To to
+  /// \p To's own pending delta in the same merge pass. Both operands
+  /// must already be representatives. Requires UseDeltaPropagation:
+  /// every mutation of a points-to set must flow through a delta-aware
+  /// kernel or the pending-delta invariant breaks.
+  bool propagateDelta(NodeId From, NodeId To) {
+    ++Stats.Propagations;
+    if (Governor)
+      Governor->onPropagation();
+    bool Changed = wantsDelta(To)
+                       ? Pts[To].unionWithDelta(Ctx, Delta[From], Delta[To])
+                       : Pts[To].unionWith(Ctx, Delta[From]);
+    Stats.ChangedPropagations += Changed;
+    return Changed;
+  }
+
+  /// Edge-birth propagation: a newly inserted edge must carry the full
+  /// source set once (delta propagation only carries what arrives
+  /// later). Both operands must already be representatives.
+  bool propagateFull(NodeId From, NodeId To) {
+    if (From == To)
+      return false;
+    ++Stats.Propagations;
+    if (Governor)
+      Governor->onPropagation();
+    bool Changed = wantsDelta(To)
+                       ? Pts[To].unionWithDelta(Ctx, Pts[From], Delta[To])
+                       : Pts[To].unionWith(Ctx, Pts[From]);
+    Stats.ChangedPropagations += Changed;
+    return Changed;
+  }
+
+  /// Whether arrivals at \p To must be recorded into Delta[To]. Not
+  /// when the whole set is already pending (the flag covers every bit),
+  /// and not when \p To's pop would do nothing with a frontier — no
+  /// outgoing edges, no complex constraints, no lazy HCD tuples. The
+  /// skip stays sound as the node gains any of those later: a newborn
+  /// edge carries the full set at birth, and deref groups / HCD tuples
+  /// only arrive via a merge, which re-pends the whole set.
+  bool wantsDelta(NodeId To) const {
+    return !FullDelta[To] && (!Succs[To].empty() || !Derefs[To].empty() ||
+                              !HcdTargets[To].empty());
+  }
+
+  /// Marks the whole of pts(\p V) pending, so \p V's next edge sweep
+  /// propagates everything (initial worklist seeding, warm-start seeds,
+  /// cycle merges). A flag, not a copy: materializing pts(V) into
+  /// Delta[V] would duplicate the biggest sets in the graph — merge
+  /// survivors are hubs — and the full-set duplicates dominated peak
+  /// bitmap bytes. \p V must be a representative.
+  void seedDelta(NodeId V) { FullDelta[V] = 1; }
+
+  /// The pending frontier of \p N: the whole set when flagged full,
+  /// otherwise the accumulated arrival delta.
+  const PtsSet &pendingFrontier(NodeId N) const {
+    return FullDelta[N] ? Pts[N] : Delta[N];
+  }
+
+  /// Clears \p N's pending state after a clean (un-restarted) sweep:
+  /// every successor and complex constraint has seen the frontier.
+  void clearPending(NodeId N) {
+    Delta[N].clearAndFree(Ctx);
+    FullDelta[N] = 0;
+  }
+
+  /// Rewrites \p N's successor bitmap in place, routing every target
+  /// through find() and dropping self references. Cycle collapses leave
+  /// stale (merged-away) ids behind; several raw ids can map to one
+  /// representative, and every sweep and every Tarjan search pays a
+  /// find() plus a duplicate-propagation walk per stale id until they
+  /// are squeezed out. Callers invoke this when a sweep observes a high
+  /// stale density. Must not run while an iteration of Succs[N] is in
+  /// flight.
+  void compactSuccs(NodeId N) {
+    SuccScratch.clear();
+    for (uint32_t Raw : Succs[N]) {
+      NodeId R = find(Raw);
+      if (R != N)
+        SuccScratch.set(R);
+    }
+    Succs[N] = SuccScratch;
+  }
+
   /// Cancellation point for solver loops: delegates to the governor when
   /// one is installed, otherwise free.
   void governorStep() {
@@ -183,6 +303,16 @@ public:
     NodeId Loser = Survivor == A ? B : A;
     Pts[Survivor].unionWith(Ctx, Pts[Loser]);
     Pts[Loser].clearAndFree(Ctx);
+    if (UseDeltaPropagation) {
+      // The survivor inherits the loser's edges (and vice versa), and
+      // none of those edges has seen the merged set: re-pend everything.
+      // The accumulated deltas are subsets of the pending whole — free
+      // them (hub survivors collect the largest arrival deltas).
+      FullDelta[Survivor] = 1;
+      Delta[Survivor].clearAndFree(Ctx);
+      Delta[Loser].clearAndFree(Ctx);
+      FullDelta[Loser] = 0;
+    }
     HcdSeen[Survivor].intersectWith(Ctx, HcdSeen[Loser]);
     HcdSeen[Loser].clearAndFree(Ctx);
     Succs[Survivor].unionWith(Succs[Loser]);
@@ -223,6 +353,20 @@ public:
   /// mutate the graph.
   template <typename PushFn, typename EdgeFn>
   void resolveComplex(NodeId N, PushFn Push, EdgeFn OnEdge) {
+    resolveComplexFrom(N, Pts[N], Push, OnEdge);
+  }
+
+  /// resolveComplex() with an explicit candidate set: only elements of
+  /// \p Candidates can enter the resolution frontier. Solvers that keep
+  /// the difference-propagation invariant (every bit of pts(N) is in
+  /// Delta[N] until resolved) pass Delta[N], so the frontier merge walks
+  /// the (small) pending delta instead of the whole points-to set. The
+  /// per-group Resolved frontier still deduplicates exactly, so passing
+  /// a candidate set that over-approximates the unresolved bits is
+  /// always safe — Pts[N] itself recovers the plain behaviour.
+  template <typename PushFn, typename EdgeFn>
+  void resolveComplexFrom(NodeId N, const PtsSet &Candidates, PushFn Push,
+                          EdgeFn OnEdge) {
     std::vector<DerefGroup> &Groups = Derefs[N];
     if (Groups.empty())
       return;
@@ -232,24 +376,52 @@ public:
       // Difference resolution: only elements this group hasn't seen.
       // (With UseDiffResolution off, Resolved stays empty and the full
       // set re-scans on every visit — the Figure-1 literal behaviour.)
+      //
+      // Nothing in this walk merges nodes, so representatives are
+      // stable for its duration: find() each deref destination once
+      // here instead of once per (element, deref) attempt — the
+      // attempts are mostly duplicates, and the finds dominated the
+      // profile.
+      ScratchLoads.clear();
+      ScratchStores.clear();
+      for (const Deref &D : G.Loads)
+        ScratchLoads.push_back(Deref{find(D.Other), D.Offset});
+      for (const Deref &D : G.Stores)
+        ScratchStores.push_back(Deref{find(D.Other), D.Offset});
       uint64_t FrontierSize = 0;
-      Pts[N].forEachDiff(Ctx, G.Resolved, [&](NodeId V) {
+      auto Visit = [&](NodeId V) {
         ++FrontierSize;
-        for (const Deref &D : G.Loads) {
+        for (const Deref &D : ScratchLoads) {
           NodeId T = CS.offsetTarget(V, D.Offset);
-          if (T != InvalidNode && addEdge(T, D.Other)) {
-            Push(find(T));
-            OnEdge(find(T), find(D.Other));
+          if (T == InvalidNode)
+            continue;
+          T = find(T);
+          if (addEdgeReps(T, D.Other)) {
+            Push(T);
+            OnEdge(T, D.Other);
           }
         }
-        for (const Deref &D : G.Stores) {
+        for (const Deref &D : ScratchStores) {
           NodeId T = CS.offsetTarget(V, D.Offset);
-          if (T != InvalidNode && addEdge(D.Other, T)) {
-            Push(find(D.Other));
-            OnEdge(find(D.Other), find(T));
+          if (T == InvalidNode)
+            continue;
+          T = find(T);
+          if (addEdgeReps(D.Other, T)) {
+            Push(D.Other);
+            OnEdge(D.Other, T);
           }
         }
-      });
+      };
+      if (UseDiffResolution) {
+        // Fused kernel: emit the unseen elements and absorb them into
+        // the frontier in one merge walk (the visitor touches Succs and
+        // the worklist, never either operand).
+        G.Resolved.unionWithVisitNew(Ctx, Candidates, Visit);
+      } else {
+        // Ablation mode re-scans the full set every visit (Figure-1
+        // literal), candidate narrowing included.
+        Pts[N].forEachDiff(Ctx, G.Resolved, Visit);
+      }
       Stats.DiffElementsResolved += FrontierSize;
       obs::observe(obs::Hist::PtsDiffSize, FrontierSize);
     }
@@ -266,8 +438,6 @@ public:
       dedupDerefs(First.Loads);
       dedupDerefs(First.Stores);
     }
-    if (UseDiffResolution)
-      Groups[0].Resolved.unionWith(Ctx, Pts[N]);
   }
 
   /// HCD's online rule: if representative \p N carries lazy tuples (n, a),
@@ -279,13 +449,21 @@ public:
       return N;
     // Copy: merging appends the loser's targets to the survivor's list.
     std::vector<NodeId> Targets = HcdTargets[N];
-    // Only members not collapsed on a previous visit need work.
+    // Only members not collapsed on a previous visit need work. Fused
+    // kernel: collect them and absorb them into HcdSeen in one merge
+    // walk (if nothing is new, the union is a no-op, preserving the old
+    // early-return behaviour exactly). Under difference propagation the
+    // pending delta bounds the members HcdSeen hasn't absorbed — every
+    // bit of pts(N) stays in Delta[N] until N's pop completes, and this
+    // runs at the start of the pop — so the merge walks the small delta
+    // instead of the whole set.
     std::vector<NodeId> Members;
-    Pts[N].forEachDiff(Ctx, HcdSeen[N],
-                       [&](NodeId V) { Members.push_back(V); });
+    const PtsSet &HcdCandidates =
+        UseDeltaPropagation ? pendingFrontier(N) : Pts[N];
+    HcdSeen[N].unionWithVisitNew(Ctx, HcdCandidates,
+                                 [&](NodeId V) { Members.push_back(V); });
     if (Members.empty())
       return N;
-    HcdSeen[N].unionWith(Ctx, Pts[N]);
     for (NodeId T : Targets) {
       NodeId A = find(T);
       bool Merged = false;
@@ -333,19 +511,31 @@ public:
     return Merges;
   }
 
-  /// Extracts the final solution (per-node representative + bitmap sets).
+  /// Extracts the final solution (per-node representative + hash-consed
+  /// bitmap sets). Sets are interned on the fly: a representative whose
+  /// set equals an earlier representative's shares that physical set,
+  /// and its transient copy is released immediately — so the extraction
+  /// peak holds the solver's sets plus the *distinct* solution sets, not
+  /// one private copy per representative.
   PointsToSolution extractSolution() {
     const uint32_t N = CS.numNodes();
     PointsToSolution Out(N);
-    // Pass 1: canonical representatives. PointsToSolution requires reps to
-    // be self-mapped, which union-find guarantees.
+    SetInterner Interner;
+    SparseBitVector Scratch; // Heap-backed; canonical sets outlive the
+                             // solver's arenas.
     for (NodeId V = 0; V != N; ++V) {
       NodeId R = find(V);
-      if (R != V)
+      if (R != V) {
         Out.setRep(V, R);
-      else
-        Pts[R].toBitmap(Ctx, Out.mutableSet(R));
+        continue;
+      }
+      Pts[R].toBitmap(Ctx, Scratch);
+      if (!Scratch.empty())
+        Out.setSharedSet(R, Interner.intern(std::move(Scratch)));
     }
+    Interner.publish();
+    obs::count(obs::Counter::SolverInternedHits, Interner.hits());
+    obs::count(obs::Counter::SolverInternedMisses, Interner.misses());
     return Out;
   }
 
@@ -355,10 +545,31 @@ public:
   UnionFind Reps;
   /// See SolverOptions::DifferenceResolution.
   bool UseDiffResolution = true;
+  /// Difference propagation: the owning solver propagates per-node
+  /// deltas instead of full sets, and this context maintains the
+  /// pending-delta invariant across merges. Opt-in per solver — only
+  /// LCD's edge loop uses it; enabling it without routing every
+  /// propagation through propagateDelta/propagateFull loses updates.
+  bool UseDeltaPropagation = false;
   /// Resource governor, or null when un-governed (see SolverOptions).
   SolveGovernor *Governor = nullptr;
 
+  /// Per-shard element arenas backing Pts/HcdSeen/Succs (node V binds to
+  /// shard V & ArenaShardMask). Declared before every set vector so that
+  /// destruction — including governor-trip unwinds — returns all
+  /// elements to live arenas before the slabs are released.
+  std::vector<std::unique_ptr<ElementArena>> Arenas;
+  uint32_t ArenaShardMask = 0;
+
   std::vector<PtsSet> Pts;
+  /// Per node: bits that arrived at pts(node) since its last completed
+  /// edge sweep (difference propagation, Pearce et al. 2003). Only
+  /// maintained when UseDeltaPropagation is set.
+  std::vector<PtsSet> Delta;
+  /// Per node: "the whole of pts(node) is pending" — set by seeding and
+  /// cycle merges instead of copying the full set into Delta (see
+  /// seedDelta). Cleared together with Delta on a clean sweep.
+  std::vector<uint8_t> FullDelta;
   /// Per node: elements already collapsed by the HCD online rule.
   std::vector<PtsSet> HcdSeen;
   std::vector<SparseBitVector> Succs;
@@ -473,6 +684,13 @@ private:
     }
     return Merges;
   }
+
+  /// Scratch for resolveComplex's rep-hoisted deref lists (member to
+  /// avoid per-group allocation; resolveComplex is not reentrant).
+  std::vector<Deref> ScratchLoads, ScratchStores;
+  /// Heap-backed scratch for compactSuccs (the rebuilt set is copied
+  /// back into the node's arena-bound bitmap on assignment).
+  SparseBitVector SuccScratch;
 
   std::vector<NodeId> MergeLog;
   std::vector<uint32_t> VisitEpoch;

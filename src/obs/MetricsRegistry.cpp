@@ -40,6 +40,8 @@ constexpr const char *CounterNames[] = {
     "serve.lru_misses",
     "serve.snapshot_loads",
     "serve.warm_starts",
+    "solver.interned_hits",
+    "solver.interned_misses",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   unsigned(Counter::NumCounters),
@@ -52,6 +54,8 @@ constexpr const char *GaugeNames[] = {
     "mem.peak_bdd_bytes",
     "mem.peak_other_bytes",
     "mem.peak_joint_bytes",
+    "mem.arena_reserved_bytes",
+    "mem.arena_slabs",
 };
 static_assert(sizeof(GaugeNames) / sizeof(GaugeNames[0]) ==
                   unsigned(Gauge::NumGauges),
@@ -96,7 +100,10 @@ bool ag::obs::counterIsSchedulingInvariant(Counter C) {
   // solver's lazy cycle trigger compares points-to sets at propagation
   // time, so which cycles it catches — and therefore which canonical
   // (rep, rep) edges count as distinct inserts — varies with preemption,
-  // even though the points-to solution at fixpoint is identical.
+  // even though the points-to solution at fixpoint is identical. The
+  // interning tallies vary the same way: the *routed* per-node solution
+  // is thread-count-invariant, but which node ends up the representative
+  // (and therefore how many rep sets exist to dedup) is not.
   default:
     return false;
   }
@@ -169,7 +176,7 @@ std::string MetricsRegistry::renderJson(bool Compact) const {
   std::string Out = "{";
   Out += Nl;
   Out += In1;
-  Out += "\"schema\": \"ag.metrics.v1\",";
+  Out += "\"schema\": \"ag.metrics.v2\",";
   Out += Nl;
 
   Out += In1;

@@ -15,10 +15,11 @@
 /// rates.
 ///
 /// Rendering is deterministic: renderJson() emits every counter, gauge and
-/// histogram in enum order with a schema tag ("ag.metrics.v1"), so two runs
+/// histogram in enum order with a schema tag ("ag.metrics.v2"), so two runs
 /// at the same seed produce bit-identical files and CI can validate the
 /// key set against tests/metrics_schema.json (schema stability rules in
-/// DESIGN.md §11).
+/// DESIGN.md §11; v1 -> v2 added the set-interning counters and the
+/// arena gauges).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,6 +66,9 @@ enum class Counter : unsigned {
   ServeLruMisses,       ///< Result-cache misses across both caches.
   ServeSnapshotLoads,   ///< Snapshot files read successfully.
   ServeWarmStarts,      ///< Warm-start re-solves attempted.
+  SolverInternedHits,   ///< Extracted sets deduplicated onto a canonical
+                        ///< set (hash-consing hits).
+  SolverInternedMisses, ///< Extracted sets that became a new canonical set.
   NumCounters,
 };
 
@@ -74,6 +78,8 @@ enum class Gauge : unsigned {
   MemPeakBddBytes,
   MemPeakOtherBytes,
   MemPeakJointBytes,
+  MemArenaReservedBytes, ///< Peak slab bytes reserved by element arenas.
+  MemArenaSlabs,         ///< Peak live arena slab count.
   NumGauges,
 };
 

@@ -6,6 +6,7 @@
 
 #include "obs/Obs.h"
 
+#include "adt/ElementArena.h"
 #include "adt/MemTracker.h"
 #include "adt/Status.h"
 #include "obs/FlightRecorder.h"
@@ -49,17 +50,23 @@ void ag::obs::publishMemPeaks() {
   uint64_t Bdd = MT.peakBytes(MemCategory::BddTable);
   uint64_t Other = MT.peakBytes(MemCategory::Other);
   uint64_t Joint = MT.peakBytesJoint();
+  ArenaStats &AS = ArenaStats::instance();
+  uint64_t ArenaReserved = AS.peakReservedBytes();
+  uint64_t ArenaSlabs = AS.peakSlabs();
   if (metricsEnabled()) {
     MetricsRegistry &R = MetricsRegistry::instance();
     R.maxGauge(Gauge::MemPeakBitmapBytes, Bitmap);
     R.maxGauge(Gauge::MemPeakBddBytes, Bdd);
     R.maxGauge(Gauge::MemPeakOtherBytes, Other);
     R.maxGauge(Gauge::MemPeakJointBytes, Joint);
+    R.maxGauge(Gauge::MemArenaReservedBytes, ArenaReserved);
+    R.maxGauge(Gauge::MemArenaSlabs, ArenaSlabs);
   }
   if (traceEnabled()) {
     TraceRecorder &T = TraceRecorder::instance();
     T.counter("mem.peak_bitmap_bytes", Bitmap);
     T.counter("mem.peak_bdd_bytes", Bdd);
     T.counter("mem.peak_joint_bytes", Joint);
+    T.counter("mem.arena_reserved_bytes", ArenaReserved);
   }
 }

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 using namespace ag;
 
@@ -20,13 +21,33 @@ QueryEngine::QueryEngine(Snapshot S, const Options &Opts)
       // share of the entry budget.
       ListCache(Opts.CacheCapacity / 2, Opts.CacheShards),
       AliasCache(Opts.CacheCapacity - Opts.CacheCapacity / 2,
-                 Opts.CacheShards) {}
+                 Opts.CacheShards) {
+  buildCanonIds();
+}
+
+void QueryEngine::buildCanonIds() {
+  const uint32_t N = numNodes();
+  CanonIds.resize(N);
+  // Physical identity (the hash-consed set pointer) is the dedup key;
+  // the nullptr bucket folds every empty-set rep onto one id. Two
+  // passes because a class representative's id may exceed a member's.
+  std::unordered_map<const SparseBitVector *, NodeId> FirstWithSet;
+  for (NodeId V = 0; V != N; ++V) {
+    if (Snap.Solution.repOf(V) != V)
+      continue;
+    auto It = FirstWithSet.emplace(Snap.Solution.sharedSet(V).get(), V);
+    CanonIds[V] = It.first->second;
+  }
+  for (NodeId V = 0; V != N; ++V)
+    if (Snap.Solution.repOf(V) != V)
+      CanonIds[V] = CanonIds[Snap.Solution.repOf(V)];
+}
 
 QueryEngine::IdList QueryEngine::pointsTo(NodeId V) {
   assert(validNode(V) && "query for unknown node");
   obs::TraceSpan Span("query.points_to", "serve");
   obs::count(obs::Counter::ServeQueries);
-  uint64_t Key = listKey(TagPts, Snap.Solution.repOf(V));
+  uint64_t Key = listKey(TagPts, canonId(V));
   if (auto Hit = ListCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
     return *Hit;
@@ -42,7 +63,7 @@ bool QueryEngine::alias(NodeId P, NodeId Q) {
   assert(validNode(P) && validNode(Q) && "query for unknown node");
   obs::TraceSpan Span("query.alias", "serve");
   obs::count(obs::Counter::ServeQueries);
-  NodeId A = Snap.Solution.repOf(P), B = Snap.Solution.repOf(Q);
+  NodeId A = canonId(P), B = canonId(Q);
   if (A > B)
     std::swap(A, B);
   uint64_t Key = (uint64_t(A) << 32) | B;
@@ -111,7 +132,7 @@ QueryEngine::IdList QueryEngine::callees(NodeId V) {
   assert(validNode(V) && "query for unknown node");
   obs::TraceSpan Span("query.callees", "serve");
   obs::count(obs::Counter::ServeQueries);
-  uint64_t Key = listKey(TagCallees, Snap.Solution.repOf(V));
+  uint64_t Key = listKey(TagCallees, canonId(V));
   if (auto Hit = ListCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
     return *Hit;

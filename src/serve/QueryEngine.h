@@ -10,13 +10,16 @@
 /// call graph — over a loaded Snapshot, fronted by sharded LRU result
 /// caches.
 ///
-/// Cache keying: every key is the *canonical representative* of the
-/// queried node (Snapshot rep tables are idempotent, so one find-free
-/// lookup canonicalizes). All members of a collapsed equivalence class —
-/// cycle members, OVS-substituted temporaries, HCD-merged variables —
-/// therefore share a single cache entry, which is where the hit rate
-/// comes from: the paper's cycle collapsing routinely folds thousands of
-/// variables into one class.
+/// Cache keying: every set-dependent key is the *canonical set id* of
+/// the queried node — the lowest representative whose solution holds the
+/// same physical (hash-consed) points-to set, precomputed at load time.
+/// That subsumes the old rep-based keying: all members of a collapsed
+/// equivalence class (cycle members, OVS-substituted temporaries,
+/// HCD-merged variables) share one cache entry, and so do distinct
+/// representatives whose sets were deduplicated onto one canonical set
+/// by the solver's interning pass or the snapshot's backref encoding.
+/// Keys are stable small integers, never raw set pointers — a pointer
+/// key would go stale the moment a snapshot reload freed the set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -97,8 +100,16 @@ private:
 
   void buildReverseIndex();
   void buildCallGraph();
+  void buildCanonIds();
+
+  /// The canonical set id of \p V: lowest node sharing V's physical
+  /// points-to set (all empty-set nodes collapse onto one id).
+  NodeId canonId(NodeId V) const { return CanonIds[V]; }
 
   Snapshot Snap;
+  /// Per node: canonical set id (see canonId). Built at construction;
+  /// immutable afterwards, so concurrent queries read it lock-free.
+  std::vector<NodeId> CanonIds;
   ShardedLruCache<uint64_t, IdList> ListCache;
   ShardedLruCache<uint64_t, bool> AliasCache;
 

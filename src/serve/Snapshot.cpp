@@ -15,6 +15,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <unordered_map>
 
 using namespace ag;
 
@@ -22,6 +23,9 @@ namespace {
 
 const char SnapshotMagic[8] = {'A', 'G', 'P', 'T', 'S', 'N', 'A', 'P'};
 constexpr size_t HeaderBytes = 8 + 4 + 4 + 8 + 8;
+/// Set-record marker: "this rep shares an earlier rep's set". Cannot
+/// collide with a real count (counts are bounded by MaxNodes = 2^23).
+constexpr uint32_t SetBackref = 0xFFFFFFFFu;
 
 void putU32(std::string &Out, uint32_t V) {
   Out.push_back(char(V & 0xff));
@@ -123,10 +127,32 @@ Status ag::writeSnapshotBytes(const Snapshot &Snap, std::string &Out) {
     putU32(Payload, Snap.SeedReps[V]);
   for (NodeId V = 0; V != N; ++V)
     putU32(Payload, Snap.Solution.repOf(V));
+  // Dedup is purely content-based (hash bucket + full equality check),
+  // not identity-based, so solutions with equal but unshared sets still
+  // serialize to the canonical backref form and write -> read -> write
+  // is bit-identical.
+  std::unordered_map<uint64_t, std::vector<NodeId>> InlineByHash;
   for (NodeId V = 0; V != N; ++V) {
     if (Snap.Solution.repOf(V) != V)
       continue;
     const SparseBitVector &Set = Snap.Solution.pointsTo(V);
+    if (Set.empty()) {
+      putU32(Payload, 0);
+      continue;
+    }
+    NodeId Ref = InvalidNode;
+    auto &Bucket = InlineByHash[Set.contentHash()];
+    for (NodeId E : Bucket)
+      if (Snap.Solution.pointsTo(E) == Set) {
+        Ref = E;
+        break;
+      }
+    if (Ref != InvalidNode) {
+      putU32(Payload, SetBackref);
+      putU32(Payload, Ref);
+      continue;
+    }
+    Bucket.push_back(V);
     putU32(Payload, uint32_t(Set.count()));
     for (uint32_t O : Set)
       putU32(Payload, O);
@@ -234,13 +260,48 @@ Status ag::readSnapshotBytes(const std::string &Bytes, Snapshot &Snap) {
 
   Out.Solution = PointsToSolution(N);
   // Sets first (reps still self-mapped in the fresh solution), then the
-  // rep table — mirrors extractSolution's two-pass construction.
+  // rep table — mirrors extractSolution's two-pass construction. Inline
+  // reps are indexed by content hash so backrefs can be validated as
+  // canonical (lowest earlier rep with equal content, itself inline).
+  std::unordered_map<uint64_t, std::vector<NodeId>> InlineByHash;
   for (NodeId V = 0; V != N; ++V) {
     if (Rep[V] != V)
       continue;
     uint32_t Count = 0;
     if (!R.readU32(Count))
       return truncated("set size");
+    if (Count == SetBackref) {
+      uint32_t E = 0;
+      if (!R.readU32(E))
+        return truncated("set backref");
+      if (E >= V || Rep[E] != E)
+        return Status::parseError(
+            "snapshot set backref does not name an earlier representative");
+      std::shared_ptr<SparseBitVector> H = Out.Solution.sharedSet(E);
+      if (!H || H->empty())
+        return Status::parseError("snapshot set backref names an empty set");
+      // Canonical form requires the ref to be the first inline rep with
+      // this content — no ref chains, no skipping over an equal
+      // predecessor (either would break write->read->write identity).
+      bool Canonical = false;
+      auto It = InlineByHash.find(H->contentHash());
+      if (It != InlineByHash.end())
+        for (NodeId C : It->second) {
+          if (C == E) {
+            Canonical = true;
+            break;
+          }
+          if (Out.Solution.pointsTo(C) == *H)
+            break; // An earlier inline rep has equal content.
+        }
+      if (!Canonical)
+        return Status::parseError("snapshot set backref is not canonical");
+      Out.Solution.setSharedSet(V, std::move(H));
+      continue;
+    }
+    if (Count == 0)
+      continue; // Empty set: no allocation, pointsTo() serves the
+                // shared empty instance.
     if (Count > N)
       return Status::parseError("snapshot set larger than the id space");
     SparseBitVector &Set = Out.Solution.mutableSet(V);
@@ -256,6 +317,7 @@ Status ag::readSnapshotBytes(const std::string &Bytes, Snapshot &Snap) {
       Prev = O;
       Set.set(O);
     }
+    InlineByHash[Set.contentHash()].push_back(V);
   }
   for (NodeId V = 0; V != N; ++V)
     if (Rep[V] != V)

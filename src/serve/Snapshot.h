@@ -12,11 +12,11 @@
 /// union-find representative table, so dereference queries resolve
 /// through collapsed nodes.
 ///
-/// Binary format (version 1, all integers little-endian):
+/// Binary format (version 2, all integers little-endian):
 ///
 ///   header (32 bytes):
 ///     magic     8 bytes  "AGPTSNAP"
-///     version   u32      1
+///     version   u32      2
 ///     flags     u32      0 (reserved)
 ///     paylen    u64      payload byte count
 ///     checksum  u64      FNV-1a over the payload bytes
@@ -29,15 +29,28 @@
 ///     cstext    u64 len + bytes   ConstraintSystem::serialize() text
 ///     seedrep   u32 * N  offline seed merge map (identity if none)
 ///     solrep    u32 * N  final representative of each node
-///     sets      for each v with solrep[v] == v:
-///                 u32 count + count ascending u32 object ids
+///     sets      for each v with solrep[v] == v, in ascending v, either
+///                 u32 count + count ascending u32 object ids  (inline)
+///               or, when an earlier representative e holds an identical
+///               non-empty set,
+///                 u32 0xFFFFFFFF + u32 e                      (backref)
+///
+/// Version 2 added the backref encoding: points-to solutions are heavily
+/// duplicated across representatives (hash-consing in the solvers makes
+/// the sharing physical), so each distinct non-empty set is stored once
+/// and later holders reference it. Backrefs are canonical-form: a rep is
+/// a backref iff some earlier rep was written inline with equal content,
+/// and it names the lowest such rep — never another backref, never an
+/// empty set (those always inline as count 0). The reader reconstructs
+/// the sharing (backref'd reps share one in-memory set).
 ///
 /// The writer only ever emits canonical form — serialize() is
 /// deterministic, rep tables are idempotent, set elements strictly
-/// ascend — and the reader rejects anything non-canonical, so
-/// write -> read -> write reproduces the input bit for bit. Corrupt,
-/// truncated, or wrong-version input yields a structured ag::Status
-/// (never a crash or partial out-parameter the caller could misuse).
+/// ascend, dedup is purely content-based — and the reader rejects
+/// anything non-canonical, so write -> read -> write reproduces the
+/// input bit for bit. Corrupt, truncated, or wrong-version input yields
+/// a structured ag::Status (never a crash or partial out-parameter the
+/// caller could misuse).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,7 +84,7 @@ struct Snapshot {
 };
 
 /// Current on-disk format version.
-inline constexpr uint32_t SnapshotVersion = 1;
+inline constexpr uint32_t SnapshotVersion = 2;
 
 /// Serializes \p Snap into \p Out (replacing its contents). Fails only
 /// on inconsistent inputs (mis-sized tables, non-canonical reps).

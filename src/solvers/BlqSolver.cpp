@@ -227,6 +227,7 @@ PointsToSolution BlqSolver::solve() {
       Out.mutableSet(static_cast<NodeId>(Var))
           .set(static_cast<uint32_t>(Obj));
     });
+    Out.internShared();
     return Out;
   };
   try {

@@ -123,6 +123,7 @@ public:
       else
         CachePts[R].toBitmap(G.Ctx, Out.mutableSet(R));
     }
+    Out.internShared();
     return Out;
   }
 

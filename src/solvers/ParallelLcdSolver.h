@@ -77,8 +77,9 @@ public:
   ParallelLcdSolver(const ConstraintSystem &CS, SolverStats &Stats,
                     const SolverOptions &Opts, const HcdResult *Hcd = nullptr,
                     const std::vector<NodeId> *SeedReps = nullptr)
-      : G(CS, Stats, SeedReps), Opts(Opts),
-        NumWorkers(Opts.Threads ? Opts.Threads : 1),
+      : G(CS, Stats, SeedReps, /*ReverseEdges=*/false,
+          /*ArenaShards=*/NumStripes),
+        Opts(Opts), NumWorkers(Opts.Threads ? Opts.Threads : 1),
         Governor(Opts.Governor), Pool(NumWorkers),
         WL(NumWorkers, CS.numNodes()), Workers(NumWorkers) {
     G.UseDiffResolution = Opts.DifferenceResolution;
@@ -248,11 +249,18 @@ private:
       S.Members.clear();
       {
         std::lock_guard<std::mutex> L(PtsLocks[stripe(Node)]);
-        G.Pts[Node].forEachDiff(G.Ctx, Gr.Resolved, [&](NodeId V) {
-          S.Members.push_back(V);
-        });
-        if (G.UseDiffResolution)
-          Gr.Resolved.unionWith(G.Ctx, G.Pts[Node]);
+        if (G.UseDiffResolution) {
+          // Fused kernel: collect the unseen frontier and absorb it into
+          // Resolved in one merge walk (edges are still added outside
+          // the lock, from the Members snapshot).
+          Gr.Resolved.unionWithVisitNew(G.Ctx, G.Pts[Node], [&](NodeId V) {
+            S.Members.push_back(V);
+          });
+        } else {
+          G.Pts[Node].forEachDiff(G.Ctx, Gr.Resolved, [&](NodeId V) {
+            S.Members.push_back(V);
+          });
+        }
       }
       for (NodeId V : S.Members) {
         for (const auto &D : Gr.Loads) {
@@ -286,13 +294,16 @@ private:
       withPtsPair(Node, Z, [&] {
         const PtsSet &Src = G.Pts[Node];
         PtsSet &Dst = G.Pts[Z];
-        // The lazy trigger, evaluated on the same consistent snapshot the
-        // propagation uses. The shared R set is read-only during rounds
-        // (inserts happen in the epoch), so the probe is unsynchronized.
-        if (!Src.empty() && !alreadyTriggered(S, Node, Z) &&
-            Dst.equals(G.Ctx, Src))
-          Candidate = true;
-        Changed = Dst.unionWith(G.Ctx, Src);
+        // Fused union + equality on the same consistent snapshot: the
+        // kernel reports the pre-union equality the lazy trigger wants.
+        // The shared R set is read-only during rounds (inserts happen
+        // in the epoch), so the probe is unsynchronized; like the
+        // sequential solver it is only consulted for equality-passing
+        // edges.
+        SetUnionStatus U = Dst.unionWithStatus(G.Ctx, Src);
+        Changed = U.Changed;
+        Candidate =
+            U.WasEqual && !Src.empty() && !alreadyTriggered(S, Node, Z);
       });
       ++S.RoundStats.Propagations;
       S.RoundStats.ChangedPropagations += Changed;

@@ -190,6 +190,7 @@ PointsToSolution ag::steensgaardFallback(const ConstraintSystem &CS,
     if (R != V)
       Out.setRep(V, R);
   }
+  Out.internShared();
   return Out;
 }
 

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -361,5 +362,308 @@ TEST_P(SparseBitVectorAlgebra, BulkOpsMatchSetAlgebra) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseBitVectorAlgebra,
                          testing::Range<uint64_t>(1, 17));
+
+// --- Fused kernels (unionWithStatus / unionWithVisitNew) -----------------
+
+TEST(SparseBitVector, UnionWithStatusReportsEqualityAndChange) {
+  SparseBitVector A, B;
+  for (uint32_t X : {1u, 128u, 5000u}) {
+    A.set(X);
+    B.set(X);
+  }
+  // Equal operands: no change, equality observed.
+  SparseBitVector::UnionResult R = A.unionWithStatus(B);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_TRUE(R.WasEqual);
+  // Self-union is the degenerate equal case.
+  R = A.unionWithStatus(A);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_TRUE(R.WasEqual);
+  // Strict superset destination: nothing new, but not equal.
+  A.set(70);
+  R = A.unionWithStatus(B);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_FALSE(R.WasEqual);
+  // Strict subset destination: grows, not equal.
+  R = B.unionWithStatus(A);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_FALSE(R.WasEqual);
+  EXPECT_TRUE(A == B);
+  // Empty RHS against non-empty LHS: union no-op but not equal.
+  SparseBitVector Empty;
+  R = A.unionWithStatus(Empty);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_FALSE(R.WasEqual);
+  // Both empty: equal.
+  SparseBitVector Empty2;
+  R = Empty2.unionWithStatus(Empty);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_TRUE(R.WasEqual);
+  // Disjoint element lists (RHS-only elements before and after LHS's).
+  SparseBitVector Lo, Mid;
+  Mid.set(200);
+  Lo.set(3);
+  Lo.set(100000);
+  R = Mid.unionWithStatus(Lo);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_FALSE(R.WasEqual);
+  EXPECT_EQ(toVector(Mid), (std::vector<uint32_t>{3, 200, 100000}));
+}
+
+TEST(SparseBitVector, UnionWithVisitNewVisitsExactlyTheNewBitsAscending) {
+  // Alternating elements: A holds elements 0/2/4, B holds 1/3/5 plus a
+  // partial overlap inside element 2, with bits on both 64-bit words and
+  // the 127/128 boundaries.
+  SparseBitVector A, B;
+  for (uint32_t X : {0u, 127u, 300u, 310u, 600u})
+    A.set(X);
+  for (uint32_t X : {128u, 255u, 300u, 311u, 449u, 700u})
+    B.set(X);
+  SparseBitVector Expected = A;
+  std::vector<uint32_t> ExpectedNew;
+  B.forEachDiff(A, [&](uint32_t Bit) { ExpectedNew.push_back(Bit); });
+  Expected.unionWith(B);
+
+  std::vector<uint32_t> Seen;
+  EXPECT_TRUE(A.unionWithVisitNew(B, [&](uint32_t Bit) { Seen.push_back(Bit); }));
+  EXPECT_EQ(Seen, ExpectedNew) << "one merge pass must report B \\ A ascending";
+  EXPECT_TRUE(A == Expected);
+
+  // Re-union: nothing new, callback never fires.
+  Seen.clear();
+  EXPECT_FALSE(A.unionWithVisitNew(B, [&](uint32_t Bit) { Seen.push_back(Bit); }));
+  EXPECT_TRUE(Seen.empty());
+
+  // Self-union and empty RHS are no-ops that must not visit.
+  EXPECT_FALSE(A.unionWithVisitNew(A, [&](uint32_t) { FAIL(); }));
+  EXPECT_FALSE(A.unionWithVisitNew(SparseBitVector(),
+                                   [&](uint32_t) { FAIL(); }));
+
+  // Empty LHS: every RHS bit is new.
+  SparseBitVector Fresh;
+  Seen.clear();
+  EXPECT_TRUE(Fresh.unionWithVisitNew(B,
+                                      [&](uint32_t Bit) { Seen.push_back(Bit); }));
+  EXPECT_EQ(Seen, toVector(B));
+  EXPECT_TRUE(Fresh == B);
+}
+
+TEST(SparseBitVector, FusedKernelsMatchOracleRandomized) {
+  for (uint64_t Seed = 1; Seed != 13; ++Seed) {
+    Rng R(Seed * 31337);
+    SparseBitVector A, B;
+    std::set<uint32_t> SA, SB;
+    // Clustered draws so element lists interleave adversarially: long
+    // shared runs, single-bit elements, and full-word boundaries.
+    uint32_t Base = 0;
+    for (int I = 0; I != 300; ++I) {
+      if (R.nextBelow(16) == 0)
+        Base = static_cast<uint32_t>(R.nextBelow(1u << 20));
+      uint32_t X = Base + static_cast<uint32_t>(R.nextBelow(260));
+      if (R.nextBelow(2)) {
+        A.set(X);
+        SA.insert(X);
+      } else {
+        B.set(X);
+        SB.insert(X);
+      }
+      if (R.nextBelow(4) == 0) { // Shared bits.
+        A.set(X);
+        SA.insert(X);
+        B.set(X);
+        SB.insert(X);
+      }
+    }
+    // Oracle: union and new-bit list from std::set.
+    std::set<uint32_t> SU = SA;
+    SU.insert(SB.begin(), SB.end());
+    std::vector<uint32_t> OracleNew;
+    for (uint32_t X : SB)
+      if (!SA.count(X))
+        OracleNew.push_back(X);
+
+    SparseBitVector U1 = A;
+    SparseBitVector::UnionResult St = U1.unionWithStatus(B);
+    EXPECT_EQ(St.Changed, !OracleNew.empty()) << "seed " << Seed;
+    EXPECT_EQ(St.WasEqual, SA == SB) << "seed " << Seed;
+    EXPECT_EQ(toVector(U1), std::vector<uint32_t>(SU.begin(), SU.end()))
+        << "seed " << Seed;
+
+    SparseBitVector U2 = A;
+    std::vector<uint32_t> Seen;
+    EXPECT_EQ(U2.unionWithVisitNew(B,
+                                   [&](uint32_t Bit) { Seen.push_back(Bit); }),
+              !OracleNew.empty())
+        << "seed " << Seed;
+    EXPECT_EQ(Seen, OracleNew) << "seed " << Seed;
+    EXPECT_TRUE(U1 == U2) << "seed " << Seed;
+    EXPECT_EQ(U1.contentHash(), U2.contentHash()) << "seed " << Seed;
+  }
+}
+
+TEST(SparseBitVector, UnionWithDeltaAccumulatesExactlyTheNewBits) {
+  // A and B share element 2 partially (one word each side of the 64-bit
+  // split), and each owns elements the other lacks, including the 127/128
+  // element boundary.
+  SparseBitVector A, B;
+  for (uint32_t X : {0u, 127u, 300u, 310u, 600u})
+    A.set(X);
+  for (uint32_t X : {128u, 255u, 300u, 311u, 449u, 700u})
+    B.set(X);
+  std::vector<uint32_t> ExpectedNew;
+  B.forEachDiff(A, [&](uint32_t Bit) { ExpectedNew.push_back(Bit); });
+  SparseBitVector Expected = A;
+  Expected.unionWith(B);
+
+  SparseBitVector Delta;
+  EXPECT_TRUE(A.unionWithDelta(B, Delta));
+  EXPECT_TRUE(A == Expected);
+  EXPECT_EQ(toVector(Delta), ExpectedNew)
+      << "delta must hold exactly B \\ A(before)";
+
+  // Re-union: nothing new, delta untouched.
+  EXPECT_FALSE(A.unionWithDelta(B, Delta));
+  EXPECT_EQ(toVector(Delta), ExpectedNew);
+
+  // Accumulation: a second source ORs its new bits on top of the
+  // existing delta contents (including into an already-present element).
+  SparseBitVector C;
+  C.set(1);   // Element 0: A already has bit 0, delta gains 1.
+  C.set(310); // Already in A: must NOT re-enter the delta.
+  C.set(9000);
+  EXPECT_TRUE(A.unionWithDelta(C, Delta));
+  std::vector<uint32_t> ExpectedAccum = ExpectedNew;
+  ExpectedAccum.push_back(1);
+  ExpectedAccum.push_back(9000);
+  std::sort(ExpectedAccum.begin(), ExpectedAccum.end());
+  EXPECT_EQ(toVector(Delta), ExpectedAccum);
+
+  // Self-union and empty RHS: no change, delta untouched.
+  EXPECT_FALSE(A.unionWithDelta(A, Delta));
+  EXPECT_FALSE(A.unionWithDelta(SparseBitVector(), Delta));
+  EXPECT_EQ(toVector(Delta), ExpectedAccum);
+
+  // Empty LHS: everything is new.
+  SparseBitVector Fresh, FreshDelta;
+  EXPECT_TRUE(Fresh.unionWithDelta(B, FreshDelta));
+  EXPECT_TRUE(Fresh == B);
+  EXPECT_TRUE(FreshDelta == B);
+}
+
+TEST(SparseBitVector, UnionWithDeltaMatchesOracleRandomized) {
+  for (uint64_t Seed = 1; Seed != 13; ++Seed) {
+    Rng R(Seed * 977);
+    SparseBitVector A, B, Delta;
+    std::set<uint32_t> SA, SB, SD;
+    uint32_t Base = 0;
+    for (int I = 0; I != 300; ++I) {
+      if (R.nextBelow(16) == 0)
+        Base = static_cast<uint32_t>(R.nextBelow(1u << 20));
+      uint32_t X = Base + static_cast<uint32_t>(R.nextBelow(260));
+      switch (R.nextBelow(4)) {
+      case 0:
+        A.set(X);
+        SA.insert(X);
+        break;
+      case 1:
+        B.set(X);
+        SB.insert(X);
+        break;
+      case 2: // Shared bits.
+        A.set(X);
+        SA.insert(X);
+        B.set(X);
+        SB.insert(X);
+        break;
+      default: // Pre-existing delta contents that must survive the merge.
+        Delta.set(X);
+        SD.insert(X);
+        break;
+      }
+    }
+    // Oracle: destination becomes A ∪ B; delta gains B \ A.
+    std::set<uint32_t> SU = SA;
+    SU.insert(SB.begin(), SB.end());
+    std::set<uint32_t> SDAfter = SD;
+    bool OracleChanged = false;
+    for (uint32_t X : SB)
+      if (!SA.count(X)) {
+        SDAfter.insert(X);
+        OracleChanged = true;
+      }
+
+    EXPECT_EQ(A.unionWithDelta(B, Delta), OracleChanged) << "seed " << Seed;
+    EXPECT_EQ(toVector(A), std::vector<uint32_t>(SU.begin(), SU.end()))
+        << "seed " << Seed;
+    EXPECT_EQ(toVector(Delta),
+              std::vector<uint32_t>(SDAfter.begin(), SDAfter.end()))
+        << "seed " << Seed;
+  }
+}
+
+TEST(SparseBitVector, ContentHashAgreesWithEquality) {
+  SparseBitVector A, B;
+  for (uint32_t X : {5u, 64u, 129u, 4096u}) {
+    A.set(X);
+    B.set(X);
+  }
+  EXPECT_EQ(A.contentHash(), B.contentHash());
+  B.set(130);
+  EXPECT_NE(A.contentHash(), B.contentHash());
+  B.reset(130);
+  EXPECT_EQ(A.contentHash(), B.contentHash());
+  EXPECT_EQ(SparseBitVector().contentHash(),
+            SparseBitVector().contentHash());
+}
+
+// --- Arena-backed element allocation -------------------------------------
+
+TEST(SparseBitVector, ArenaBoundSetsBehaveIdentically) {
+  ElementArena Arena(SparseBitVector::elementBytes());
+  SparseBitVector V;
+  V.setArena(&Arena);
+  SparseBitVector Plain;
+  Rng R(99);
+  for (int I = 0; I != 500; ++I) {
+    uint32_t X = static_cast<uint32_t>(R.nextBelow(4096));
+    V.set(X);
+    Plain.set(X);
+  }
+  EXPECT_TRUE(V == Plain);
+  EXPECT_GT(Arena.liveBlocks(), 0u);
+  EXPECT_GE(Arena.reservedBytes(),
+            Arena.liveBlocks() * SparseBitVector::elementBytes());
+  V.clear();
+  EXPECT_EQ(Arena.liveBlocks(), 0u) << "clear() returns blocks to the arena";
+  // Freed blocks are recycled, not re-reserved.
+  uint64_t Reserved = Arena.reservedBytes();
+  V.set(7);
+  V.set(700);
+  EXPECT_EQ(Arena.reservedBytes(), Reserved);
+}
+
+TEST(SparseBitVector, CrossArenaMoveAssignCopies) {
+  ElementArena A1(SparseBitVector::elementBytes());
+  ElementArena A2(SparseBitVector::elementBytes());
+  SparseBitVector X, Y;
+  X.setArena(&A1);
+  Y.setArena(&A2);
+  for (uint32_t Bit : {1u, 200u, 4000u})
+    X.set(Bit);
+  SparseBitVector Expected = X;
+  Y = std::move(X);
+  EXPECT_TRUE(Y == Expected);
+  EXPECT_TRUE(X.empty()); // NOLINT: moved-from is specified empty here.
+  EXPECT_EQ(Y.arena(), &A2) << "cross-arena move must not migrate elements";
+  // Same-arena move steals the list wholesale.
+  SparseBitVector Z;
+  Z.setArena(&A2);
+  Z = std::move(Y);
+  EXPECT_TRUE(Z == Expected);
+  // Move construction transfers the arena binding with the elements.
+  SparseBitVector W(std::move(Z));
+  EXPECT_EQ(W.arena(), &A2);
+  EXPECT_TRUE(W == Expected);
+}
 
 } // namespace

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf guardrail over BENCH_solvers.json.
+
+Compares the LCD-family bitmap wall times (the paper's headline solvers,
+and the ones the memory-kernel work optimizes) of a fresh bench run
+against the checked-in baseline, and fails when any suite regresses
+beyond the tolerance.
+
+Usage:
+    check_perf.py <bench.json> <baseline.json>            # gate
+    check_perf.py <bench.json> <baseline.json> --write-baseline
+
+The gate compares each (suite, kind) row present in the baseline; rows
+missing from the fresh run fail (a renamed suite must refresh the
+baseline). Tolerance is 25% by default and can be loosened for noisy
+runners via the AG_PERF_TOLERANCE environment variable (e.g. 0.5 allows
++50%). CI also honors a `[skip-perf-guard]` commit-message tag to skip
+the step entirely -- see .github/workflows/ci.yml.
+
+--write-baseline regenerates <baseline.json> from <bench.json> (run the
+bench at the SAME fixed scale the CI step uses). Refresh it whenever a
+deliberate perf trade-off or a runner change shifts the numbers.
+"""
+
+import json
+import os
+import sys
+
+GUARDED_KINDS = ("LCD", "LCD+HCD")
+DEFAULT_TOLERANCE = 0.25
+
+
+def rows(bench):
+    out = {}
+    for r in bench.get("solvers", []):
+        if r["kind"] in GUARDED_KINDS:
+            out[(r["suite"], r["kind"])] = float(r["wall_ms"])
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    bench_path, baseline_path = argv[1], argv[2]
+    with open(bench_path) as f:
+        bench = rows(json.load(f))
+    if not bench:
+        print("error: %s has no LCD-family solver rows" % bench_path)
+        return 1
+
+    if "--write-baseline" in argv[3:]:
+        doc = {
+            "comment": "Perf-guardrail baseline (tools/check_perf.py). "
+                       "min-of-3 wall_ms per LCD-family bitmap run; "
+                       "regenerate with --write-baseline at the scale "
+                       "the CI step runs.",
+            "rows": [
+                {"suite": s, "kind": k, "wall_ms": ms}
+                for (s, k), ms in sorted(bench.items())
+            ],
+        }
+        with open(baseline_path, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print("wrote %s (%d rows)" % (baseline_path, len(bench)))
+        return 0
+
+    with open(baseline_path) as f:
+        baseline = {
+            (r["suite"], r["kind"]): float(r["wall_ms"])
+            for r in json.load(f)["rows"]
+        }
+    tolerance = float(os.environ.get("AG_PERF_TOLERANCE", DEFAULT_TOLERANCE))
+
+    failed = []
+    for (suite, kind), base_ms in sorted(baseline.items()):
+        cur_ms = bench.get((suite, kind))
+        if cur_ms is None:
+            print("%-14s %-8s MISSING from bench output" % (suite, kind))
+            failed.append((suite, kind))
+            continue
+        delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
+        verdict = "ok"
+        if delta > tolerance:
+            verdict = "REGRESSED"
+            failed.append((suite, kind))
+        print("%-14s %-8s base %8.2f ms  now %8.2f ms  %+6.1f%%  %s"
+              % (suite, kind, base_ms, cur_ms, 100 * delta, verdict))
+
+    if failed:
+        print("\nperf guardrail FAILED (> %.0f%% over baseline): %s"
+              % (100 * tolerance,
+                 ", ".join("%s/%s" % f for f in failed)))
+        print("If the slowdown is intended, refresh the baseline with "
+              "--write-baseline, or loosen AG_PERF_TOLERANCE / use the "
+              "[skip-perf-guard] commit tag for a one-off.")
+        return 1
+    print("\nperf guardrail ok (tolerance %.0f%%)" % (100 * tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
