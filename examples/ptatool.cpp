@@ -14,10 +14,15 @@
 ///                                        <suite>.base.cons/<suite>.delta.cons
 ///   ptatool gen-c <file.c> <out.cons>    constraints from mini-C source
 ///   ptatool solve <file.cons> [algo]     solve and print summary stats
-///   ptatool query <file.cons> <v> <w>    may-alias query by node name
+///   ptatool query <file.cons> ...        one demand-driven query, no full
+///                                        solve: <a> <b> (may-alias),
+///                                        --pts <v>, or --pointed-by <o>
 ///   ptatool snapshot <file.cons> <out.snap> [algo]
 ///                                        solve and persist the solution
-///   ptatool serve <file.snap|dir>        line-protocol query REPL on stdin
+///   ptatool serve <file.snap|dir|file.cons>
+///                                        line-protocol query REPL on stdin;
+///                                        a .cons input serves demand-first
+///                                        with no solve up front
 ///   ptatool resolve <file.snap> <delta.cons>
 ///                                        warm-start re-solve with a delta
 ///   ptatool check <file.cons|file.snap> [algo]
@@ -58,6 +63,7 @@
 #include "check/Differential.h"
 #include "check/SolutionChecker.h"
 #include "constraints/OfflineVariableSubstitution.h"
+#include "demand/DemandTier.h"
 #include "frontend/ConstraintGen.h"
 #include "obs/FlightRecorder.h"
 #include "obs/MetricsRegistry.h"
@@ -125,7 +131,10 @@ int usage() {
                "               [--threads <n>] [--trace-out=<file>]\n"
                "               [--metrics-out=<file>] "
                "[--metrics-interval-ms=<n>]\n"
-               "       ptatool query <file.cons> <name1> <name2>\n"
+               "       ptatool query <file.cons> <a> <b> | --pts <v> | "
+               "--pointed-by <o>\n"
+               "               [algo] [budget flags]   (demand-driven; no "
+               "full solve)\n"
                "       ptatool snapshot <file.cons> <out.snap|dir> [algo] "
                "[budget flags] [--keep <n>]\n"
                "       ptatool serve <file.snap|dir> [--max-queue <n>] "
@@ -141,7 +150,11 @@ int usage() {
                "              --threads <n> --stall-timeout <s> "
                "--inject-fault <site>:<n>\n"
                "solve/snapshot/resolve exit codes: 0 precise, 1 error, "
-               "2 usage, 3 fallback, 4 partial, 5 stalled\n");
+               "2 usage, 3 fallback, 4 partial, 5 stalled\n"
+               "query exit codes: 0 demand/precise, 1 error, 2 usage, "
+               "3 escalated to fallback,\n"
+               "                  4 budget tripped with --no-fallback, "
+               "5 stalled\n");
   return ExitUsage;
 }
 
@@ -591,33 +604,106 @@ int cmdSolve(int Argc, char **Argv) {
   return outcomeExit(R.Outcome, R.St);
 }
 
+/// `ptatool query`: answer one query through the demand tier — no full
+/// solve up front. Deduction runs under the budget flags (as the
+/// per-query budget); a trip escalates to one governed exhaustive solve
+/// under the same budget with the Steensgaard fallback allowed, so the
+/// answer stays sound and the exit code reports how it was reached:
+/// 0 demand/precise, 3 escalated to fallback, 4 budget tripped with
+/// --no-fallback (no sound answer; nothing printed), 5 stalled.
 int cmdQuery(int Argc, char **Argv) {
   if (Argc < 5)
     return usage();
   ConstraintSystem CS;
   if (!loadSystem(Argv[2], CS))
-    return 1;
+    return ExitError;
+
+  enum class Mode { Alias, Pts, PointedBy };
+  Mode M = Mode::Alias;
+  std::string RefA = Argv[3], RefB;
+  if (RefA == "--pts") {
+    M = Mode::Pts;
+    RefA = Argv[4];
+  } else if (RefA == "--pointed-by") {
+    M = Mode::PointedBy;
+    RefA = Argv[4];
+  } else {
+    RefB = Argv[4];
+  }
+
+  SolveFlags F;
+  if (int Rc = parseSolveFlags(Argc, Argv, 5, /*AllowKind=*/true, F))
+    return Rc;
+  ObsSession Obs(F);
+
+  auto Resolve = [&CS](const std::string &Tok, NodeId &Out) {
+    if (!Tok.empty() &&
+        Tok.find_first_not_of("0123456789") == std::string::npos) {
+      errno = 0;
+      uint64_t Raw = std::strtoull(Tok.c_str(), nullptr, 10);
+      if (errno != ERANGE && Raw < CS.numNodes()) {
+        Out = static_cast<NodeId>(Raw);
+        return true;
+      }
+    }
+    for (NodeId V = 0; V != CS.numNodes(); ++V)
+      if (CS.nameOf(V) == Tok) {
+        Out = V;
+        return true;
+      }
+    std::fprintf(stderr, "error: unknown node '%s'\n", Tok.c_str());
+    return false;
+  };
   NodeId A = InvalidNode, B = InvalidNode;
-  for (NodeId V = 0; V != CS.numNodes(); ++V) {
-    if (CS.nameOf(V) == Argv[3])
-      A = V;
-    if (CS.nameOf(V) == Argv[4])
-      B = V;
+  if (!Resolve(RefA, A))
+    return ExitError;
+  if (M == Mode::Alias && !Resolve(RefB, B))
+    return ExitError;
+
+  DemandTier::Options TO;
+  TO.QueryBudget = F.Budget;
+  // The escalation runs under the same ceilings with fallback allowed:
+  // the budget stays a real bound on total work, and a tripped
+  // escalation still lands the sound Steensgaard answer (exit 3).
+  TO.EscalationBudget = F.Budget;
+  TO.EscalationBudget.AllowFallback = true;
+  TO.EscalationKind = F.Kind;
+  TO.EscalationOpts = F.Opts;
+  TO.AllowEscalation = F.Budget.AllowFallback;
+  DemandTier Tier(std::move(CS), TO);
+
+  Status St;
+  if (M == Mode::Alias) {
+    bool Verdict = false;
+    St = Tier.alias(A, B, Verdict);
+    if (St.ok())
+      std::printf("alias(%s, %s) = %s\n", RefA.c_str(), RefB.c_str(),
+                  Verdict ? "yes" : "no");
+  } else {
+    DemandTier::IdList List;
+    St = M == Mode::Pts ? Tier.pointsTo(A, List) : Tier.pointedBy(A, List);
+    if (St.ok()) {
+      std::printf("%s(%s):", M == Mode::Pts ? "pts" : "pointedby",
+                  RefA.c_str());
+      for (NodeId V : *List)
+        std::printf(" %u", V);
+      std::printf("\n|%s| = %zu\n", M == Mode::Pts ? "pts" : "pointedby",
+                  List->size());
+    }
   }
-  if (A == InvalidNode || B == InvalidNode) {
-    std::fprintf(stderr, "error: unknown node name '%s'\n",
-                 A == InvalidNode ? Argv[3] : Argv[4]);
-    return 1;
+  if (!St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    if (St.code() == StatusCode::Stalled)
+      return ExitStalled;
+    return St.isBudgetTrip() ? ExitPartial : ExitError;
   }
-  OvsResult Ovs = runOfflineVariableSubstitution(CS);
-  PointsToSolution Sol = solve(Ovs.Reduced, SolverKind::LCDHCD,
-                               PtsRepr::Bitmap, nullptr, SolverOptions(),
-                               &Ovs.Rep);
-  std::printf("mayAlias(%s, %s) = %s\n", Argv[3], Argv[4],
-              Sol.mayAlias(A, B) ? "yes" : "no");
-  std::printf("|pts(%s)| = %zu, |pts(%s)| = %zu\n", Argv[3],
-              Sol.pointsTo(A).count(), Argv[4], Sol.pointsTo(B).count());
-  return 0;
+  std::printf("answered by: %s (memo %llu classes)\n",
+              Tier.escalated() ? "escalated exhaustive solve" : "demand",
+              static_cast<unsigned long long>(Tier.memoCompleteCount()));
+  return Tier.escalated() &&
+                 Tier.escalationOutcome() == SolveOutcome::Fallback
+             ? ExitFallback
+             : ExitPrecise;
 }
 
 int cmdSnapshot(int Argc, char **Argv) {
@@ -702,6 +788,8 @@ int cmdServe(int Argc, char **Argv) {
   obs::setMetricsEnabled(true);
 
   Snapshot Snap;
+  bool DemandMode = false;
+  ConstraintSystem DemandCS;
   if (SnapshotStore::isDirectory(Argv[2])) {
     // Directory target: recover the newest durable generation, skipping
     // torn or corrupt files from interrupted writes.
@@ -717,8 +805,15 @@ int cmdServe(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Info.Generation),
                  Info.CorruptSkipped, Info.TempsRemoved);
   } else if (Status St = readSnapshotFile(Argv[2], Snap); !St.ok()) {
-    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
-    return ExitError;
+    // Not a snapshot: sniff a constraint file and serve it demand-first
+    // (no solve up front; queries deduce what they need).
+    std::string ConsError;
+    if (ConstraintSystem::readFromFile(Argv[2], DemandCS, ConsError)) {
+      DemandMode = true;
+    } else {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return ExitError;
+    }
   }
 
   ServeOptions SO;
@@ -728,6 +823,11 @@ int cmdServe(int Argc, char **Argv) {
   SO.ResolveOpts = F.Opts;
   SO.ResolveAttempts = static_cast<unsigned>(F.ResolveAttempts);
   SO.ResolveBackoff = F.ResolveBackoff;
+  if (DemandMode) {
+    SO.QueryBudget = F.Budget;
+    ServeSession Session(std::move(DemandCS), SO);
+    return Session.run(std::cin, std::cout);
+  }
   ServeSession Session(std::move(Snap), SO);
   return Session.run(std::cin, std::cout);
 }

@@ -42,6 +42,12 @@ constexpr const char *CounterNames[] = {
     "serve.warm_starts",
     "solver.interned_hits",
     "solver.interned_misses",
+    "demand.queries",
+    "demand.memo_hits",
+    "demand.memo_misses",
+    "demand.steps",
+    "demand.escalations",
+    "demand.invalidations",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   unsigned(Counter::NumCounters),
@@ -66,6 +72,7 @@ constexpr const char *HistNames[] = {
     "solver.cycle_size",
     "solver.worklist_depth",
     "serve.query_batch",
+    "demand.frontier",
 };
 static_assert(sizeof(HistNames) / sizeof(HistNames[0]) ==
                   unsigned(Hist::NumHists),
@@ -93,6 +100,10 @@ bool ag::obs::counterIsSchedulingInvariant(Counter C) {
   case Counter::ServeWarmStarts:
   case Counter::BddCacheHits:   // BDD runs are single-threaded.
   case Counter::BddCacheMisses:
+  // The number of demand queries issued is fixed by the workload; what
+  // each one costs (memo hits, steps, escalations) depends on the order
+  // concurrent queries warmed the memo, so those stay variant.
+  case Counter::DemandQueries:
     return true;
   // Propagation totals, search visits, trigger probes, pop counts, round
   // counts and trip counts all depend on which interleaving the workers
@@ -176,7 +187,7 @@ std::string MetricsRegistry::renderJson(bool Compact) const {
   std::string Out = "{";
   Out += Nl;
   Out += In1;
-  Out += "\"schema\": \"ag.metrics.v2\",";
+  Out += "\"schema\": \"ag.metrics.v3\",";
   Out += Nl;
 
   Out += In1;

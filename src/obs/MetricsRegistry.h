@@ -15,11 +15,12 @@
 /// rates.
 ///
 /// Rendering is deterministic: renderJson() emits every counter, gauge and
-/// histogram in enum order with a schema tag ("ag.metrics.v2"), so two runs
+/// histogram in enum order with a schema tag ("ag.metrics.v3"), so two runs
 /// at the same seed produce bit-identical files and CI can validate the
 /// key set against tests/metrics_schema.json (schema stability rules in
 /// DESIGN.md §11; v1 -> v2 added the set-interning counters and the
-/// arena gauges).
+/// arena gauges; v2 -> v3 added the demand.* counters and the demand
+/// frontier histogram).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,6 +70,12 @@ enum class Counter : unsigned {
   SolverInternedHits,   ///< Extracted sets deduplicated onto a canonical
                         ///< set (hash-consing hits).
   SolverInternedMisses, ///< Extracted sets that became a new canonical set.
+  DemandQueries,        ///< Queries answered by the demand tier.
+  DemandMemoHits,       ///< Demand queries answered from the certified memo.
+  DemandMemoMisses,     ///< Demand queries that ran a deduction fixpoint.
+  DemandSteps,          ///< Deduction steps charged by the demand solver.
+  DemandEscalations,    ///< Demand queries escalated to an exhaustive solve.
+  DemandInvalidations,  ///< Memo entries invalidated by constraint deltas.
   NumCounters,
 };
 
@@ -90,6 +97,7 @@ enum class Hist : unsigned {
   CycleSize,     ///< Members per collapsed SCC (size >= 2).
   WorklistDepth, ///< Worklist depth sampled every 1024 pops / per round.
   QueryBatch,    ///< aliasBatch sizes.
+  DemandFrontier, ///< Demanded nodes per demand-solver fixpoint.
   NumHists,
 };
 

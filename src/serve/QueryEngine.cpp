@@ -6,6 +6,7 @@
 
 #include "serve/QueryEngine.h"
 
+#include "demand/DemandTier.h"
 #include "obs/MetricsRegistry.h"
 #include "obs/TraceRecorder.h"
 
@@ -53,6 +54,15 @@ QueryEngine::IdList QueryEngine::pointsTo(NodeId V) {
     return *Hit;
   }
   obs::count(obs::Counter::ServeLruMisses);
+  // Demand memo first: a certified class answers bit-equal to the
+  // snapshot without touching the solution at all.
+  if (DemandMemo) {
+    IdList Memo;
+    if (DemandMemo->tryMemoPointsTo(V, Memo)) {
+      ListCache.put(Key, Memo);
+      return Memo;
+    }
+  }
   auto Result = std::make_shared<const std::vector<NodeId>>(
       Snap.Solution.pointsToVector(V));
   ListCache.put(Key, Result);
@@ -72,6 +82,13 @@ bool QueryEngine::alias(NodeId P, NodeId Q) {
     return *Hit;
   }
   obs::count(obs::Counter::ServeLruMisses);
+  if (DemandMemo) {
+    bool Memo;
+    if (DemandMemo->tryMemoAlias(P, Q, Memo)) {
+      AliasCache.put(Key, Memo);
+      return Memo;
+    }
+  }
   bool Result = Snap.Solution.mayAlias(P, Q);
   AliasCache.put(Key, Result);
   return Result;
@@ -87,37 +104,57 @@ QueryEngine::aliasBatch(const std::vector<std::pair<NodeId, NodeId>> &Pairs) {
   return Out;
 }
 
-void QueryEngine::buildReverseIndex() {
+void QueryEngine::buildReverseIndex(SolveGovernor *Gov) {
   const uint32_t N = numNodes();
-  ReverseIndex.resize(N);
-  ClassMembers.resize(N);
+  // Build into temporaries: a budget trip mid-scan must leave no
+  // half-built index behind (the next query rebuilds from scratch).
+  std::vector<std::vector<NodeId>> Reverse(N);
+  std::vector<std::vector<NodeId>> Members(N);
   // Ascending scans keep every per-object rep list and per-rep member
   // list sorted without a sort pass.
   for (NodeId V = 0; V != N; ++V)
-    ClassMembers[Snap.Solution.repOf(V)].push_back(V);
+    Members[Snap.Solution.repOf(V)].push_back(V);
   for (NodeId R = 0; R != N; ++R) {
     if (Snap.Solution.repOf(R) != R)
       continue;
-    for (uint32_t Obj : Snap.Solution.pointsTo(R))
-      ReverseIndex[Obj].push_back(R);
+    if (Gov)
+      Gov->onStep();
+    for (uint32_t Obj : Snap.Solution.pointsTo(R)) {
+      if (Gov)
+        Gov->onStep();
+      Reverse[Obj].push_back(R);
+    }
   }
+  ReverseIndex = std::move(Reverse);
+  ClassMembers = std::move(Members);
+  ReverseBuilt = true;
 }
 
-QueryEngine::IdList QueryEngine::pointedBy(NodeId Obj) {
+Status QueryEngine::pointedBy(NodeId Obj, IdList &Out, SolveGovernor *Gov) {
   assert(validNode(Obj) && "query for unknown node");
   obs::TraceSpan Span("query.pointed_by", "serve");
   obs::count(obs::Counter::ServeQueries);
   uint64_t Key = listKey(TagPointedBy, Obj);
   if (auto Hit = ListCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
-    return *Hit;
+    Out = *Hit;
+    return Status::okStatus();
   }
   obs::count(obs::Counter::ServeLruMisses);
-  std::call_once(ReverseOnce, [this] { buildReverseIndex(); });
   std::vector<NodeId> Pointers;
-  for (NodeId R : ReverseIndex[Obj])
-    Pointers.insert(Pointers.end(), ClassMembers[R].begin(),
-                    ClassMembers[R].end());
+  {
+    std::lock_guard<std::mutex> Lock(ReverseMu);
+    if (!ReverseBuilt) {
+      try {
+        buildReverseIndex(Gov);
+      } catch (const BudgetExceededError &E) {
+        return E.status();
+      }
+    }
+    for (NodeId R : ReverseIndex[Obj])
+      Pointers.insert(Pointers.end(), ClassMembers[R].begin(),
+                      ClassMembers[R].end());
+  }
   // Rep lists ascend and member lists ascend, but members of a later rep
   // may have smaller ids (the survivor of a merge can outrank members of
   // another class): one sort restores the global order clients expect.
@@ -125,7 +162,8 @@ QueryEngine::IdList QueryEngine::pointedBy(NodeId Obj) {
   auto Result =
       std::make_shared<const std::vector<NodeId>>(std::move(Pointers));
   ListCache.put(Key, Result);
-  return Result;
+  Out = std::move(Result);
+  return Status::okStatus();
 }
 
 QueryEngine::IdList QueryEngine::callees(NodeId V) {

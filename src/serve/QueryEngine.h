@@ -27,6 +27,8 @@
 #define AG_SERVE_QUERYENGINE_H
 
 #include "adt/LruCache.h"
+#include "adt/Status.h"
+#include "core/SolveBudget.h"
 #include "serve/Snapshot.h"
 
 #include <memory>
@@ -35,6 +37,8 @@
 #include <vector>
 
 namespace ag {
+
+class DemandTier;
 
 /// Query front-end over one snapshot. Thread-compatible: concurrent
 /// queries are safe (caches shard their locks; lazy indexes build under
@@ -63,6 +67,16 @@ public:
   /// require valid ids; the REPL validates before calling.
   bool validNode(NodeId V) const { return V < numNodes(); }
 
+  /// Attaches the demand tier whose certified memo is consulted *before*
+  /// the snapshot solution on pointsTo/alias. The tier only answers for
+  /// classes it has certified complete (bit-equal to the exhaustive
+  /// solution by construction) and stops answering once it has escalated,
+  /// so attaching never changes a query's result — only where the bits
+  /// come from. Call before sharing the engine across threads.
+  void attachDemandMemo(std::shared_ptr<DemandTier> Tier) {
+    DemandMemo = std::move(Tier);
+  }
+
   /// Sorted points-to set of \p V.
   IdList pointsTo(NodeId V);
 
@@ -75,8 +89,12 @@ public:
   aliasBatch(const std::vector<std::pair<NodeId, NodeId>> &Pairs);
 
   /// Sorted list of nodes that may point to object \p Obj (the reverse
-  /// index, built lazily on first use).
-  IdList pointedBy(NodeId Obj);
+  /// index, built lazily on first use). The index build scans every
+  /// representative's solution set; \p Gov (if given) is charged one step
+  /// per representative and per set element, and a budget trip surfaces
+  /// as a structured Status with no index committed — the next call
+  /// retries the build from scratch under its own budget.
+  Status pointedBy(NodeId Obj, IdList &Out, SolveGovernor *Gov = nullptr);
 
   /// Function objects \p V may target through an indirect call —
   /// pts(V) filtered to functions.
@@ -98,7 +116,10 @@ private:
     return (uint64_t(Tag) << 32) | Id;
   }
 
-  void buildReverseIndex();
+  /// Builds the reverse index into local temporaries, charging \p Gov,
+  /// and commits only on success. Caller holds ReverseMu. Throws
+  /// BudgetExceededError on a trip (nothing committed).
+  void buildReverseIndex(SolveGovernor *Gov);
   void buildCallGraph();
   void buildCanonIds();
 
@@ -113,7 +134,14 @@ private:
   ShardedLruCache<uint64_t, IdList> ListCache;
   ShardedLruCache<uint64_t, bool> AliasCache;
 
-  std::once_flag ReverseOnce;
+  /// First tier for pointsTo/alias when attached (see attachDemandMemo).
+  std::shared_ptr<DemandTier> DemandMemo;
+
+  /// Guards the lazy reverse-index build. A once-flag would latch a
+  /// tripped (abandoned) build forever; a mutex + committed flag lets
+  /// the next query retry under its own budget.
+  std::mutex ReverseMu;
+  bool ReverseBuilt = false;
   /// Per object-id: the representatives whose sets contain it
   /// (ascending). Expanded to class members per query.
   std::vector<std::vector<NodeId>> ReverseIndex;

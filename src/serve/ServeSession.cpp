@@ -75,7 +75,39 @@ ServeSession::ServeSession(Snapshot Snap, ServeOptions O) : Opts(O) {
   rebuildNames();
 }
 
+ServeSession::ServeSession(ConstraintSystem System, ServeOptions O) : Opts(O) {
+  DemandTier::Options TO;
+  TO.QueryBudget = O.QueryBudget;
+  TO.EscalationKind = O.EscalationKind;
+  TO.EscalationOpts = O.ResolveOpts;
+  Tier = std::make_shared<DemandTier>(std::move(System), TO);
+  rebuildNames();
+}
+
 ServeSession::~ServeSession() = default;
+
+const ConstraintSystem &ServeSession::servedSystem() const {
+  return Engine ? Engine->snapshot().CS : Tier->system();
+}
+
+Status ServeSession::materializeEngine() {
+  if (Engine)
+    return Status::okStatus();
+  if (Status St = Tier->escalateNow(); !St.ok())
+    return St;
+  Snapshot FS;
+  FS.CS = Tier->system();
+  FS.Solution = *Tier->escalationSolution();
+  FS.Kind = Tier->escalationKind();
+  FS.Repr = PtsRepr::Bitmap;
+  FS.Outcome = Tier->escalationOutcome();
+  FS.Sound = true;
+  Engine = std::make_unique<QueryEngine>(std::move(FS));
+  // Certified demand classes keep answering pointsTo/alias ahead of the
+  // snapshot solution.
+  Engine->attachDemandMemo(Tier);
+  return Status::okStatus();
+}
 
 ServeCounters ServeSession::counters() const {
   ServeCounters S;
@@ -93,7 +125,7 @@ void ServeSession::rebuildNames() {
   // First occurrence wins; interior slots have generated names like
   // "a[1]" and resolve too.
   Names.clear();
-  const ConstraintSystem &CS = Engine->snapshot().CS;
+  const ConstraintSystem &CS = servedSystem();
   for (NodeId V = 0; V != CS.numNodes(); ++V) {
     const std::string &Name = CS.nameOf(V);
     if (!Name.empty())
@@ -103,7 +135,7 @@ void ServeSession::rebuildNames() {
 
 bool ServeSession::resolveNodeRef(const std::string &Tok, std::ostream &Out,
                                   NodeId &Id) const {
-  const ConstraintSystem &CS = Engine->snapshot().CS;
+  const ConstraintSystem &CS = servedSystem();
   if (!Tok.empty() &&
       Tok.find_first_not_of("0123456789") == std::string::npos) {
     errno = 0;
@@ -133,6 +165,13 @@ void printIdList(std::ostream &Out, const char *What, const std::string &Ref,
 } // namespace
 
 void ServeSession::cmdCheck(std::ostream &Out) {
+  if (Tier && !Engine) {
+    // Certifying needs the whole solution: escalate and check that.
+    if (Status St = materializeEngine(); !St.ok()) {
+      Out << "error: " << St.toString() << "\n";
+      return;
+    }
+  }
   const Snapshot &Snap = Engine->snapshot();
   if (Snap.Outcome == SolveOutcome::Partial) {
     // A partial solution is not a fixed point by construction; say so
@@ -145,6 +184,28 @@ void ServeSession::cmdCheck(std::ostream &Out) {
 }
 
 void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
+  if (Tier) {
+    // Demand mode: fold the delta into the tier (invalidates touched
+    // memo entries) and return to the demand path — any materialized
+    // snapshot no longer matches the system.
+    ConstraintSystem DeltaCS;
+    if (Status St = ConstraintSystem::loadFromFile(Path, DeltaCS); !St.ok()) {
+      Out << "error: " << St.toString() << "\n";
+      return;
+    }
+    size_t Before = Tier->system().constraints().size();
+    if (Status St = Tier->resolveDelta(DeltaCS); !St.ok()) {
+      Out << "error: " << St.toString() << "\n";
+      return;
+    }
+    Engine.reset();
+    rebuildNames();
+    Out << "resolved: demand delta adopted, new constraints "
+        << (Tier->system().constraints().size() - Before) << ", nodes "
+        << Tier->numNodes() << ", memo retained "
+        << Tier->memoCompleteCount() << " classes\n";
+    return;
+  }
   if (!Inc) {
     Out << "error: resolve requires a precise snapshot\n";
     return;
@@ -225,9 +286,12 @@ void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
 }
 
 void ServeSession::cmdStats(std::ostream &Out) {
-  CacheStats S = Engine->cacheStats();
+  CacheStats S = Engine ? Engine->cacheStats() : Tier->cacheStats();
   Out << "stats: hits " << S.Hits << " misses " << S.Misses << " evictions "
       << S.Evictions << " entries " << S.Entries << "\n";
+  if (Tier)
+    Out << "demand: memo_complete " << Tier->memoCompleteCount()
+        << " escalated " << (Tier->escalated() ? "yes" : "no") << "\n";
   ServeCounters SC = counters();
   Out << "serve: requests " << SC.Requests << " admitted " << SC.Admitted
       << " shed " << SC.Shed << " deadline " << SC.DeadlineDropped
@@ -254,7 +318,7 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     return true; // A failed request never kills the session.
   }
 
-  const ConstraintSystem &CS = Engine->snapshot().CS;
+  const ConstraintSystem &CS = servedSystem();
 
   if (Cmd == "quit")
     return false;
@@ -277,6 +341,13 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     return true;
   }
   if (Cmd == "callgraph") {
+    if (Tier && !Engine) {
+      // The call graph reads every base's full set: whole-solution work.
+      if (Status St = materializeEngine(); !St.ok()) {
+        Out << "error: " << St.toString() << "\n";
+        return true;
+      }
+    }
     const auto &Edges = Engine->callGraph();
     Out << "callgraph: " << Edges.size() << " edges\n";
     for (const auto &[Base, Callee] : Edges)
@@ -322,11 +393,44 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     NodeId V = InvalidNode;
     if (!resolveNodeRef(Args[0], Out, V))
       return true;
+    if (Tier && !Engine) {
+      // Demand path: deduce just what the query needs; a budget trip
+      // escalates inside the tier, and only an unanswerable query (no
+      // sound solution landed) reports an error.
+      QueryEngine::IdList List;
+      Status St;
+      if (Cmd == "pts") {
+        St = Tier->pointsTo(V, List);
+      } else if (Cmd == "pointedby") {
+        St = Tier->pointedBy(V, List);
+      } else {
+        St = Tier->pointsTo(V, List);
+        if (St.ok()) {
+          std::vector<NodeId> Funs;
+          for (NodeId Obj : *List)
+            if (CS.isFunction(Obj))
+              Funs.push_back(Obj);
+          List = std::make_shared<const std::vector<NodeId>>(std::move(Funs));
+        }
+      }
+      if (!St.ok()) {
+        Out << "error: " << St.toString() << "\n";
+        return true;
+      }
+      printIdList(Out, Cmd.c_str(), Args[0], List);
+      return true;
+    }
     if (Cmd == "pts")
       printIdList(Out, "pts", Args[0], Engine->pointsTo(V));
-    else if (Cmd == "pointedby")
-      printIdList(Out, "pointedby", Args[0], Engine->pointedBy(V));
-    else
+    else if (Cmd == "pointedby") {
+      QueryEngine::IdList List;
+      SolveGovernor Gov(Opts.QueryBudget);
+      if (Status St = Engine->pointedBy(V, List, &Gov); !St.ok()) {
+        Out << "error: " << St.toString() << "\n";
+        return true;
+      }
+      printIdList(Out, "pointedby", Args[0], List);
+    } else
       printIdList(Out, "callees", Args[0], Engine->callees(V));
     return true;
   }
@@ -338,8 +442,17 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     NodeId P = InvalidNode, Q = InvalidNode;
     if (!resolveNodeRef(Args[0], Out, P) || !resolveNodeRef(Args[1], Out, Q))
       return true;
+    bool Verdict = false;
+    if (Tier && !Engine) {
+      if (Status St = Tier->alias(P, Q, Verdict); !St.ok()) {
+        Out << "error: " << St.toString() << "\n";
+        return true;
+      }
+    } else {
+      Verdict = Engine->alias(P, Q);
+    }
     Out << "alias(" << Args[0] << "," << Args[1] << ") = "
-        << (Engine->alias(P, Q) ? "yes" : "no") << "\n";
+        << (Verdict ? "yes" : "no") << "\n";
     return true;
   }
   if (Cmd == "aliasbatch") {
@@ -355,7 +468,20 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
         return true;
       Pairs.emplace_back(P, Q);
     }
-    std::vector<bool> Verdicts = Engine->aliasBatch(Pairs);
+    std::vector<bool> Verdicts;
+    if (Tier && !Engine) {
+      Verdicts.reserve(Pairs.size());
+      for (const auto &[P, Q] : Pairs) {
+        bool V = false;
+        if (Status St = Tier->alias(P, Q, V); !St.ok()) {
+          Out << "error: " << St.toString() << "\n";
+          return true;
+        }
+        Verdicts.push_back(V);
+      }
+    } else {
+      Verdicts = Engine->aliasBatch(Pairs);
+    }
     Out << "aliasbatch:";
     for (bool B : Verdicts)
       Out << " " << (B ? "yes" : "no");
@@ -368,9 +494,10 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
 }
 
 int ServeSession::run(std::istream &In, std::ostream &Out) {
-  Out << "serving " << Engine->numNodes() << " nodes, "
-      << Engine->snapshot().CS.constraints().size()
-      << " constraints (type 'help')\n";
+  const ConstraintSystem &CS = servedSystem();
+  Out << "serving " << CS.numNodes() << " nodes, "
+      << CS.constraints().size() << " constraints"
+      << (Tier ? " (demand mode)" : "") << " (type 'help')\n";
   Out.flush();
 
   if (Opts.QueueCapacity > 0)

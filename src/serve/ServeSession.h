@@ -42,6 +42,7 @@
 #define AG_SERVE_SERVESESSION_H
 
 #include "core/SolveBudget.h"
+#include "demand/DemandTier.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
 #include "serve/Snapshot.h"
@@ -87,6 +88,14 @@ struct ServeOptions {
 
   /// Budget multiplier between attempts (> 1).
   double ResolveBackoff = 4.0;
+
+  /// Demand mode only: per-query deduction budget (unlimited never
+  /// escalates; a finite budget escalates to one exhaustive solve when a
+  /// query's deduction trips it).
+  SolveBudget QueryBudget;
+
+  /// Demand mode only: solver kind for the escalation solve.
+  SolverKind EscalationKind = SolverKind::LCDHCD;
 };
 
 /// Monotonic per-session counters (exposed via the `stats` command).
@@ -100,10 +109,20 @@ struct ServeCounters {
   uint64_t InjectedFaults = 0;  ///< ServeRequest faults fired.
 };
 
-/// One serving session over a loaded snapshot (see file comment).
+/// One serving session over a loaded snapshot (see file comment), or —
+/// demand mode — over a raw constraint system with no solve up front:
+/// queries answer through a DemandTier (memoized demand deduction,
+/// escalation to one exhaustive solve on a budget trip), `resolve`
+/// folds deltas into the tier, and whole-solution commands (`callgraph`,
+/// `check`) force the escalation and materialize a QueryEngine over it
+/// with the demand memo attached as its first tier.
 class ServeSession {
 public:
   explicit ServeSession(Snapshot Snap, ServeOptions Opts = ServeOptions());
+
+  /// Demand mode: serve \p System without solving it first.
+  explicit ServeSession(ConstraintSystem System,
+                        ServeOptions Opts = ServeOptions());
   ~ServeSession();
 
   ServeSession(const ServeSession &) = delete;
@@ -121,21 +140,33 @@ public:
   ServeCounters counters() const;
 
   /// The snapshot currently being served (changes after a successful
-  /// `resolve`).
+  /// `resolve`). Snapshot mode only — demand mode has no snapshot until
+  /// a whole-solution command materializes one.
   const Snapshot &servingSnapshot() const { return Engine->snapshot(); }
+
+  /// Demand mode's tier (null in snapshot mode).
+  const DemandTier *demandTier() const { return Tier.get(); }
 
 private:
   void rebuildNames();
+  const ConstraintSystem &servedSystem() const;
   bool resolveNodeRef(const std::string &Tok, std::ostream &Out,
                       NodeId &Id) const;
+  /// Demand mode: forces the tier's escalation and builds Engine over
+  /// the exhaustive solution (idempotent). Snapshot mode: no-op ok.
+  Status materializeEngine();
   void cmdCheck(std::ostream &Out);
   void cmdResolve(const std::string &Path, std::ostream &Out);
   void cmdStats(std::ostream &Out);
   int runQueued(std::istream &In, std::ostream &Out);
 
   ServeOptions Opts;
-  /// Serves queries; rebuilt when `resolve` adopts a new solution.
+  /// Serves queries; rebuilt when `resolve` adopts a new solution. In
+  /// demand mode, null until a whole-solution command materializes it.
   std::unique_ptr<QueryEngine> Engine;
+  /// Demand mode's first tier (null in snapshot mode). Shared with the
+  /// materialized Engine as its attached memo.
+  std::shared_ptr<DemandTier> Tier;
   /// Warm-start base: always the newest *precise* snapshot (null when the
   /// session was started from a fallback snapshot).
   std::unique_ptr<IncrementalSolver> Inc;

@@ -325,7 +325,8 @@ TEST_F(ObsTest, QuerySpansMatchServeCounter) {
   for (NodeId V = 0; V != 20 && V != N; ++V) {
     (void)Engine.pointsTo(V);
     (void)Engine.alias(V, (V + 1) % N);
-    (void)Engine.pointedBy(V);
+    QueryEngine::IdList PB;
+    (void)Engine.pointedBy(V, PB);
   }
 
   size_t QuerySpans = 0;
@@ -360,7 +361,7 @@ TEST_F(ObsTest, MetricsJsonBitIdenticalSingleThreaded) {
     EXPECT_EQ(First, Second)
         << solverKindName(Kind) << " metrics not run-to-run identical";
     EXPECT_TRUE(isValidJson(First)) << solverKindName(Kind);
-    EXPECT_NE(First.find("\"ag.metrics.v2\""), std::string::npos);
+    EXPECT_NE(First.find("\"ag.metrics.v3\""), std::string::npos);
     // Compact rendering is the same document minus whitespace.
     std::string Compact = Reg.renderJson(/*Compact=*/true);
     EXPECT_TRUE(isValidJson(Compact));

@@ -73,7 +73,9 @@ TEST(QueryEngine, MatchesBruteForceOnGeneratedSystem) {
     for (NodeId V = 0; V != N; ++V)
       if (Expected.pointsToObj(V, Obj))
         Brute.push_back(V);
-    EXPECT_EQ(*Engine.pointedBy(Obj), Brute) << "pointedBy(" << Obj << ")";
+    QueryEngine::IdList PB;
+    ASSERT_TRUE(Engine.pointedBy(Obj, PB).ok());
+    EXPECT_EQ(*PB, Brute) << "pointedBy(" << Obj << ")";
   }
 }
 

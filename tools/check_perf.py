@@ -1,25 +1,35 @@
 #!/usr/bin/env python3
-"""Perf guardrail over BENCH_solvers.json.
+"""Perf guardrail over BENCH_solvers.json / BENCH_queries.json.
 
-Compares the LCD-family bitmap wall times (the paper's headline solvers,
-and the ones the memory-kernel work optimizes) of a fresh bench run
-against the checked-in baseline, and fails when any suite regresses
-beyond the tolerance.
+Compares a fresh bench run against the checked-in baseline and fails
+when any guarded row regresses beyond the tolerance. Guarded rows:
+
+* BENCH_solvers.json -- the LCD-family bitmap wall times (the paper's
+  headline solvers, and the ones the memory-kernel work optimizes).
+* BENCH_queries.json -- the demand tier's first-answer latencies per
+  suite: best targeted query (first_query_ms), the sample median, and
+  the whole-graph worst case (max_query_ms).
 
 Usage:
-    check_perf.py <bench.json> <baseline.json>            # gate
-    check_perf.py <bench.json> <baseline.json> --write-baseline
+    check_perf.py <bench.json> [<bench2.json> ...] <baseline.json>
+    check_perf.py <bench.json> [...] <baseline.json> --write-baseline
 
-The gate compares each (suite, kind) row present in the baseline; rows
-missing from the fresh run fail (a renamed suite must refresh the
-baseline). Tolerance is 25% by default and can be loosened for noisy
-runners via the AG_PERF_TOLERANCE environment variable (e.g. 0.5 allows
-+50%). CI also honors a `[skip-perf-guard]` commit-message tag to skip
-the step entirely -- see .github/workflows/ci.yml.
+Rows from every bench file given are merged; the gate compares each
+(suite, kind) row present in the baseline, and rows missing from the
+fresh run fail (a renamed suite must refresh the baseline). Tolerance
+is 25% by default and can be loosened for noisy runners via the
+AG_PERF_TOLERANCE environment variable (e.g. 0.5 allows +50%). Rows
+whose baseline sits below the timing floor (0.05 ms -- trivial demand
+queries resolve in a few hundred nanoseconds) are compared against the
+floor instead, so timer jitter on sub-resolution rows cannot flake the
+gate while a real collapse into heavyweight work still fails. CI also
+honors a `[skip-perf-guard]` commit-message tag to skip the step
+entirely -- see .github/workflows/ci.yml.
 
---write-baseline regenerates <baseline.json> from <bench.json> (run the
-bench at the SAME fixed scale the CI step uses). Refresh it whenever a
-deliberate perf trade-off or a runner change shifts the numbers.
+--write-baseline regenerates <baseline.json> from the given bench runs
+(run them at the SAME fixed scale the CI step uses). Refresh it
+whenever a deliberate perf trade-off or a runner change shifts the
+numbers.
 """
 
 import json
@@ -27,7 +37,13 @@ import os
 import sys
 
 GUARDED_KINDS = ("LCD", "LCD+HCD")
+DEMAND_ROWS = (
+    ("demand-first-query", "first_query_ms"),
+    ("demand-median-query", "median_query_ms"),
+    ("demand-max-query", "max_query_ms"),
+)
 DEFAULT_TOLERANCE = 0.25
+FLOOR_MS = 0.05
 
 
 def rows(bench):
@@ -35,26 +51,38 @@ def rows(bench):
     for r in bench.get("solvers", []):
         if r["kind"] in GUARDED_KINDS:
             out[(r["suite"], r["kind"])] = float(r["wall_ms"])
+    for r in bench.get("suites", []):
+        demand = r.get("demand")
+        if not demand:
+            continue
+        for kind, key in DEMAND_ROWS:
+            if key in demand:
+                out[(r["suite"], kind)] = float(demand[key])
     return out
 
 
 def main(argv):
-    if len(argv) < 3:
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if len(paths) < 2:
         sys.stderr.write(__doc__)
         return 2
-    bench_path, baseline_path = argv[1], argv[2]
-    with open(bench_path) as f:
-        bench = rows(json.load(f))
+    bench_paths, baseline_path = paths[:-1], paths[-1]
+    bench = {}
+    for p in bench_paths:
+        with open(p) as f:
+            bench.update(rows(json.load(f)))
     if not bench:
-        print("error: %s has no LCD-family solver rows" % bench_path)
+        print("error: %s has no guarded rows" % ", ".join(bench_paths))
         return 1
 
-    if "--write-baseline" in argv[3:]:
+    if "--write-baseline" in flags:
         doc = {
             "comment": "Perf-guardrail baseline (tools/check_perf.py). "
-                       "min-of-3 wall_ms per LCD-family bitmap run; "
-                       "regenerate with --write-baseline at the scale "
-                       "the CI step runs.",
+                       "min-of-3 wall_ms per LCD-family bitmap run plus "
+                       "the demand tier's first/median/max fresh "
+                       "first-answer latencies; regenerate with "
+                       "--write-baseline at the scale the CI step runs.",
             "rows": [
                 {"suite": s, "kind": k, "wall_ms": ms}
                 for (s, k), ms in sorted(bench.items())
@@ -77,15 +105,16 @@ def main(argv):
     for (suite, kind), base_ms in sorted(baseline.items()):
         cur_ms = bench.get((suite, kind))
         if cur_ms is None:
-            print("%-14s %-8s MISSING from bench output" % (suite, kind))
+            print("%-14s %-20s MISSING from bench output" % (suite, kind))
             failed.append((suite, kind))
             continue
-        delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
-        verdict = "ok"
+        ref_ms = max(base_ms, FLOOR_MS)
+        delta = (cur_ms - ref_ms) / ref_ms if ref_ms > 0 else 0.0
+        verdict = "ok" if base_ms >= FLOOR_MS else "ok (floored)"
         if delta > tolerance:
             verdict = "REGRESSED"
             failed.append((suite, kind))
-        print("%-14s %-8s base %8.2f ms  now %8.2f ms  %+6.1f%%  %s"
+        print("%-14s %-20s base %8.3f ms  now %8.3f ms  %+6.1f%%  %s"
               % (suite, kind, base_ms, cur_ms, 100 * delta, verdict))
 
     if failed:
