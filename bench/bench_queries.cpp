@@ -29,10 +29,12 @@
 #include "adt/Rng.h"
 #include "demand/DemandSolver.h"
 #include "demand/DemandTier.h"
+#include "obs/EventLog.h"
 #include "obs/MetricsRegistry.h"
 #include "obs/Obs.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
+#include "serve/ServeSession.h"
 #include "serve/Snapshot.h"
 
 #include <algorithm>
@@ -66,7 +68,7 @@ struct QueryRow {
   uint64_t DemandSteps = 0;     ///< Deduction steps of the targeted query.
   unsigned DemandSampleN = 0;   ///< Pool nodes sampled for the distribution.
   std::string WarmupJson;       ///< Memo warm-up curve (JSON array).
-  std::string MetricsJson; ///< Compact ag.metrics.v3 object for the suite.
+  std::string MetricsJson; ///< Compact ag.metrics.v4 object for the suite.
 };
 
 void appendJsonEscaped(std::string &Out, const std::string &S) {
@@ -78,6 +80,12 @@ void appendJsonEscaped(std::string &Out, const std::string &S) {
       Out += C;
     }
 }
+
+/// Discards everything written to it — keeps reply formatting in the
+/// timed path without growing a buffer.
+struct NullBuffer : std::streambuf {
+  int overflow(int C) override { return C; }
+};
 
 double secondsSince(std::chrono::steady_clock::time_point T0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
@@ -141,7 +149,7 @@ int main(int Argc, char **Argv) {
   std::vector<QueryRow> Rows;
   bool Correct = true;
 
-  // One ag.metrics.v3 snapshot per suite covering the whole serving
+  // One ag.metrics.v4 snapshot per suite covering the whole serving
   // story: snapshot load, query mixes (LRU hits/misses), cold solve and
   // warm re-solve. Embedded into the JSON rows below.
   obs::setMetricsEnabled(true);
@@ -376,6 +384,92 @@ int main(int Argc, char **Argv) {
   }
   obs::setMetricsEnabled(false);
 
+  // --- Request-telemetry overhead guardrail. ----------------------------
+  // Drives the same REPL mix through ServeSession::handleLine twice: all
+  // observability channels off vs the full serve telemetry (metrics +
+  // latency quantiles + wide events into an async EventLog). The ratio
+  // bounds what per-request tracing costs on the cached serving hot path
+  // and is gated by tools/check_perf.py.
+  const Suite *Guard = &Suites.front();
+  for (const Suite &S : Suites)
+    if (S.RawConstraints > Guard->RawConstraints)
+      Guard = &S;
+  constexpr size_t TelemetryRequests = 20000;
+  constexpr int TelemetryReps = 3;
+  double TelemetryOffMs = 0, TelemetryOnMs = 0;
+  {
+    Snapshot Snap;
+    Snap.Solution = solve(Guard->Reduced, SolverKind::LCDHCD,
+                          PtsRepr::Bitmap, nullptr, SolverOptions(),
+                          &Guard->Rep);
+    Snap.CS = Guard->Reduced;
+    Snap.SeedReps = Guard->Rep;
+
+    const uint32_t N = Snap.CS.numNodes();
+    std::vector<std::string> Lines;
+    Rng MixR(97);
+    for (size_t I = 0; I != TelemetryRequests; ++I) {
+      uint32_t A = uint32_t(MixR.nextBelow(N));
+      switch (MixR.nextBelow(4)) {
+      case 0:
+      case 1:
+        Lines.push_back("pts " + std::to_string(A));
+        break;
+      case 2:
+        Lines.push_back("alias " + std::to_string(A) + " " +
+                        std::to_string(uint32_t(MixR.nextBelow(N))));
+        break;
+      default:
+        Lines.push_back("pointedby " + std::to_string(A));
+        break;
+      }
+    }
+
+    NullBuffer Discard;
+    std::ostream Null(&Discard);
+    auto RunReps = [&](ServeSession &Session) {
+      double Best = 0;
+      for (int Rep = 0; Rep != TelemetryReps; ++Rep) {
+        auto T0 = std::chrono::steady_clock::now();
+        for (const std::string &L : Lines)
+          Session.handleLine(L, Null);
+        double Ms = secondsSince(T0) * 1e3;
+        if (Rep == 0 || Ms < Best)
+          Best = Ms;
+      }
+      return Best;
+    };
+
+    uint32_t SavedChannels = obs::ChannelBits.load(std::memory_order_relaxed);
+    obs::ChannelBits.store(0, std::memory_order_relaxed);
+    {
+      Snapshot Copy = Snap;
+      ServeSession Session(std::move(Copy));
+      TelemetryOffMs = RunReps(Session);
+    }
+
+    obs::setMetricsEnabled(true);
+    obs::MetricsRegistry::instance().reset();
+    {
+      NullBuffer EventDiscard;
+      std::ostream EventNull(&EventDiscard);
+      auto Events = std::make_shared<obs::EventLog>(EventNull);
+      ServeOptions SO;
+      SO.Events = Events;
+      ServeSession Session(std::move(Snap), SO);
+      TelemetryOnMs = RunReps(Session);
+      Events->close();
+    }
+    obs::MetricsRegistry::instance().reset();
+    obs::ChannelBits.store(SavedChannels, std::memory_order_relaxed);
+  }
+  double TelemetryRatio =
+      TelemetryOffMs > 0 ? TelemetryOnMs / TelemetryOffMs : 0;
+  std::printf("\ntelemetry overhead (%s, %zu requests, best of %d): off "
+              "%.2f ms, events+quantiles %.2f ms, ratio %.3f\n",
+              Guard->Name.c_str(), TelemetryRequests, TelemetryReps,
+              TelemetryOffMs, TelemetryOnMs, TelemetryRatio);
+
   std::string Json = "{\n";
   Json += "  \"scale\": " + std::to_string(Scale) + ",\n";
   Json += "  \"queries_per_mix\": " + std::to_string(NumQueries) + ",\n";
@@ -408,7 +502,16 @@ int main(int Argc, char **Argv) {
             ", \"metrics\": " + R.MetricsJson + "}";
     Json += I + 1 == Rows.size() ? "\n" : ",\n";
   }
-  Json += "  ]\n}\n";
+  Json += "  ],\n";
+  Json += "  \"telemetry_overhead\": {\"suite\": \"";
+  appendJsonEscaped(Json, Guard->Name);
+  Json += "\", \"requests\": " + std::to_string(TelemetryRequests) +
+          ", \"reps\": " + std::to_string(TelemetryReps) +
+          ", \"disabled_best_ms\": " + std::to_string(TelemetryOffMs) +
+          ", \"enabled_best_ms\": " + std::to_string(TelemetryOnMs) +
+          ", \"enabled_over_disabled\": " + std::to_string(TelemetryRatio) +
+          "}\n";
+  Json += "}\n";
 
   if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
     std::fputs(Json.c_str(), F);

@@ -65,8 +65,12 @@
 #include "constraints/OfflineVariableSubstitution.h"
 #include "demand/DemandTier.h"
 #include "frontend/ConstraintGen.h"
+#include "obs/EventLog.h"
 #include "obs/FlightRecorder.h"
+#include "obs/MetricsHttp.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/OpenMetrics.h"
+#include "obs/QuantileWindow.h"
 #include "obs/TraceRecorder.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
@@ -141,6 +145,11 @@ int usage() {
                "[--deadline-ms <n>]\n"
                "               [--attempts <n>] [--backoff <f>] "
                "[budget flags]\n"
+               "               [--events-out=<file>] [--metrics-port <n>] "
+               "[--slow-ms <n>]\n"
+               "               (--metrics-port 0 picks an ephemeral port; "
+               "the bound\n"
+               "                endpoint is printed to stderr)\n"
                "       ptatool resolve <file.snap> <delta.cons> "
                "[budget flags]\n"
                "       ptatool check <file.cons|file.snap> [algo] [--all] "
@@ -321,6 +330,15 @@ struct SolveFlags {
   /// serve --attempts / --backoff: resolve retry schedule.
   uint64_t ResolveAttempts = 3;
   double ResolveBackoff = 4.0;
+  /// serve --events-out: wide-event JSON-lines sink (empty = off).
+  std::string EventsOut;
+  /// serve --metrics-port: OpenMetrics HTTP endpoint on 127.0.0.1; 0
+  /// binds an ephemeral port. Off until the flag appears.
+  uint64_t MetricsPort = 0;
+  bool MetricsPortSet = false;
+  /// serve --slow-ms: slow-query latency threshold in milliseconds (0
+  /// keeps only the governor-trip/deadline triggers).
+  double SlowMs = 0;
   /// solve --stats: print the memory-kernel summary (arena footprint,
   /// interning hit rate, physical/routed set sharing).
   bool MemStats = false;
@@ -397,6 +415,7 @@ public:
                      obs::TraceRecorder::instance().eventCount());
     }
     if (!MetricsOut.empty()) {
+      obs::LatencyTracker::instance().publishGauges();
       obs::setMetricsEnabled(false);
       std::ofstream Os(MetricsOut, std::ios::binary | std::ios::trunc);
       std::string Json = obs::MetricsRegistry::instance().renderJson();
@@ -439,7 +458,7 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
         HasValue = true;
       }
       if (Name == "--trace-out" || Name == "--metrics-out" ||
-          Name == "--metrics-interval-ms") {
+          Name == "--metrics-interval-ms" || Name == "--events-out") {
         if (!HasValue) {
           if (I + 1 >= Argc) {
             std::fprintf(stderr, "error: %s expects a value\n", Name.c_str());
@@ -455,6 +474,8 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
           F.TraceOut = Value;
         } else if (Name == "--metrics-out") {
           F.MetricsOut = Value;
+        } else if (Name == "--events-out") {
+          F.EventsOut = Value;
         } else if (!parsePositiveU64(Value.c_str(), F.MetricsIntervalMs)) {
           std::fprintf(stderr, "error: bad value '%s' for %s\n",
                        Value.c_str(), Name.c_str());
@@ -472,7 +493,8 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
                Arg == "--stall-timeout" || Arg == "--inject-fault" ||
                Arg == "--keep" || Arg == "--max-queue" ||
                Arg == "--deadline-ms" || Arg == "--attempts" ||
-               Arg == "--backoff") {
+               Arg == "--backoff" || Arg == "--metrics-port" ||
+               Arg == "--slow-ms") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s expects a value\n", Arg.c_str());
         return usage();
@@ -504,6 +526,18 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
       } else if (Arg == "--backoff") {
         Valid = parsePositiveDouble(Value, F.ResolveBackoff) &&
                 F.ResolveBackoff >= 1.0;
+      } else if (Arg == "--metrics-port") {
+        // 0 is meaningful here (ephemeral port), so parse it directly
+        // instead of through parsePositiveU64.
+        errno = 0;
+        char *End = nullptr;
+        unsigned long long Port = std::strtoull(Value, &End, 10);
+        Valid = End != Value && *End == '\0' && errno != ERANGE &&
+                Value[0] != '-' && Port <= 65535;
+        F.MetricsPort = Port;
+        F.MetricsPortSet = true;
+      } else if (Arg == "--slow-ms") {
+        Valid = parsePositiveDouble(Value, F.SlowMs);
       } else { // --threads
         // Parallel wavefront solving applies to LCD / LCD+HCD (the default
         // algorithm) over bitmap sets; other kinds quietly run sequential.
@@ -823,13 +857,51 @@ int cmdServe(int Argc, char **Argv) {
   SO.ResolveOpts = F.Opts;
   SO.ResolveAttempts = static_cast<unsigned>(F.ResolveAttempts);
   SO.ResolveBackoff = F.ResolveBackoff;
+  SO.SlowMillis = F.SlowMs;
+  SO.SlowOut = &std::cerr;
+
+  // Wide-event sink: owns the output file; kept alive past the session so
+  // close() can drain what the last requests published.
+  std::shared_ptr<obs::EventLog> Events;
+  if (!F.EventsOut.empty()) {
+    Status Err;
+    Events = obs::EventLog::open(F.EventsOut, obs::EventLog::Options(), Err);
+    if (!Events) {
+      std::fprintf(stderr, "error: %s\n", Err.toString().c_str());
+      return ExitError;
+    }
+    SO.Events = Events;
+  }
+
+  // OpenMetrics endpoint: loopback-only, renders the registry on demand
+  // (latency gauges are refreshed per scrape, so p99 is live).
+  obs::MetricsHttpServer Metrics([] {
+    obs::LatencyTracker::instance().publishGauges();
+    return obs::renderOpenMetrics(obs::MetricsRegistry::instance());
+  });
+  if (F.MetricsPortSet) {
+    if (Status St = Metrics.start(static_cast<uint16_t>(F.MetricsPort));
+        !St.ok()) {
+      std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+      return ExitError;
+    }
+    std::fprintf(stderr, "serving metrics on http://127.0.0.1:%u/metrics\n",
+                 Metrics.port());
+  }
+
+  int Rc;
   if (DemandMode) {
     SO.QueryBudget = F.Budget;
     ServeSession Session(std::move(DemandCS), SO);
-    return Session.run(std::cin, std::cout);
+    Rc = Session.run(std::cin, std::cout);
+  } else {
+    ServeSession Session(std::move(Snap), SO);
+    Rc = Session.run(std::cin, std::cout);
   }
-  ServeSession Session(std::move(Snap), SO);
-  return Session.run(std::cin, std::cout);
+  Metrics.stop();
+  if (Events)
+    Events->close();
+  return Rc;
 }
 
 /// `ptatool check`: certify that a solution is a fixed point of its

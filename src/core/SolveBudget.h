@@ -31,6 +31,7 @@
 #include "adt/MemTracker.h"
 #include "adt/Status.h"
 #include "obs/Obs.h"
+#include "obs/RequestContext.h"
 
 #include <atomic>
 #include <chrono>
@@ -149,6 +150,16 @@ public:
     // expired deadline or pre-cancelled token trips before real work.
     OpsUntilCheck = 0;
   }
+
+  /// Charge publication: whatever this governor counted is folded into the
+  /// active request's telemetry (serve path; no-op elsewhere). Running in
+  /// the destructor covers every exit — normal completion, budget-trip
+  /// unwind, and escalation — without touching the solver hot loops.
+  ~SolveGovernor() {
+    obs::noteGovernorCharges(Propagations, Edges);
+  }
+  SolveGovernor(const SolveGovernor &) = delete;
+  SolveGovernor &operator=(const SolveGovernor &) = delete;
 
   /// A generic cancellation point (worklist pops, DFS visits, BDD rounds).
   /// Contributes to the periodic deadline/memory/cancel check.

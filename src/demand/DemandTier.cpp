@@ -7,6 +7,7 @@
 #include "demand/DemandTier.h"
 
 #include "obs/MetricsRegistry.h"
+#include "obs/RequestContext.h"
 #include "obs/TraceRecorder.h"
 
 #include <algorithm>
@@ -52,6 +53,8 @@ Status DemandTier::escalateLocked(const Status &TripSt) {
     return Status::okStatus();
   if (!Opts.AllowEscalation)
     return TripSt;
+  obs::TierSpan Tier(obs::ReqTier::Escalation);
+  Tier.markHit();
   obs::TraceSpan Span("demand.escalate", "demand");
   obs::count(obs::Counter::DemandEscalations);
   SolveResult R = solveGoverned(CS, Opts.EscalationKind,
@@ -93,20 +96,29 @@ Status DemandTier::pointsTo(NodeId V, IdList &Out) {
   const uint64_t Key = listKey(TagPts, V);
   if (auto Hit = Cache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     Out = *Hit;
     return Status::okStatus();
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
 
   std::lock_guard<std::mutex> Lock(Mu);
   if (Escalation) {
+    obs::noteTierProbe(obs::ReqTier::Escalation, /*Hit=*/true);
     Out = solutionPointsTo(V);
     Cache.put(Key, Out);
     return Status::okStatus();
   }
   SparseBitVector Bits;
-  SolveGovernor Gov(Opts.QueryBudget);
-  Status St = Demand->pointsTo(V, &Gov, Bits);
+  Status St;
+  {
+    obs::TierSpan Tier(obs::ReqTier::Demand);
+    SolveGovernor Gov(Opts.QueryBudget);
+    St = Demand->pointsTo(V, &Gov, Bits);
+    if (St.ok())
+      Tier.markHit();
+  }
   if (St.ok()) {
     Out = materialize(Bits);
     Cache.put(Key, Out);
@@ -130,19 +142,28 @@ Status DemandTier::alias(NodeId A, NodeId B, bool &Out) {
   const uint64_t Key = (uint64_t(Lo) << 32) | Hi;
   if (auto Hit = AliasCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     Out = *Hit;
     return Status::okStatus();
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
 
   std::lock_guard<std::mutex> Lock(Mu);
   if (Escalation) {
+    obs::noteTierProbe(obs::ReqTier::Escalation, /*Hit=*/true);
     Out = Escalation->mayAlias(A, B);
     AliasCache.put(Key, Out);
     return Status::okStatus();
   }
-  SolveGovernor Gov(Opts.QueryBudget);
-  Status St = Demand->alias(A, B, &Gov, Out);
+  Status St;
+  {
+    obs::TierSpan Tier(obs::ReqTier::Demand);
+    SolveGovernor Gov(Opts.QueryBudget);
+    St = Demand->alias(A, B, &Gov, Out);
+    if (St.ok())
+      Tier.markHit();
+  }
   if (St.ok()) {
     AliasCache.put(Key, Out);
     return St;
@@ -163,20 +184,29 @@ Status DemandTier::pointedBy(NodeId Obj, IdList &Out) {
   const uint64_t Key = listKey(TagPointedBy, Obj);
   if (auto Hit = Cache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     Out = *Hit;
     return Status::okStatus();
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
 
   std::lock_guard<std::mutex> Lock(Mu);
   if (Escalation) {
+    obs::noteTierProbe(obs::ReqTier::Escalation, /*Hit=*/true);
     Out = solutionPointedBy(Obj);
     Cache.put(Key, Out);
     return Status::okStatus();
   }
   SparseBitVector Bits;
-  SolveGovernor Gov(Opts.QueryBudget);
-  Status St = Demand->pointedBy(Obj, &Gov, Bits);
+  Status St;
+  {
+    obs::TierSpan Tier(obs::ReqTier::Demand);
+    SolveGovernor Gov(Opts.QueryBudget);
+    St = Demand->pointedBy(Obj, &Gov, Bits);
+    if (St.ok())
+      Tier.markHit();
+  }
   if (St.ok()) {
     Out = materialize(Bits);
     Cache.put(Key, Out);
@@ -199,8 +229,10 @@ bool DemandTier::tryMemoPointsTo(NodeId V, IdList &Out) {
   // system changes. So the memo keeps answering for the engine tier.
   std::lock_guard<std::mutex> Lock(Mu);
   SparseBitVector Bits;
-  if (!Demand->memoPointsTo(V, Bits))
+  if (!Demand->memoPointsTo(V, Bits)) {
+    obs::noteTierProbe(obs::ReqTier::Memo, /*Hit=*/false);
     return false;
+  }
   Out = materialize(Bits);
   return true;
 }
@@ -209,7 +241,10 @@ bool DemandTier::tryMemoAlias(NodeId A, NodeId B, bool &Out) {
   if (!validNode(A) || !validNode(B))
     return false;
   std::lock_guard<std::mutex> Lock(Mu);
-  return Demand->memoAlias(A, B, Out);
+  bool Hit = Demand->memoAlias(A, B, Out);
+  if (!Hit)
+    obs::noteTierProbe(obs::ReqTier::Memo, /*Hit=*/false);
+  return Hit;
 }
 
 Status DemandTier::resolveDelta(const ConstraintSystem &DeltaCS) {

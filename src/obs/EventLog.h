@@ -1,0 +1,110 @@
+//===- EventLog.h - Bounded async wide-event writer -------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wide-event sink: one JSON line per serve request ("ag.events.v1",
+/// see RequestContext.h), written through a bounded lock-free queue so the
+/// serving hot path never blocks on the filesystem. Producers publish with
+/// a Vyukov-style MPMC ring (one CAS on the uncontended path); a dedicated
+/// writer thread drains lines to the output stream and flushes in batches.
+/// When the ring is full the line is DROPPED and counted — backpressure
+/// must never turn telemetry into a latency source. Drop totals surface
+/// both on the instance (dropped()) and as the serve.events_dropped
+/// counter, so a scrape can alarm on loss.
+///
+/// Tests construct the log in ManualDrain mode (no thread; drain() pumps
+/// the ring synchronously), which also makes the overflow behaviour
+/// deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_OBS_EVENTLOG_H
+#define AG_OBS_EVENTLOG_H
+
+#include "adt/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+
+namespace ag {
+namespace obs {
+
+/// Bounded, non-blocking, multi-producer event line writer.
+class EventLog {
+public:
+  struct Options {
+    size_t Capacity = 1024;     ///< Ring slots; rounded up to a power of 2.
+    size_t FlushEveryLines = 64; ///< Writer flushes at least this often.
+    bool ManualDrain = false;   ///< No writer thread; tests call drain().
+  };
+
+  /// Writes to \p Out, which must outlive the log.
+  explicit EventLog(std::ostream &Out) : EventLog(Out, Options()) {}
+  EventLog(std::ostream &Out, Options O);
+
+  /// Opens \p Path for appending and returns a log that owns the stream,
+  /// or a Status on I/O failure.
+  static std::unique_ptr<EventLog> open(const std::string &Path, Options O,
+                                        Status &Err);
+
+  ~EventLog();
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// Enqueues one event line (newline appended by the writer). Never
+  /// blocks: returns false and counts a drop when the ring is full.
+  bool publish(std::string &&Line);
+
+  /// Stops the writer thread (if any), drains everything still queued,
+  /// and flushes. Idempotent; the destructor calls it.
+  void close();
+
+  /// ManualDrain pump: writes all currently queued lines, returns how
+  /// many. Also usable after close() returned.
+  size_t drain();
+
+  uint64_t published() const {
+    return Published.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return Dropped.load(std::memory_order_relaxed); }
+  uint64_t written() const { return Written.load(std::memory_order_relaxed); }
+
+private:
+  EventLog(std::ostream &Out, std::unique_ptr<std::ofstream> Owned,
+           Options O);
+
+  bool tryPop(std::string &Line);
+  void writerLoop();
+
+  struct Cell {
+    std::atomic<size_t> Seq{0};
+    std::string Line;
+  };
+
+  std::unique_ptr<std::ofstream> OwnedOut; ///< Set by open().
+  std::ostream &Out;
+  Options Opts;
+  size_t Mask = 0;
+  std::unique_ptr<Cell[]> Cells;
+  alignas(64) std::atomic<size_t> EnqueuePos{0};
+  alignas(64) std::atomic<size_t> DequeuePos{0};
+  std::atomic<uint64_t> Published{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<uint64_t> Written{0};
+  std::atomic<bool> Stopping{false};
+  bool Closed = false;
+  std::thread Writer;
+};
+
+} // namespace obs
+} // namespace ag
+
+#endif // AG_OBS_EVENTLOG_H

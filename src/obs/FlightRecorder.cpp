@@ -33,8 +33,15 @@ void FlightRecorder::record(const char *What, uint64_t A, uint64_t B) {
 std::string FlightRecorder::dumpText() const {
   std::lock_guard<std::mutex> Lock(Mu);
   std::string Out;
+  // One absolute anchor line: every +sss.mmm offset below is relative to
+  // this wall-clock epoch (milliseconds since the Unix epoch, the same
+  // anchor wide-event ts_ms fields use), so ring snapshots can be
+  // time-correlated with event-log lines.
+  Out += "  epoch_ms=";
+  Out += std::to_string(epochWallMillis());
+  Out += '\n';
   if (NextSeq == 0) {
-    Out = "  (flight ring empty)\n";
+    Out += "  (flight ring empty)\n";
     return Out;
   }
   uint64_t First = NextSeq > Capacity ? NextSeq - Capacity : 0;

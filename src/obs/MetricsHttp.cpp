@@ -1,0 +1,156 @@
+//===- MetricsHttp.cpp - Embedded metrics exposition endpoint -------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsHttp.h"
+
+#include "obs/OpenMetrics.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ag;
+using namespace ag::obs;
+
+namespace {
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+void sendAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, Data + Off, Len - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += size_t(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return; // Peer gone; a scrape client retries.
+  }
+}
+
+void sendResponse(int Fd, const char *StatusLine, const char *ContentType,
+                  const std::string &Body) {
+  std::string Head;
+  Head.reserve(160);
+  Head += StatusLine;
+  Head += "\r\nContent-Type: ";
+  Head += ContentType;
+  Head += "\r\nContent-Length: ";
+  Head += std::to_string(Body.size());
+  Head += "\r\nConnection: close\r\n\r\n";
+  sendAll(Fd, Head.data(), Head.size());
+  sendAll(Fd, Body.data(), Body.size());
+}
+
+} // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::function<std::string()> Render)
+    : Render(std::move(Render)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+Status MetricsHttpServer::start(uint16_t Port) {
+  if (ListenFd >= 0)
+    return Status::invalidArgument("metrics endpoint already started");
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Status::ioError("metrics endpoint: socket() failed");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Status::ioError("metrics endpoint: cannot bind 127.0.0.1:" +
+                           std::to_string(Port));
+  }
+  if (::listen(ListenFd, 16) < 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Status::ioError("metrics endpoint: listen() failed");
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) ==
+      0)
+    BoundPort = ntohs(Addr.sin_port);
+
+  Stopping.store(false, std::memory_order_release);
+  Thread = std::thread([this] { acceptLoop(); });
+  return Status::okStatus();
+}
+
+void MetricsHttpServer::acceptLoop() {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    pollfd Pfd = {ListenFd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, /*timeout_ms=*/100);
+    if (R <= 0)
+      continue; // Timeout (stop-flag check) or EINTR.
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    handleConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void MetricsHttpServer::handleConnection(int Fd) {
+  // Read until the header terminator or a small fixed cap; scrape
+  // requests are one GET line plus a few headers.
+  char Buf[4096];
+  size_t Got = 0;
+  while (Got < sizeof(Buf) - 1) {
+    pollfd Pfd = {Fd, POLLIN, 0};
+    if (::poll(&Pfd, 1, /*timeout_ms=*/500) <= 0)
+      break;
+    ssize_t N = ::recv(Fd, Buf + Got, sizeof(Buf) - 1 - Got, 0);
+    if (N <= 0)
+      break;
+    Got += size_t(N);
+    Buf[Got] = '\0';
+    if (std::strstr(Buf, "\r\n\r\n") || std::strstr(Buf, "\n\n"))
+      break;
+  }
+  Buf[Got] = '\0';
+  Served.fetch_add(1, std::memory_order_relaxed);
+
+  // Parse "GET <path> HTTP/1.x".
+  char Method[8] = {};
+  char Path[64] = {};
+  if (std::sscanf(Buf, "%7s %63s", Method, Path) != 2 ||
+      std::strcmp(Method, "GET") != 0) {
+    sendResponse(Fd, "HTTP/1.1 405 Method Not Allowed", "text/plain",
+                 "method not allowed\n");
+    return;
+  }
+  if (std::strcmp(Path, "/metrics") != 0) {
+    sendResponse(Fd, "HTTP/1.1 404 Not Found", "text/plain",
+                 "only /metrics is served\n");
+    return;
+  }
+  std::string Body = Render ? Render() : std::string("# EOF\n");
+  sendResponse(Fd, "HTTP/1.1 200 OK", openMetricsContentType(), Body);
+}
+
+void MetricsHttpServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true, std::memory_order_release);
+  if (Thread.joinable())
+    Thread.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+}

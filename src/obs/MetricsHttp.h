@@ -1,0 +1,79 @@
+//===- MetricsHttp.h - Embedded metrics exposition endpoint -----*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal, dependency-free HTTP/1.1 endpoint serving `GET /metrics` so
+/// Prometheus can scrape a live `ptatool serve` process. One blocking
+/// accept thread over raw POSIX sockets; each connection is read with a
+/// short poll timeout, answered, and closed (Connection: close) — a scrape
+/// every few seconds is the design load, not a web server.
+///
+/// Security posture (DESIGN.md §15): the listener binds 127.0.0.1 only,
+/// serves a single read-only path, never reads more than a small fixed
+/// request buffer, and carries no auth — anyone who can reach the
+/// loopback can read process metrics, so exposing it beyond localhost is
+/// the operator's deliberate choice (e.g. an SSH tunnel or a sidecar).
+///
+/// Port 0 binds an ephemeral port (tests); port() reports the actual one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_OBS_METRICSHTTP_H
+#define AG_OBS_METRICSHTTP_H
+
+#include "adt/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ag {
+namespace obs {
+
+/// Blocking-accept exposition server for one render callback.
+class MetricsHttpServer {
+public:
+  /// \p Render produces the OpenMetrics document for each scrape; it runs
+  /// on the accept thread and must be thread-safe.
+  explicit MetricsHttpServer(std::function<std::string()> Render);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer &) = delete;
+  MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 = ephemeral) and starts the accept
+  /// thread. Returns a Status on bind/listen failure.
+  Status start(uint16_t Port);
+
+  /// The bound port (valid after a successful start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Stops the accept thread and closes the listener. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Requests answered so far (any status).
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  void acceptLoop();
+  void handleConnection(int Fd);
+
+  std::function<std::string()> Render;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Stopping{false};
+  std::atomic<uint64_t> Served{0};
+  std::thread Thread;
+};
+
+} // namespace obs
+} // namespace ag
+
+#endif // AG_OBS_METRICSHTTP_H

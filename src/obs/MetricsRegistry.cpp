@@ -48,6 +48,16 @@ constexpr const char *CounterNames[] = {
     "demand.steps",
     "demand.escalations",
     "demand.invalidations",
+    "serve.requests",
+    "serve.tier.lru",
+    "serve.tier.memo",
+    "serve.tier.demand",
+    "serve.tier.escalation",
+    "serve.tier.snapshot",
+    "serve.tier.warm_start",
+    "serve.slow_queries",
+    "serve.events_emitted",
+    "serve.events_dropped",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   unsigned(Counter::NumCounters),
@@ -62,6 +72,15 @@ constexpr const char *GaugeNames[] = {
     "mem.peak_joint_bytes",
     "mem.arena_reserved_bytes",
     "mem.arena_slabs",
+    "serve.latency.p50.query",
+    "serve.latency.p90.query",
+    "serve.latency.p99.query",
+    "serve.latency.p50.mutate",
+    "serve.latency.p90.mutate",
+    "serve.latency.p99.mutate",
+    "serve.latency.p50.admin",
+    "serve.latency.p90.admin",
+    "serve.latency.p99.admin",
 };
 static_assert(sizeof(GaugeNames) / sizeof(GaugeNames[0]) ==
                   unsigned(Gauge::NumGauges),
@@ -73,6 +92,7 @@ constexpr const char *HistNames[] = {
     "solver.worklist_depth",
     "serve.query_batch",
     "demand.frontier",
+    "serve.request_micros",
 };
 static_assert(sizeof(HistNames) / sizeof(HistNames[0]) ==
                   unsigned(Hist::NumHists),
@@ -102,8 +122,11 @@ bool ag::obs::counterIsSchedulingInvariant(Counter C) {
   case Counter::BddCacheMisses:
   // The number of demand queries issued is fixed by the workload; what
   // each one costs (memo hits, steps, escalations) depends on the order
-  // concurrent queries warmed the memo, so those stay variant.
+  // concurrent queries warmed the memo, so those stay variant. Likewise
+  // serve.requests is fixed by the REPL input while the tier path each
+  // request takes (and whether its event line fits the ring) is not.
   case Counter::DemandQueries:
+  case Counter::ServeRequests:
     return true;
   // Propagation totals, search visits, trigger probes, pop counts, round
   // counts and trip counts all depend on which interleaving the workers
@@ -187,7 +210,7 @@ std::string MetricsRegistry::renderJson(bool Compact) const {
   std::string Out = "{";
   Out += Nl;
   Out += In1;
-  Out += "\"schema\": \"ag.metrics.v3\",";
+  Out += "\"schema\": \"ag.metrics.v4\",";
   Out += Nl;
 
   Out += In1;

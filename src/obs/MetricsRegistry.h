@@ -15,12 +15,14 @@
 /// rates.
 ///
 /// Rendering is deterministic: renderJson() emits every counter, gauge and
-/// histogram in enum order with a schema tag ("ag.metrics.v3"), so two runs
+/// histogram in enum order with a schema tag ("ag.metrics.v4"), so two runs
 /// at the same seed produce bit-identical files and CI can validate the
 /// key set against tests/metrics_schema.json (schema stability rules in
 /// DESIGN.md §11; v1 -> v2 added the set-interning counters and the
 /// arena gauges; v2 -> v3 added the demand.* counters and the demand
-/// frontier histogram).
+/// frontier histogram; v3 -> v4 added the serve request/tier/event
+/// counters, the serve.latency.* quantile gauges and the request-latency
+/// histogram).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -76,10 +78,24 @@ enum class Counter : unsigned {
   DemandSteps,          ///< Deduction steps charged by the demand solver.
   DemandEscalations,    ///< Demand queries escalated to an exhaustive solve.
   DemandInvalidations,  ///< Memo entries invalidated by constraint deltas.
+  ServeRequests,        ///< REPL requests handled by ServeSession.
+  ServeTierLru,         ///< Requests that probed the LRU result caches.
+  ServeTierMemo,        ///< Requests that probed the demand memo.
+  ServeTierDemand,      ///< Requests that ran a governed demand deduction.
+  ServeTierEscalation,  ///< Requests escalated to an exhaustive solve.
+  ServeTierSnapshot,    ///< Requests that scanned the snapshot solution.
+  ServeTierWarmStart,   ///< Requests that ran a warm-start re-solve.
+  ServeSlowQueries,     ///< Requests captured by the slow-query log.
+  ServeEventsEmitted,   ///< Wide events enqueued to the event log.
+  ServeEventsDropped,   ///< Wide events dropped by the bounded queue.
   NumCounters,
 };
 
-/// Gauge universe (monotone high-water marks within a window).
+/// Gauge universe. The mem.* gauges are monotone high-water marks
+/// (maxGauge); the serve.latency.* gauges are last-published quantile
+/// snapshots (setGauge) refreshed by LatencyTracker::publishGauges at
+/// observation points — class-major, quantile-minor order, which
+/// publishGauges indexes arithmetically.
 enum class Gauge : unsigned {
   MemPeakBitmapBytes,
   MemPeakBddBytes,
@@ -87,6 +103,15 @@ enum class Gauge : unsigned {
   MemPeakJointBytes,
   MemArenaReservedBytes, ///< Peak slab bytes reserved by element arenas.
   MemArenaSlabs,         ///< Peak live arena slab count.
+  ServeLatencyP50Query,  ///< Sliding-window latency quantiles (micros)
+  ServeLatencyP90Query,  ///< per command class; see QuantileWindow.h.
+  ServeLatencyP99Query,
+  ServeLatencyP50Mutate,
+  ServeLatencyP90Mutate,
+  ServeLatencyP99Mutate,
+  ServeLatencyP50Admin,
+  ServeLatencyP90Admin,
+  ServeLatencyP99Admin,
   NumGauges,
 };
 
@@ -98,6 +123,7 @@ enum class Hist : unsigned {
   WorklistDepth, ///< Worklist depth sampled every 1024 pops / per round.
   QueryBatch,    ///< aliasBatch sizes.
   DemandFrontier, ///< Demanded nodes per demand-solver fixpoint.
+  ServeRequestMicros, ///< End-to-end serve request latency (micros).
   NumHists,
 };
 
@@ -136,6 +162,12 @@ public:
     while (V > Prev &&
            !Slot.compare_exchange_weak(Prev, V, std::memory_order_relaxed)) {
     }
+  }
+
+  /// Overwrites the gauge (non-monotone; the serve.latency.* quantile
+  /// snapshots move both directions as the window slides).
+  void setGauge(Gauge G, uint64_t V) {
+    Gauges[unsigned(G)].store(V, std::memory_order_relaxed);
   }
 
   void observe(Hist H, uint64_t V) {

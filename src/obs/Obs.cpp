@@ -11,6 +11,7 @@
 #include "adt/Status.h"
 #include "obs/FlightRecorder.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/RequestContext.h"
 #include "obs/TraceRecorder.h"
 
 #include <algorithm>
@@ -23,6 +24,7 @@ void ag::obs::onGovernorTrip(const Status &St) {
   if (!CompiledIn)
     return;
   count(Counter::GovernorTrips);
+  noteGovernorTrip(uint8_t(St.code()));
   if (traceEnabled())
     TraceRecorder::instance().instant("governor_trip", "governor", "code",
                                       uint64_t(St.code()));

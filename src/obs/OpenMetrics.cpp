@@ -1,0 +1,92 @@
+//===- OpenMetrics.cpp - OpenMetrics text exposition ----------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/OpenMetrics.h"
+
+#include "obs/MetricsRegistry.h"
+
+using namespace ag;
+using namespace ag::obs;
+
+namespace {
+
+/// "serve.latency.p99.query" -> "ag_serve_latency_p99_query".
+std::string mangled(const char *Name) {
+  std::string Out = "ag_";
+  for (const char *P = Name; *P; ++P)
+    Out += *P == '.' ? '_' : *P;
+  return Out;
+}
+
+void appendSample(std::string &Out, const std::string &Name, uint64_t V) {
+  Out += Name;
+  Out += ' ';
+  Out += std::to_string(V);
+  Out += '\n';
+}
+
+} // namespace
+
+const char *ag::obs::openMetricsContentType() {
+  return "application/openmetrics-text; version=1.0.0; charset=utf-8";
+}
+
+std::string ag::obs::renderOpenMetrics(const MetricsRegistry &R) {
+  std::string Out;
+  Out.reserve(8192);
+
+  for (unsigned I = 0; I != unsigned(Counter::NumCounters); ++I) {
+    Counter C = static_cast<Counter>(I);
+    std::string Name = mangled(counterName(C));
+    Out += "# TYPE ";
+    Out += Name;
+    Out += " counter\n";
+    appendSample(Out, Name + "_total", R.counterValue(C));
+  }
+
+  for (unsigned I = 0; I != unsigned(Gauge::NumGauges); ++I) {
+    Gauge G = static_cast<Gauge>(I);
+    std::string Name = mangled(gaugeName(G));
+    Out += "# TYPE ";
+    Out += Name;
+    Out += " gauge\n";
+    appendSample(Out, Name, R.gaugeValue(G));
+  }
+
+  for (unsigned I = 0; I != unsigned(Hist::NumHists); ++I) {
+    Hist H = static_cast<Hist>(I);
+    std::string Name = mangled(histName(H));
+    Out += "# TYPE ";
+    Out += Name;
+    Out += " histogram\n";
+    unsigned Last = MetricsRegistry::NumBuckets;
+    while (Last > 0 && R.histBucket(H, Last - 1) == 0)
+      --Last;
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B != Last; ++B) {
+      Cum += R.histBucket(H, B);
+      // Registry bucket k holds [2^(k-1), 2^k); inclusive bound 2^k - 1.
+      // Bucket 64 (top bit set) saturates at the uint64_t maximum.
+      uint64_t Le =
+          B == 0 ? 0 : B >= 64 ? UINT64_MAX : (uint64_t(1) << B) - 1;
+      Out += Name;
+      Out += "_bucket{le=\"";
+      Out += std::to_string(Le);
+      Out += "\"} ";
+      Out += std::to_string(Cum);
+      Out += '\n';
+    }
+    Out += Name;
+    Out += "_bucket{le=\"+Inf\"} ";
+    Out += std::to_string(R.histCount(H));
+    Out += '\n';
+    appendSample(Out, Name + "_sum", R.histSum(H));
+    appendSample(Out, Name + "_count", R.histCount(H));
+  }
+
+  Out += "# EOF\n";
+  return Out;
+}

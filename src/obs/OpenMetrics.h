@@ -1,0 +1,45 @@
+//===- OpenMetrics.h - OpenMetrics text exposition --------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the MetricsRegistry in OpenMetrics text format (the Prometheus
+/// exposition format, https://openmetrics.io) so a live server can be
+/// scraped. Mapping from the registry's universe:
+///
+///  * counters    — `ag_<name>_total` samples with `# TYPE ... counter`;
+///                  dots in registry names become underscores.
+///  * gauges      — `ag_<name>` with `# TYPE ... gauge`.
+///  * histograms  — `ag_<name>_bucket{le="..."}` cumulative buckets (the
+///                  registry's log2 bucket k holds values in
+///                  [2^(k-1), 2^k), so its inclusive upper bound is
+///                  2^k - 1), plus `_sum`/`_count`, with trailing empty
+///                  buckets collapsed into the mandatory `+Inf` bucket.
+///
+/// The document ends with the mandatory `# EOF` terminator. Rendering is
+/// deterministic (enum order), mirroring renderJson().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_OBS_OPENMETRICS_H
+#define AG_OBS_OPENMETRICS_H
+
+#include <string>
+
+namespace ag {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Renders \p R as a complete OpenMetrics text document.
+std::string renderOpenMetrics(const MetricsRegistry &R);
+
+/// The Content-Type a scrape response should carry.
+const char *openMetricsContentType();
+
+} // namespace obs
+} // namespace ag
+
+#endif // AG_OBS_OPENMETRICS_H

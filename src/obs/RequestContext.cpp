@@ -1,0 +1,150 @@
+//===- RequestContext.cpp - Request-scoped telemetry ----------------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/RequestContext.h"
+
+#include "adt/Status.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace ag;
+using namespace ag::obs;
+
+namespace {
+
+constexpr const char *TierNames[] = {
+    "lru", "memo", "demand", "escalation", "snapshot", "warm_start",
+};
+static_assert(sizeof(TierNames) / sizeof(TierNames[0]) ==
+                  unsigned(ReqTier::NumTiers),
+              "tier name table out of sync");
+
+constexpr const char *ClassNames[] = {"query", "mutate", "admin"};
+static_assert(sizeof(ClassNames) / sizeof(ClassNames[0]) ==
+                  unsigned(CommandClass::NumClasses),
+              "command class name table out of sync");
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+void appendKv(std::string &Out, const char *Key, uint64_t V,
+              bool Comma = true) {
+  if (Comma)
+    Out += ',';
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(V);
+}
+
+} // namespace
+
+const char *ag::obs::reqTierName(ReqTier T) { return TierNames[unsigned(T)]; }
+const char *ag::obs::commandClassName(CommandClass C) {
+  return ClassNames[unsigned(C)];
+}
+
+void RequestContext::setCommand(const char *Cmd) {
+  size_t N = 0;
+  for (const char *P = Cmd; *P && N + 1 < sizeof(Command); ++P) {
+    char C = *P;
+    bool Safe = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-';
+    Command[N++] = Safe ? C : '?';
+  }
+  Command[N] = '\0';
+}
+
+uint64_t RequestContext::wallMillis() const {
+  uint64_t Nanos = EndNanos ? EndNanos : StartNanos;
+  return epochWallMillis() + Nanos / 1000000;
+}
+
+uint64_t ag::obs::nextTraceId() {
+  // Seeded from the wall clock once so concurrent server runs do not hand
+  // out colliding ids; the counter keeps ids unique within the process.
+  static const uint64_t Seed = splitmix64(ObsEpoch::instance().WallMillis);
+  static std::atomic<uint64_t> Next{1};
+  uint64_t Id =
+      splitmix64(Seed ^ Next.fetch_add(1, std::memory_order_relaxed));
+  return Id ? Id : 1;
+}
+
+std::string ag::obs::formatTraceId(uint64_t Id) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Id));
+  return Buf;
+}
+
+std::string ag::obs::renderWideEvent(const RequestContext &Ctx) {
+  std::string Out;
+  Out.reserve(384);
+  Out += "{\"schema\":\"ag.events.v1\"";
+  appendKv(Out, "ts_ms", Ctx.wallMillis());
+  Out += ",\"trace\":\"";
+  Out += formatTraceId(Ctx.TraceId);
+  Out += "\",\"span\":\"";
+  Out += formatTraceId(Ctx.SpanId);
+  Out += "\",\"cmd\":\"";
+  Out += Ctx.Command;
+  Out += "\",\"class\":\"";
+  Out += ClassNames[unsigned(Ctx.Class)];
+  Out += "\",\"status\":\"";
+  Out += Ctx.StatusStr;
+  Out += '"';
+  uint64_t Micros =
+      Ctx.EndNanos >= Ctx.StartNanos ? (Ctx.EndNanos - Ctx.StartNanos) / 1000
+                                     : 0;
+  appendKv(Out, "micros", Micros);
+  appendKv(Out, "result_size", Ctx.ResultSize);
+  appendKv(Out, "reply_bytes", Ctx.ReplyBytes);
+  bool CacheHit = Ctx.TierHits[unsigned(ReqTier::Lru)] != 0;
+  bool MemoHit = Ctx.TierHits[unsigned(ReqTier::Memo)] != 0;
+  Out += ",\"cache_hit\":";
+  Out += CacheHit ? "true" : "false";
+  Out += ",\"memo_hit\":";
+  Out += MemoHit ? "true" : "false";
+
+  Out += ",\"tiers\":{";
+  bool First = true;
+  for (unsigned I = 0; I != unsigned(ReqTier::NumTiers); ++I) {
+    if (!Ctx.TierEntered[I])
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += TierNames[I];
+    Out += "\":{\"entered\":";
+    Out += std::to_string(Ctx.TierEntered[I]);
+    Out += ",\"hits\":";
+    Out += std::to_string(Ctx.TierHits[I]);
+    Out += ",\"micros\":";
+    Out += std::to_string(Ctx.TierMicros[I]);
+    Out += '}';
+  }
+  Out += '}';
+
+  Out += ",\"budget\":{\"props\":";
+  Out += std::to_string(Ctx.BudgetPropagations);
+  Out += ",\"edges\":";
+  Out += std::to_string(Ctx.BudgetEdges);
+  Out += ",\"trips\":";
+  Out += std::to_string(Ctx.GovernorTrips);
+  if (Ctx.GovernorTrips) {
+    Out += ",\"trip_code\":\"";
+    Out += statusCodeName(static_cast<StatusCode>(Ctx.TripCode));
+    Out += '"';
+  }
+  Out += "}}";
+  return Out;
+}

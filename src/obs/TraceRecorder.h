@@ -44,15 +44,41 @@
 namespace ag {
 namespace obs {
 
+/// The process's observability epoch: a steady-clock anchor for all
+/// relative timestamps plus the wall-clock instant it was captured, taken
+/// together on first use so `wall time = WallMillis + nanos/1e6` holds for
+/// every obs timestamp. FlightRecorder dumps and wide-event lines both
+/// derive absolute times from this one anchor, which is what makes them
+/// time-correlatable.
+struct ObsEpoch {
+  std::chrono::steady_clock::time_point Steady;
+  uint64_t WallMillis;
+
+  static const ObsEpoch &instance() {
+    static const ObsEpoch E = [] {
+      ObsEpoch R;
+      R.Steady = std::chrono::steady_clock::now();
+      R.WallMillis = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      return R;
+    }();
+    return E;
+  }
+};
+
 /// Nanoseconds since the process's observability epoch (first call).
 inline uint64_t nowNanos() {
-  static const std::chrono::steady_clock::time_point Epoch =
-      std::chrono::steady_clock::now();
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Epoch)
+          std::chrono::steady_clock::now() - ObsEpoch::instance().Steady)
           .count());
 }
+
+/// Wall-clock epoch-milliseconds at the moment the observability epoch was
+/// captured; add nowNanos()/1e6 to get an absolute wall timestamp.
+inline uint64_t epochWallMillis() { return ObsEpoch::instance().WallMillis; }
 
 /// Stable small integer identifying the calling thread's track.
 inline uint32_t trackId() {

@@ -9,6 +9,7 @@
 #include "core/LcdSolver.h"
 #include "obs/FlightRecorder.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/RequestContext.h"
 #include "obs/TraceRecorder.h"
 #include "solvers/ParallelLcdSolver.h"
 
@@ -234,6 +235,7 @@ WarmStartResult
 IncrementalSolver::resolveSystem(const ConstraintSystem &DeltaCS,
                                  const SolveBudget &Budget,
                                  const SolverOptions &Opts) {
+  obs::TierSpan Tier(obs::ReqTier::WarmStart);
   WarmStartResult R;
   if (!ValidSt.ok()) {
     R.St = ValidSt;
@@ -283,5 +285,8 @@ IncrementalSolver::resolveSystem(const ConstraintSystem &DeltaCS,
       Cur.SeedReps.push_back(V + I);
     V += Size;
   }
-  return resolve(DeltaCS.constraints(), Budget, Opts);
+  WarmStartResult RR = resolve(DeltaCS.constraints(), Budget, Opts);
+  if (RR.St.ok())
+    Tier.markHit();
+  return RR;
 }

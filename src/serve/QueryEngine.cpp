@@ -8,6 +8,7 @@
 
 #include "demand/DemandTier.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/RequestContext.h"
 #include "obs/TraceRecorder.h"
 
 #include <algorithm>
@@ -51,18 +52,23 @@ QueryEngine::IdList QueryEngine::pointsTo(NodeId V) {
   uint64_t Key = listKey(TagPts, canonId(V));
   if (auto Hit = ListCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     return *Hit;
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
   // Demand memo first: a certified class answers bit-equal to the
   // snapshot without touching the solution at all.
   if (DemandMemo) {
     IdList Memo;
     if (DemandMemo->tryMemoPointsTo(V, Memo)) {
+      obs::noteTierProbe(obs::ReqTier::Memo, /*Hit=*/true);
       ListCache.put(Key, Memo);
       return Memo;
     }
   }
+  obs::TierSpan Tier(obs::ReqTier::Snapshot);
+  Tier.markHit();
   auto Result = std::make_shared<const std::vector<NodeId>>(
       Snap.Solution.pointsToVector(V));
   ListCache.put(Key, Result);
@@ -79,16 +85,21 @@ bool QueryEngine::alias(NodeId P, NodeId Q) {
   uint64_t Key = (uint64_t(A) << 32) | B;
   if (auto Hit = AliasCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     return *Hit;
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
   if (DemandMemo) {
     bool Memo;
     if (DemandMemo->tryMemoAlias(P, Q, Memo)) {
+      obs::noteTierProbe(obs::ReqTier::Memo, /*Hit=*/true);
       AliasCache.put(Key, Memo);
       return Memo;
     }
   }
+  obs::TierSpan Tier(obs::ReqTier::Snapshot);
+  Tier.markHit();
   bool Result = Snap.Solution.mayAlias(P, Q);
   AliasCache.put(Key, Result);
   return Result;
@@ -137,10 +148,14 @@ Status QueryEngine::pointedBy(NodeId Obj, IdList &Out, SolveGovernor *Gov) {
   uint64_t Key = listKey(TagPointedBy, Obj);
   if (auto Hit = ListCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     Out = *Hit;
     return Status::okStatus();
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
+  obs::TierSpan Tier(obs::ReqTier::Snapshot);
+  Tier.markHit();
   std::vector<NodeId> Pointers;
   {
     std::lock_guard<std::mutex> Lock(ReverseMu);
@@ -173,9 +188,13 @@ QueryEngine::IdList QueryEngine::callees(NodeId V) {
   uint64_t Key = listKey(TagCallees, canonId(V));
   if (auto Hit = ListCache.get(Key)) {
     obs::count(obs::Counter::ServeLruHits);
+    obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/true);
     return *Hit;
   }
   obs::count(obs::Counter::ServeLruMisses);
+  obs::noteTierProbe(obs::ReqTier::Lru, /*Hit=*/false);
+  obs::TierSpan Tier(obs::ReqTier::Snapshot);
+  Tier.markHit();
   std::vector<NodeId> Funs;
   for (uint32_t Obj : Snap.Solution.pointsTo(V))
     if (Snap.CS.isFunction(Obj))
@@ -210,6 +229,8 @@ void QueryEngine::buildCallGraph() {
 }
 
 const std::vector<std::pair<NodeId, NodeId>> &QueryEngine::callGraph() {
+  obs::TierSpan Tier(obs::ReqTier::Snapshot);
+  Tier.markHit();
   std::call_once(CallGraphOnce, [this] { buildCallGraph(); });
   return CallEdges;
 }

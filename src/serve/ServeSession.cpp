@@ -10,6 +10,7 @@
 #include "check/SolutionChecker.h"
 #include "obs/FlightRecorder.h"
 #include "obs/MetricsRegistry.h"
+#include "obs/QuantileWindow.h"
 #include "solvers/Solve.h"
 
 #include <chrono>
@@ -156,6 +157,7 @@ namespace {
 
 void printIdList(std::ostream &Out, const char *What, const std::string &Ref,
                  const QueryEngine::IdList &List) {
+  obs::noteResultSize(List->size());
   Out << What << "(" << Ref << "):";
   for (NodeId V : *List)
     Out << " " << V;
@@ -285,7 +287,16 @@ void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
   }
 }
 
-void ServeSession::cmdStats(std::ostream &Out) {
+void ServeSession::cmdStats(std::ostream &Out, bool Json) {
+  // Quantile gauges are refreshed at observation points only (here, the
+  // OpenMetrics endpoint, teardown), never per request.
+  obs::LatencyTracker::instance().publishGauges();
+  if (Json) {
+    // The same deterministic document --metrics-out writes, so a live
+    // session and an offline run are diffable.
+    Out << obs::MetricsRegistry::instance().renderJson();
+    return;
+  }
   CacheStats S = Engine ? Engine->cacheStats() : Tier->cacheStats();
   Out << "stats: hits " << S.Hits << " misses " << S.Misses << " evictions "
       << S.Evictions << " entries " << S.Entries << "\n";
@@ -301,15 +312,113 @@ void ServeSession::cmdStats(std::ostream &Out) {
   Out << obs::MetricsRegistry::instance().renderText();
 }
 
+obs::CommandClass ServeSession::classifyCommand(const std::string &Cmd) {
+  if (Cmd == "pts" || Cmd == "pointedby" || Cmd == "callees" ||
+      Cmd == "alias" || Cmd == "aliasbatch" || Cmd == "callgraph")
+    return obs::CommandClass::Query;
+  if (Cmd == "resolve")
+    return obs::CommandClass::Mutate;
+  return obs::CommandClass::Admin;
+}
+
+void ServeSession::writeSlowQuery(const std::string &EventLine) {
+  obs::count(obs::Counter::ServeSlowQueries);
+  obs::flight("serve_slow_query");
+  if (!Opts.SlowOut)
+    return;
+  // The flight snapshot carries its own epoch_ms anchor line, so the
+  // entry correlates with wide-event ts_ms fields by subtraction.
+  std::string Dump = obs::FlightRecorder::instance().dumpText();
+  std::lock_guard<std::mutex> Lock(SlowMu);
+  *Opts.SlowOut << "slow-query: " << EventLine << "\n"
+                << "flight snapshot:\n"
+                << Dump;
+  Opts.SlowOut->flush();
+}
+
+void ServeSession::finishRequest(obs::RequestScope &Scope,
+                                 const std::string &Reply) {
+  obs::RequestContext &Ctx = Scope.ctx();
+  Ctx.ReplyBytes = Reply.size();
+  if (Reply.compare(0, 6, "error:") == 0 || Reply.compare(0, 3, "ERR") == 0)
+    Ctx.StatusStr = "error";
+  uint64_t Micros = Scope.finish();
+  obs::LatencyTracker::instance().record(Ctx.Class, Micros);
+  obs::count(obs::Counter::ServeRequests);
+  obs::observe(obs::Hist::ServeRequestMicros, Micros);
+  static constexpr obs::Counter TierCounters[] = {
+      obs::Counter::ServeTierLru,        obs::Counter::ServeTierMemo,
+      obs::Counter::ServeTierDemand,     obs::Counter::ServeTierEscalation,
+      obs::Counter::ServeTierSnapshot,   obs::Counter::ServeTierWarmStart,
+  };
+  for (unsigned I = 0; I != unsigned(obs::ReqTier::NumTiers); ++I)
+    if (Ctx.TierEntered[I])
+      obs::count(TierCounters[I]);
+
+  bool Slow =
+      (Opts.SlowMillis > 0 && Micros > uint64_t(Opts.SlowMillis * 1000.0)) ||
+      Ctx.GovernorTrips > 0;
+  if (!Opts.Events && !Slow)
+    return;
+  std::string EventLine = obs::renderWideEvent(Ctx);
+  if (Opts.Events)
+    Opts.Events->publish(std::string(EventLine));
+  if (Slow)
+    writeSlowQuery(EventLine);
+}
+
+void ServeSession::noteUnexecutedRequest(const std::string &Line,
+                                         const char *StatusStr,
+                                         const std::string &Reply,
+                                         uint64_t WaitedNanos,
+                                         bool CaptureSlow) {
+  std::istringstream Iss(Line);
+  std::string Cmd;
+  if (!(Iss >> Cmd))
+    return; // Blank lines are not requests even when dropped.
+  obs::RequestScope Scope(Cmd.c_str(), classifyCommand(Cmd));
+  obs::RequestContext &Ctx = Scope.ctx();
+  // Backdate admission so the event's micros show the client-visible wait.
+  Ctx.StartNanos =
+      Ctx.StartNanos > WaitedNanos ? Ctx.StartNanos - WaitedNanos : 0;
+  Ctx.StatusStr = StatusStr;
+  Ctx.ReplyBytes = Reply.size();
+  uint64_t Micros = Scope.finish();
+  // Dropped requests are exactly the tail latency an operator needs to
+  // see, so they feed the quantiles like executed ones.
+  obs::LatencyTracker::instance().record(Ctx.Class, Micros);
+  if (!Opts.Events && !CaptureSlow)
+    return;
+  std::string EventLine = obs::renderWideEvent(Ctx);
+  if (Opts.Events)
+    Opts.Events->publish(std::string(EventLine));
+  if (CaptureSlow)
+    writeSlowQuery(EventLine);
+}
+
 bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
   std::istringstream Iss(Line);
   std::string Cmd;
   if (!(Iss >> Cmd))
-    return true; // Blank line.
+    return true; // Blank line: not a request, no telemetry.
   std::vector<std::string> Args;
   for (std::string Tok; Iss >> Tok;)
     Args.push_back(Tok);
 
+  // Buffer the reply through one choke point so its size and error status
+  // can be captured; dispatch never writes Out directly.
+  obs::RequestScope Scope(Cmd.c_str(), classifyCommand(Cmd));
+  std::ostringstream Buf;
+  bool Continue = dispatch(Cmd, Args, Buf);
+  const std::string Reply = Buf.str();
+  Out << Reply;
+  finishRequest(Scope, Reply);
+  return Continue;
+}
+
+bool ServeSession::dispatch(const std::string &Cmd,
+                            std::vector<std::string> &Args,
+                            std::ostream &Out) {
   C.Requests.fetch_add(1, std::memory_order_relaxed);
   if (FaultInjector::instance().shouldFail(FaultSite::ServeRequest)) {
     C.InjectedFaults.fetch_add(1, std::memory_order_relaxed);
@@ -331,7 +440,15 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     return true;
   }
   if (Cmd == "stats") {
-    cmdStats(Out);
+    if (Args.size() == 1 && Args[0] == "json") {
+      cmdStats(Out, /*Json=*/true);
+      return true;
+    }
+    if (!Args.empty()) {
+      Out << "error: stats takes no argument or 'json'\n";
+      return true;
+    }
+    cmdStats(Out, /*Json=*/false);
     return true;
   }
   if (Cmd == "trace") {
@@ -349,6 +466,7 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
       }
     }
     const auto &Edges = Engine->callGraph();
+    obs::noteResultSize(Edges.size());
     Out << "callgraph: " << Edges.size() << " edges\n";
     for (const auto &[Base, Callee] : Edges)
       Out << "edge " << Base << " " << Callee << "\n";
@@ -451,6 +569,7 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     } else {
       Verdict = Engine->alias(P, Q);
     }
+    obs::noteResultSize(1);
     Out << "alias(" << Args[0] << "," << Args[1] << ") = "
         << (Verdict ? "yes" : "no") << "\n";
     return true;
@@ -482,6 +601,7 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
     } else {
       Verdicts = Engine->aliasBatch(Pairs);
     }
+    obs::noteResultSize(Verdicts.size());
     Out << "aliasbatch:";
     for (bool B : Verdicts)
       Out << " " << (B ? "yes" : "no");
@@ -555,7 +675,10 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
       }
       if (Draining) {
         // Admitted after quit: still gets exactly one (structured) reply.
-        Reply("ERR shutdown: session closing\n");
+        std::string Text = "ERR shutdown: session closing\n";
+        Reply(Text);
+        noteUnexecutedRequest(Req.Line, "shutdown", Text, /*WaitedNanos=*/0,
+                              /*CaptureSlow=*/false);
         continue;
       }
       if (Opts.DeadlineSeconds > 0) {
@@ -571,7 +694,14 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
           std::ostringstream Oss;
           Oss << "ERR deadline: waited " << WaitedMs << " ms (limit "
               << LimitMs << " ms)\n";
-          Reply(Oss.str());
+          std::string Text = Oss.str();
+          Reply(Text);
+          // A deadline trip is always slow-query material: the wide
+          // event (status "deadline") and the flight snapshot share one
+          // trace id, so the drop correlates across both logs.
+          noteUnexecutedRequest(
+              Req.Line, "deadline", Text,
+              uint64_t(WaitedMs) * 1000000ull, /*CaptureSlow=*/true);
           continue;
         }
       }
@@ -612,7 +742,10 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
       obs::flight("serve_overload_shed", Pending);
       std::ostringstream Oss;
       Oss << "ERR overloaded: queue full (" << Pending << " pending)\n";
-      Reply(Oss.str());
+      std::string Text = Oss.str();
+      Reply(Text);
+      noteUnexecutedRequest(Line, "overloaded", Text, /*WaitedNanos=*/0,
+                            /*CaptureSlow=*/false);
       continue;
     }
     C.Admitted.fetch_add(1, std::memory_order_relaxed);

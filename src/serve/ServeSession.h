@@ -43,6 +43,8 @@
 
 #include "core/SolveBudget.h"
 #include "demand/DemandTier.h"
+#include "obs/EventLog.h"
+#include "obs/RequestContext.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
 #include "serve/Snapshot.h"
@@ -51,8 +53,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace ag {
 
@@ -96,6 +100,21 @@ struct ServeOptions {
 
   /// Demand mode only: solver kind for the escalation solve.
   SolverKind EscalationKind = SolverKind::LCDHCD;
+
+  /// Wide-event sink: when set, every executed request (and every shed or
+  /// deadline-dropped one in queue mode) publishes one "ag.events.v1"
+  /// JSON line. Shared so the owner can outlive the session and flush.
+  std::shared_ptr<obs::EventLog> Events;
+
+  /// Slow-query threshold in milliseconds: a request slower than this is
+  /// captured in the slow-query log (its wide event plus a FlightRecorder
+  /// ring snapshot). Governor-tripped and deadline-dropped requests are
+  /// captured regardless. <= 0 disables the latency trigger.
+  double SlowMillis = 0;
+
+  /// Slow-query log sink; null disables slow-query capture entirely
+  /// (ptatool serve points this at stderr).
+  std::ostream *SlowOut = nullptr;
 };
 
 /// Monotonic per-session counters (exposed via the `stats` command).
@@ -157,8 +176,27 @@ private:
   Status materializeEngine();
   void cmdCheck(std::ostream &Out);
   void cmdResolve(const std::string &Path, std::ostream &Out);
-  void cmdStats(std::ostream &Out);
+  void cmdStats(std::ostream &Out, bool Json);
   int runQueued(std::istream &In, std::ostream &Out);
+
+  /// Maps a REPL command to its latency/event class.
+  static obs::CommandClass classifyCommand(const std::string &Cmd);
+  /// The command dispatch proper (the old handleLine body); runs under an
+  /// installed RequestScope with the reply buffered by the caller.
+  bool dispatch(const std::string &Cmd, std::vector<std::string> &Args,
+                std::ostream &Out);
+  /// Closes out one executed request: latency quantiles, request/tier
+  /// counters, the wide event, and slow-query capture.
+  void finishRequest(obs::RequestScope &Scope, const std::string &Reply);
+  /// Telemetry for requests answered without executing (queue shed,
+  /// deadline drop): a wide event with \p StatusStr and, for deadline
+  /// drops, a slow-query capture. \p WaitedNanos backdates the start so
+  /// the event's micros reflect the time the client actually waited.
+  void noteUnexecutedRequest(const std::string &Line, const char *StatusStr,
+                             const std::string &Reply, uint64_t WaitedNanos,
+                             bool CaptureSlow);
+  /// Appends one slow-query entry (wide event + flight ring snapshot).
+  void writeSlowQuery(const std::string &EventLine);
 
   ServeOptions Opts;
   /// Serves queries; rebuilt when `resolve` adopts a new solution. In
@@ -182,6 +220,8 @@ private:
     std::atomic<uint64_t> InjectedFaults{0};
   };
   mutable AtomicCounters C;
+  /// Serializes slow-query entries (worker vs. reader-side drops).
+  std::mutex SlowMu;
 };
 
 } // namespace ag

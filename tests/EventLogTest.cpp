@@ -1,0 +1,149 @@
+//===- EventLogTest.cpp - Bounded async wide-event writer -----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The EventLog's core contract: publish() never blocks, overflow drops
+/// lines and counts them instead of stalling the producer, the writer
+/// drains everything that was accepted, and the MPMC ring stays correct
+/// under concurrent producers (the TSan CI shard runs this suite).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventLog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::istringstream In(Text);
+  for (std::string L; std::getline(In, L);)
+    Out.push_back(L);
+  return Out;
+}
+
+TEST(EventLog, ManualDrainWritesPublishedLinesInOrder) {
+  std::ostringstream Sink;
+  obs::EventLog::Options O;
+  O.Capacity = 8;
+  O.ManualDrain = true;
+  obs::EventLog Log(Sink, O);
+  EXPECT_TRUE(Log.publish("first"));
+  EXPECT_TRUE(Log.publish("second"));
+  EXPECT_EQ(Log.drain(), 2u);
+  std::vector<std::string> L = lines(Sink.str());
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0], "first");
+  EXPECT_EQ(L[1], "second");
+  EXPECT_EQ(Log.published(), 2u);
+  EXPECT_EQ(Log.dropped(), 0u);
+  EXPECT_EQ(Log.written(), 2u);
+}
+
+TEST(EventLog, OverflowDropsAndCountsInsteadOfBlocking) {
+  std::ostringstream Sink;
+  obs::EventLog::Options O;
+  O.Capacity = 4;
+  O.ManualDrain = true;
+  obs::EventLog Log(Sink, O);
+  unsigned Accepted = 0;
+  for (int I = 0; I != 10; ++I)
+    Accepted += Log.publish("line " + std::to_string(I)) ? 1 : 0;
+  // Exactly the ring's capacity was accepted; the rest were dropped and
+  // counted — publish returned promptly for every call (a blocked
+  // publish would hang this single-threaded test forever).
+  EXPECT_EQ(Accepted, 4u);
+  EXPECT_EQ(Log.published(), 4u);
+  EXPECT_EQ(Log.dropped(), 6u);
+  EXPECT_EQ(Log.drain(), 4u);
+  std::vector<std::string> L = lines(Sink.str());
+  ASSERT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[0], "line 0");
+  EXPECT_EQ(L[3], "line 3");
+  // Space freed by the drain is reusable.
+  EXPECT_TRUE(Log.publish("after"));
+  EXPECT_EQ(Log.drain(), 1u);
+}
+
+TEST(EventLog, WriterThreadDrainsEverythingOnClose) {
+  std::ostringstream Sink;
+  obs::EventLog::Options O;
+  O.Capacity = 1024;
+  O.FlushEveryLines = 8;
+  obs::EventLog Log(Sink, O);
+  const unsigned N = 500;
+  unsigned Accepted = 0;
+  for (unsigned I = 0; I != N; ++I)
+    Accepted += Log.publish("event " + std::to_string(I)) ? 1 : 0;
+  Log.close();
+  EXPECT_EQ(Log.written(), Accepted);
+  EXPECT_EQ(lines(Sink.str()).size(), Accepted);
+}
+
+TEST(EventLog, ConcurrentProducersLoseNothingWithinCapacity) {
+  std::ostringstream Sink;
+  obs::EventLog::Options O;
+  O.Capacity = 4096; // Above the total publish volume: no drops expected.
+  obs::EventLog Log(Sink, O);
+  constexpr unsigned Threads = 4, PerThread = 256;
+  std::vector<std::thread> Producers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Producers.emplace_back([&Log, T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        Log.publish("t" + std::to_string(T) + " " + std::to_string(I));
+    });
+  for (std::thread &P : Producers)
+    P.join();
+  Log.close();
+  // The writer ran concurrently with the producers, so capacity was
+  // never the binding constraint here — but assert on published() so the
+  // invariant is written down: accepted lines are never lost.
+  EXPECT_EQ(Log.published() + Log.dropped(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(Log.written(), Log.published());
+  EXPECT_EQ(lines(Sink.str()).size(), Log.published());
+}
+
+TEST(EventLog, OpenRejectsUnwritablePathWithStatus) {
+  Status Err;
+  std::unique_ptr<obs::EventLog> Log =
+      obs::EventLog::open("/nonexistent-dir/events.jsonl",
+                          obs::EventLog::Options(), Err);
+  EXPECT_EQ(Log, nullptr);
+  EXPECT_FALSE(Err.ok());
+}
+
+TEST(EventLog, OpenAppendsToFileAndCloseFlushes) {
+  std::string Path = ::testing::TempDir() + "/ag_eventlog_test.jsonl";
+  std::remove(Path.c_str());
+  for (int Round = 0; Round != 2; ++Round) {
+    Status Err;
+    std::unique_ptr<obs::EventLog> Log =
+        obs::EventLog::open(Path, obs::EventLog::Options(), Err);
+    ASSERT_NE(Log, nullptr) << Err.toString();
+    EXPECT_TRUE(Log->publish("round " + std::to_string(Round)));
+    Log->close();
+  }
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::vector<std::string> L = lines(Buf.str());
+  ASSERT_EQ(L.size(), 2u) << "open() must append, not truncate";
+  EXPECT_EQ(L[0], "round 0");
+  EXPECT_EQ(L[1], "round 1");
+  std::remove(Path.c_str());
+}
+
+} // namespace

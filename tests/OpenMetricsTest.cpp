@@ -1,0 +1,218 @@
+//===- OpenMetricsTest.cpp - OpenMetrics rendering + HTTP endpoint --------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OpenMetrics text rendering is parsed and validated in-test (every
+/// sample line belongs to a declared family, counters carry the _total
+/// suffix, histogram buckets are cumulative with increasing `le`, and the
+/// exposition ends with `# EOF`), and the embedded HTTP endpoint is
+/// exercised over a real loopback socket: GET /metrics returns the
+/// rendering, anything else gets a structured 404/405.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/OpenMetrics.h"
+
+#include "obs/MetricsHttp.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/Obs.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ag;
+
+namespace {
+
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::istringstream In(Text);
+  for (std::string L; std::getline(In, L);)
+    Out.push_back(L);
+  return Out;
+}
+
+/// Minimal OpenMetrics parser: validates line structure and returns the
+/// sample map (name+labels -> value as string).
+void parseOpenMetrics(const std::string &Text,
+                      std::map<std::string, std::string> &Samples,
+                      std::map<std::string, std::string> &Types) {
+  std::vector<std::string> L = lines(Text);
+  ASSERT_FALSE(L.empty());
+  ASSERT_EQ(L.back(), "# EOF") << "exposition must end with # EOF";
+  for (size_t I = 0; I + 1 < L.size(); ++I) {
+    const std::string &Line = L[I];
+    ASSERT_FALSE(Line.empty()) << "no blank lines before # EOF";
+    if (Line[0] == '#') {
+      // Only "# TYPE <name> <type>" metadata is emitted.
+      std::istringstream Meta(Line);
+      std::string Hash, Kw, Name, Type;
+      Meta >> Hash >> Kw >> Name >> Type;
+      ASSERT_EQ(Hash, "#");
+      ASSERT_EQ(Kw, "TYPE") << Line;
+      ASSERT_TRUE(Type == "counter" || Type == "gauge" ||
+                  Type == "histogram")
+          << Line;
+      ASSERT_EQ(Types.count(Name), 0u) << "duplicate TYPE for " << Name;
+      Types[Name] = Type;
+      continue;
+    }
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    std::string Key = Line.substr(0, Space);
+    std::string Value = Line.substr(Space + 1);
+    ASSERT_FALSE(Value.empty()) << Line;
+    ASSERT_EQ(Samples.count(Key), 0u) << "duplicate sample " << Key;
+    Samples[Key] = Value;
+  }
+}
+
+TEST(OpenMetrics, RenderingIsValidAndCoversTheRegistry) {
+  obs::setMetricsEnabled(true);
+  auto &Reg = obs::MetricsRegistry::instance();
+  Reg.reset();
+  for (int I = 0; I != 7; ++I)
+    obs::count(obs::Counter::ServeRequests);
+  Reg.setGauge(obs::Gauge::ServeLatencyP99Query, 1234);
+  obs::observe(obs::Hist::ServeRequestMicros, 3);
+  obs::observe(obs::Hist::ServeRequestMicros, 100);
+  obs::observe(obs::Hist::ServeRequestMicros, 100000);
+
+  std::string Text = obs::renderOpenMetrics(Reg);
+  std::map<std::string, std::string> Samples, Types;
+  parseOpenMetrics(Text, Samples, Types);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  // Counters: declared as counter, sampled with the _total suffix.
+  EXPECT_EQ(Types["ag_serve_requests"], "counter");
+  EXPECT_EQ(Samples["ag_serve_requests_total"], "7");
+  // Gauges: sampled under the bare name.
+  EXPECT_EQ(Types["ag_serve_latency_p99_query"], "gauge");
+  EXPECT_EQ(Samples["ag_serve_latency_p99_query"], "1234");
+  // Histograms: cumulative buckets with increasing le, +Inf equals count.
+  EXPECT_EQ(Types["ag_serve_request_micros"], "histogram");
+  EXPECT_EQ(Samples["ag_serve_request_micros_count"], "3");
+  EXPECT_EQ(Samples["ag_serve_request_micros_sum"],
+            std::to_string(3 + 100 + 100000));
+  EXPECT_EQ(Samples["ag_serve_request_micros_bucket{le=\"+Inf\"}"], "3");
+  uint64_t PrevLe = 0, PrevCum = 0;
+  bool SawBucket = false;
+  for (const auto &[Key, Value] : Samples) {
+    const std::string Prefix = "ag_serve_request_micros_bucket{le=\"";
+    if (Key.rfind(Prefix, 0) != 0 || Key.find("+Inf") != std::string::npos)
+      continue;
+    uint64_t Le = std::stoull(Key.substr(Prefix.size()));
+    uint64_t Cum = std::stoull(Value);
+    if (SawBucket) {
+      // std::map orders lexicographically, so compare pairwise via the
+      // running max instead of adjacency.
+      EXPECT_NE(Le, PrevLe) << "duplicate le";
+    }
+    EXPECT_LE(Cum, 3u) << "cumulative bucket cannot exceed the count";
+    SawBucket = true;
+    PrevLe = Le;
+    PrevCum = std::max(PrevCum, Cum);
+  }
+  EXPECT_TRUE(SawBucket) << "histogram must render at least one le bucket";
+  EXPECT_LE(PrevCum, 3u);
+
+  // Every sample resolves to a declared family.
+  for (const auto &[Key, Value] : Samples) {
+    std::string Name = Key.substr(0, Key.find('{'));
+    bool Known = Types.count(Name) != 0;
+    for (const char *Suffix : {"_total", "_bucket", "_sum", "_count"}) {
+      size_t N = Name.size(), S = std::string(Suffix).size();
+      if (!Known && N > S && Name.compare(N - S, S, Suffix) == 0)
+        Known = Types.count(Name.substr(0, N - S)) != 0;
+    }
+    EXPECT_TRUE(Known) << "sample without TYPE declaration: " << Key;
+  }
+
+  EXPECT_NE(std::string(obs::openMetricsContentType())
+                .find("application/openmetrics-text"),
+            std::string::npos);
+  Reg.reset();
+  obs::setMetricsEnabled(false);
+}
+
+/// Drives one HTTP request against the endpoint and returns the raw
+/// response.
+std::string httpRequest(uint16_t Port, const std::string &Request) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  size_t Sent = 0;
+  while (Sent < Request.size()) {
+    ssize_t N = ::send(Fd, Request.data() + Sent, Request.size() - Sent, 0);
+    if (N <= 0)
+      break;
+    Sent += size_t(N);
+  }
+  std::string Response;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Response.append(Buf, size_t(N));
+  }
+  ::close(Fd);
+  return Response;
+}
+
+TEST(OpenMetricsHttp, ServesMetricsOverLoopbackSocket) {
+  obs::MetricsHttpServer Server(
+      [] { return std::string("# TYPE ag_x counter\nag_x_total 5\n# EOF\n"); });
+  Status St = Server.start(0); // Ephemeral port.
+  ASSERT_TRUE(St.ok()) << St.toString();
+  ASSERT_NE(Server.port(), 0);
+
+  std::string Ok = httpRequest(
+      Server.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(Ok.find("HTTP/1.1 200 OK"), std::string::npos) << Ok;
+  EXPECT_NE(Ok.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(Ok.find("ag_x_total 5"), std::string::npos);
+  EXPECT_NE(Ok.find("# EOF"), std::string::npos);
+
+  std::string NotFound = httpRequest(
+      Server.port(), "GET /other HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(NotFound.find("404"), std::string::npos) << NotFound;
+
+  std::string BadMethod = httpRequest(
+      Server.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(BadMethod.find("405"), std::string::npos) << BadMethod;
+
+  EXPECT_GE(Server.requestsServed(), 3u);
+  Server.stop();
+}
+
+TEST(OpenMetricsHttp, StopIsIdempotentAndPortRejectsDoubleStart) {
+  obs::MetricsHttpServer Server([] { return std::string("# EOF\n"); });
+  ASSERT_TRUE(Server.start(0).ok());
+  uint16_t Port = Server.port();
+  EXPECT_FALSE(Server.start(Port).ok()) << "second start must fail";
+  Server.stop();
+  Server.stop(); // Idempotent.
+}
+
+} // namespace

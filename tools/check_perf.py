@@ -8,7 +8,12 @@ when any guarded row regresses beyond the tolerance. Guarded rows:
   headline solvers, and the ones the memory-kernel work optimizes).
 * BENCH_queries.json -- the demand tier's first-answer latencies per
   suite: best targeted query (first_query_ms), the sample median, and
-  the whole-graph worst case (max_query_ms).
+  the whole-graph worst case (max_query_ms), plus the request-telemetry
+  overhead ratio: serving with wide events + latency quantiles enabled
+  must stay within AG_TELEMETRY_OVERHEAD_BOUND (default 1.75x) of the
+  observability-off run of the same REPL mix. The ratio is gated
+  directly (not against the baseline file): it is a self-relative
+  number, so runner speed cancels out.
 
 Usage:
     check_perf.py <bench.json> [<bench2.json> ...] <baseline.json>
@@ -44,6 +49,10 @@ DEMAND_ROWS = (
 )
 DEFAULT_TOLERANCE = 0.25
 FLOOR_MS = 0.05
+# Serving with full request telemetry may cost at most this multiple of
+# the obs-off run (bench_queries' telemetry_overhead section; the
+# measured steady-state ratio is ~1.25x, the bound leaves noise room).
+DEFAULT_TELEMETRY_BOUND = 1.75
 
 
 def rows(bench):
@@ -61,6 +70,27 @@ def rows(bench):
     return out
 
 
+def check_telemetry_overhead(docs):
+    """Gates bench_queries' telemetry_overhead ratio. Returns True if ok."""
+    bound = float(os.environ.get("AG_TELEMETRY_OVERHEAD_BOUND",
+                                 DEFAULT_TELEMETRY_BOUND))
+    ok = True
+    for doc in docs:
+        overhead = doc.get("telemetry_overhead")
+        if not overhead:
+            continue
+        ratio = float(overhead["enabled_over_disabled"])
+        verdict = "ok" if ratio <= bound else "REGRESSED"
+        if ratio > bound:
+            ok = False
+        print("%-14s %-20s off %8.2f ms  on %8.2f ms  ratio %.3f "
+              "(bound %.2f)  %s"
+              % (overhead.get("suite", "?"), "telemetry-overhead",
+                 float(overhead["disabled_best_ms"]),
+                 float(overhead["enabled_best_ms"]), ratio, bound, verdict))
+    return ok
+
+
 def main(argv):
     flags = [a for a in argv[1:] if a.startswith("--")]
     paths = [a for a in argv[1:] if not a.startswith("--")]
@@ -69,9 +99,12 @@ def main(argv):
         return 2
     bench_paths, baseline_path = paths[:-1], paths[-1]
     bench = {}
+    docs = []
     for p in bench_paths:
         with open(p) as f:
-            bench.update(rows(json.load(f)))
+            doc = json.load(f)
+        docs.append(doc)
+        bench.update(rows(doc))
     if not bench:
         print("error: %s has no guarded rows" % ", ".join(bench_paths))
         return 1
@@ -116,6 +149,12 @@ def main(argv):
             failed.append((suite, kind))
         print("%-14s %-20s base %8.3f ms  now %8.3f ms  %+6.1f%%  %s"
               % (suite, kind, base_ms, cur_ms, 100 * delta, verdict))
+
+    if not check_telemetry_overhead(docs):
+        print("\nperf guardrail FAILED: request telemetry costs more than "
+              "AG_TELEMETRY_OVERHEAD_BOUND allows; make the hot path "
+              "cheaper or raise the bound for a deliberate trade-off.")
+        return 1
 
     if failed:
         print("\nperf guardrail FAILED (> %.0f%% over baseline): %s"
