@@ -35,13 +35,20 @@
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
 #include "serve/ServeSession.h"
+#include "serve/Server.h"
 #include "serve/Snapshot.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace ag;
 using namespace ag::bench;
@@ -68,7 +75,7 @@ struct QueryRow {
   uint64_t DemandSteps = 0;     ///< Deduction steps of the targeted query.
   unsigned DemandSampleN = 0;   ///< Pool nodes sampled for the distribution.
   std::string WarmupJson;       ///< Memo warm-up curve (JSON array).
-  std::string MetricsJson; ///< Compact ag.metrics.v4 object for the suite.
+  std::string MetricsJson; ///< Compact ag.metrics.v5 object for the suite.
 };
 
 void appendJsonEscaped(std::string &Out, const std::string &S) {
@@ -149,7 +156,7 @@ int main(int Argc, char **Argv) {
   std::vector<QueryRow> Rows;
   bool Correct = true;
 
-  // One ag.metrics.v4 snapshot per suite covering the whole serving
+  // One ag.metrics.v5 snapshot per suite covering the whole serving
   // story: snapshot load, query mixes (LRU hits/misses), cold solve and
   // warm re-solve. Embedded into the JSON rows below.
   obs::setMetricsEnabled(true);
@@ -470,6 +477,164 @@ int main(int Argc, char **Argv) {
               Guard->Name.c_str(), TelemetryRequests, TelemetryReps,
               TelemetryOffMs, TelemetryOnMs, TelemetryRatio);
 
+  // --- Concurrent serve: aggregate QPS vs connection count. -------------
+  // The networked front-end keeps each connection's pipeline ordered, so
+  // one client exercises at most one worker at a time and aggregate
+  // throughput has to come from multiplexing across connections. Each
+  // client pipelines a seeded cached-query mix over loopback TCP and
+  // reads to EOF (the trailing `quit` makes the server close the
+  // connection); QPS is total requests / wall seconds, best of three reps
+  // per level — the first rep doubles as result-cache warm-up.
+  constexpr unsigned ServeLevels[] = {1, 4, 8};
+  constexpr size_t ServeNumLevels = sizeof(ServeLevels) / sizeof(ServeLevels[0]);
+  constexpr unsigned ServeMaxClients = 8;
+  constexpr unsigned ServeWorkers = 8;
+  constexpr size_t ServeQueriesPerClient = 2000;
+  constexpr int ServeReps = 3;
+  double ServeQpsByLevel[ServeNumLevels] = {};
+  bool ServeOk = true;
+  {
+    Snapshot Snap;
+    Snap.Solution = solve(Guard->Reduced, SolverKind::LCDHCD,
+                          PtsRepr::Bitmap, nullptr, SolverOptions(),
+                          &Guard->Rep);
+    Snap.CS = Guard->Reduced;
+    Snap.SeedReps = Guard->Rep;
+    const uint32_t N = Snap.CS.numNodes();
+    ServeSession Session(std::move(Snap));
+    ServerOptions SrvOpts;
+    SrvOpts.Workers = ServeWorkers;
+    Server Srv(Session, SrvOpts);
+    Status St = Srv.start();
+    if (!St.ok()) {
+      std::fprintf(stderr, "error: concurrent serve bench: %s\n",
+                   St.toString().c_str());
+      ServeOk = false;
+    } else {
+      const uint16_t Port = Srv.port();
+      // Pool-heavy cached mix (the workload the result cache exists
+      // for), one deterministic script per client seed.
+      std::vector<uint32_t> ServePool;
+      Rng ServePoolR(53);
+      for (size_t I = 0; I != PoolSize; ++I)
+        ServePool.push_back(uint32_t(ServePoolR.nextBelow(N)));
+      auto MakeScript = [&](uint64_t Seed) {
+        std::string Script;
+        Rng MixR(1000 + Seed);
+        for (size_t I = 0; I != ServeQueriesPerClient; ++I) {
+          uint32_t A = ServePool[MixR.nextBelow(ServePool.size())];
+          switch (MixR.nextBelow(4)) {
+          case 0:
+          case 1:
+            Script += "pts " + std::to_string(A) + "\n";
+            break;
+          case 2:
+            Script += "alias " + std::to_string(A) + " " +
+                      std::to_string(
+                          ServePool[MixR.nextBelow(ServePool.size())]) +
+                      "\n";
+            break;
+          default:
+            Script += "pointedby " + std::to_string(A) + "\n";
+            break;
+          }
+        }
+        Script += "quit\n";
+        return Script;
+      };
+      const std::string Banner = Session.bannerText();
+      const size_t BannerLines =
+          size_t(std::count(Banner.begin(), Banner.end(), '\n'));
+      // Sends the whole pipeline, then counts reply lines until EOF. The
+      // server's poll thread drains our sends independently of the
+      // workers, so the blocking one-directional phases cannot deadlock.
+      auto RunClient = [&](const std::string &Script, size_t &ReplyLines) {
+        int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (Fd < 0)
+          return false;
+        sockaddr_in Addr = {};
+        Addr.sin_family = AF_INET;
+        Addr.sin_port = htons(Port);
+        Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)) != 0) {
+          ::close(Fd);
+          return false;
+        }
+        size_t Sent = 0;
+        while (Sent < Script.size()) {
+          ssize_t K = ::send(Fd, Script.data() + Sent,
+                             Script.size() - Sent, MSG_NOSIGNAL);
+          if (K <= 0) {
+            ::close(Fd);
+            return false;
+          }
+          Sent += size_t(K);
+        }
+        char Buf[1 << 16];
+        size_t Count = 0;
+        for (;;) {
+          ssize_t K = ::recv(Fd, Buf, sizeof(Buf), 0);
+          if (K <= 0)
+            break;
+          Count += size_t(std::count(Buf, Buf + K, '\n'));
+        }
+        ::close(Fd);
+        ReplyLines = Count;
+        return true;
+      };
+      std::vector<std::string> Scripts;
+      for (unsigned C = 0; C != ServeMaxClients; ++C)
+        Scripts.push_back(MakeScript(C));
+      for (size_t L = 0; L != ServeNumLevels && ServeOk; ++L) {
+        const unsigned Clients = ServeLevels[L];
+        double BestQps = 0;
+        for (int Rep = 0; Rep != ServeReps && ServeOk; ++Rep) {
+          std::vector<std::thread> Threads;
+          std::vector<size_t> Replies(Clients, 0);
+          std::vector<char> ClientOk(Clients, 0);
+          auto T0 = std::chrono::steady_clock::now();
+          for (unsigned C = 0; C != Clients; ++C)
+            Threads.emplace_back([&, C] {
+              ClientOk[C] = RunClient(Scripts[C], Replies[C]) ? 1 : 0;
+            });
+          for (std::thread &T : Threads)
+            T.join();
+          double Secs = secondsSince(T0);
+          for (unsigned C = 0; C != Clients; ++C)
+            // Every query answers with at least one line on top of the
+            // banner; fewer means dropped or truncated replies.
+            if (!ClientOk[C] ||
+                Replies[C] < ServeQueriesPerClient + BannerLines) {
+              std::fprintf(stderr,
+                           "error: concurrent serve client %u: ok=%d, "
+                           "%zu reply lines (want >= %zu)\n",
+                           C, int(ClientOk[C]), Replies[C],
+                           ServeQueriesPerClient + BannerLines);
+              ServeOk = false;
+            }
+          double Qps = Secs > 0 ? double(Clients) *
+                                      double(ServeQueriesPerClient) / Secs
+                                : 0;
+          BestQps = std::max(BestQps, Qps);
+        }
+        ServeQpsByLevel[L] = BestQps;
+        std::printf("concurrent serve (%s): %u client%s -> %.0f qps\n",
+                    Guard->Name.c_str(), Clients, Clients == 1 ? "" : "s",
+                    BestQps);
+      }
+    }
+    Srv.stop();
+  }
+  double ServeScaling = ServeQpsByLevel[0] > 0
+                            ? ServeQpsByLevel[ServeNumLevels - 1] /
+                                  ServeQpsByLevel[0]
+                            : 0;
+  std::printf("concurrent serve scaling 1 -> %u clients: %.2fx (%u cpus, "
+              "%u workers)\n",
+              ServeLevels[ServeNumLevels - 1], ServeScaling,
+              std::thread::hardware_concurrency(), ServeWorkers);
+
   std::string Json = "{\n";
   Json += "  \"scale\": " + std::to_string(Scale) + ",\n";
   Json += "  \"queries_per_mix\": " + std::to_string(NumQueries) + ",\n";
@@ -510,7 +675,23 @@ int main(int Argc, char **Argv) {
           ", \"disabled_best_ms\": " + std::to_string(TelemetryOffMs) +
           ", \"enabled_best_ms\": " + std::to_string(TelemetryOnMs) +
           ", \"enabled_over_disabled\": " + std::to_string(TelemetryRatio) +
-          "}\n";
+          "},\n";
+  Json += "  \"concurrent_serve\": {\"suite\": \"";
+  appendJsonEscaped(Json, Guard->Name);
+  Json += "\", \"cpus\": " +
+          std::to_string(std::thread::hardware_concurrency()) +
+          ", \"workers\": " + std::to_string(ServeWorkers) +
+          ", \"queries_per_client\": " +
+          std::to_string(ServeQueriesPerClient) +
+          ", \"reps\": " + std::to_string(ServeReps) + ", \"levels\": [";
+  for (size_t L = 0; L != ServeNumLevels; ++L) {
+    Json += std::string(L ? ", " : "") +
+            "{\"clients\": " + std::to_string(ServeLevels[L]) +
+            ", \"qps\": " + std::to_string(ServeQpsByLevel[L]) + "}";
+  }
+  Json += "], \"scaling_1_to_" + std::to_string(ServeLevels[ServeNumLevels - 1]) +
+          "\": " + std::to_string(ServeScaling) +
+          ", \"ok\": " + (ServeOk ? "true" : "false") + "}\n";
   Json += "}\n";
 
   if (std::FILE *F = std::fopen(OutPath.c_str(), "w")) {
@@ -523,5 +704,7 @@ int main(int Argc, char **Argv) {
   }
   std::printf("cached == uncached answers, warm == cold solutions: %s\n",
               Correct ? "yes" : "NO — BUG");
-  return Correct ? 0 : 1;
+  if (!ServeOk)
+    std::printf("concurrent serve clients all answered: NO — BUG\n");
+  return Correct && ServeOk ? 0 : 1;
 }

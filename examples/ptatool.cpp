@@ -74,6 +74,7 @@
 #include "obs/TraceRecorder.h"
 #include "serve/IncrementalSolver.h"
 #include "serve/QueryEngine.h"
+#include "serve/Server.h"
 #include "serve/ServeSession.h"
 #include "serve/Snapshot.h"
 #include "serve/SnapshotStore.h"
@@ -91,6 +92,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,9 +149,14 @@ int usage() {
                "[budget flags]\n"
                "               [--events-out=<file>] [--metrics-port <n>] "
                "[--slow-ms <n>]\n"
-               "               (--metrics-port 0 picks an ephemeral port; "
-               "the bound\n"
-               "                endpoint is printed to stderr)\n"
+               "               [--port <n> | --unix-socket <path>] "
+               "[--max-conns <n>]\n"
+               "               [--idle-timeout-ms <n>]\n"
+               "               (--metrics-port/--port 0 picks an ephemeral "
+               "port; the bound\n"
+               "                endpoint is printed to stderr; without "
+               "--port/--unix-socket\n"
+               "                the REPL reads stdin)\n"
                "       ptatool resolve <file.snap> <delta.cons> "
                "[budget flags]\n"
                "       ptatool check <file.cons|file.snap> [algo] [--all] "
@@ -339,6 +346,15 @@ struct SolveFlags {
   /// serve --slow-ms: slow-query latency threshold in milliseconds (0
   /// keeps only the governor-trip/deadline triggers).
   double SlowMs = 0;
+  /// serve --port / --unix-socket: networked front-end instead of the
+  /// stdin REPL. Port 0 binds an ephemeral port (printed to stderr).
+  uint64_t ServePort = 0;
+  bool ServePortSet = false;
+  std::string ServeUnixSocket;
+  /// serve --max-conns / --idle-timeout-ms: connection cap and idle reap
+  /// for the networked front-end.
+  uint64_t MaxConns = 64;
+  uint64_t IdleTimeoutMs = 0;
   /// solve --stats: print the memory-kernel summary (arena footprint,
   /// interning hit rate, physical/routed set sharing).
   bool MemStats = false;
@@ -458,7 +474,8 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
         HasValue = true;
       }
       if (Name == "--trace-out" || Name == "--metrics-out" ||
-          Name == "--metrics-interval-ms" || Name == "--events-out") {
+          Name == "--metrics-interval-ms" || Name == "--events-out" ||
+          Name == "--unix-socket") {
         if (!HasValue) {
           if (I + 1 >= Argc) {
             std::fprintf(stderr, "error: %s expects a value\n", Name.c_str());
@@ -476,6 +493,8 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
           F.MetricsOut = Value;
         } else if (Name == "--events-out") {
           F.EventsOut = Value;
+        } else if (Name == "--unix-socket") {
+          F.ServeUnixSocket = Value;
         } else if (!parsePositiveU64(Value.c_str(), F.MetricsIntervalMs)) {
           std::fprintf(stderr, "error: bad value '%s' for %s\n",
                        Value.c_str(), Name.c_str());
@@ -494,7 +513,8 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
                Arg == "--keep" || Arg == "--max-queue" ||
                Arg == "--deadline-ms" || Arg == "--attempts" ||
                Arg == "--backoff" || Arg == "--metrics-port" ||
-               Arg == "--slow-ms") {
+               Arg == "--slow-ms" || Arg == "--port" ||
+               Arg == "--max-conns" || Arg == "--idle-timeout-ms") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s expects a value\n", Arg.c_str());
         return usage();
@@ -526,7 +546,7 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
       } else if (Arg == "--backoff") {
         Valid = parsePositiveDouble(Value, F.ResolveBackoff) &&
                 F.ResolveBackoff >= 1.0;
-      } else if (Arg == "--metrics-port") {
+      } else if (Arg == "--metrics-port" || Arg == "--port") {
         // 0 is meaningful here (ephemeral port), so parse it directly
         // instead of through parsePositiveU64.
         errno = 0;
@@ -534,8 +554,17 @@ int parseSolveFlags(int Argc, char **Argv, int Start, bool AllowKind,
         unsigned long long Port = std::strtoull(Value, &End, 10);
         Valid = End != Value && *End == '\0' && errno != ERANGE &&
                 Value[0] != '-' && Port <= 65535;
-        F.MetricsPort = Port;
-        F.MetricsPortSet = true;
+        if (Arg == "--metrics-port") {
+          F.MetricsPort = Port;
+          F.MetricsPortSet = true;
+        } else {
+          F.ServePort = Port;
+          F.ServePortSet = true;
+        }
+      } else if (Arg == "--max-conns") {
+        Valid = parsePositiveU64(Value, F.MaxConns);
+      } else if (Arg == "--idle-timeout-ms") {
+        Valid = parsePositiveU64(Value, F.IdleTimeoutMs);
       } else if (Arg == "--slow-ms") {
         Valid = parsePositiveDouble(Value, F.SlowMs);
       } else { // --threads
@@ -811,12 +840,67 @@ int cmdSnapshot(int Argc, char **Argv) {
   return outcomeExit(R.Outcome, R.St);
 }
 
+/// The networked serve path's drain plumbing: SIGTERM/SIGINT ask the
+/// active server for a graceful stop (async-signal-safe: the handler does
+/// one atomic load and one self-pipe write).
+std::atomic<Server *> ActiveServer{nullptr};
+
+extern "C" void serveDrainHandler(int) {
+  if (Server *S = ActiveServer.load(std::memory_order_acquire))
+    S->requestStop();
+}
+
+/// Runs \p Session behind the concurrent TCP/unix-socket front-end until
+/// SIGTERM/SIGINT (or a server start failure). Prints the bound endpoint
+/// to stderr ("serving on ...") so scripts and loadgen can find an
+/// ephemeral port.
+int runNetworkedServe(ServeSession &Session, const SolveFlags &F) {
+  ServerOptions SrvOpts;
+  SrvOpts.Port = static_cast<uint16_t>(F.ServePort);
+  SrvOpts.UnixSocketPath = F.ServeUnixSocket;
+  SrvOpts.MaxConns = static_cast<size_t>(F.MaxConns);
+  SrvOpts.IdleTimeoutSeconds = static_cast<double>(F.IdleTimeoutMs) / 1000.0;
+  SrvOpts.QueueCapacity = static_cast<size_t>(F.MaxQueue);
+  SrvOpts.DeadlineSeconds = static_cast<double>(F.DeadlineMs) / 1000.0;
+  Server Srv(Session, SrvOpts);
+  if (Status St = Srv.start(); !St.ok()) {
+    std::fprintf(stderr, "error: %s\n", St.toString().c_str());
+    return ExitError;
+  }
+  ActiveServer.store(&Srv, std::memory_order_release);
+  struct sigaction SA = {};
+  SA.sa_handler = serveDrainHandler;
+  sigemptyset(&SA.sa_mask);
+  struct sigaction OldTerm, OldInt;
+  ::sigaction(SIGTERM, &SA, &OldTerm);
+  ::sigaction(SIGINT, &SA, &OldInt);
+  std::fprintf(stderr, "serving on %s\n", Srv.endpoint().c_str());
+  Srv.wait();
+  ::sigaction(SIGTERM, &OldTerm, nullptr);
+  ::sigaction(SIGINT, &OldInt, nullptr);
+  ActiveServer.store(nullptr, std::memory_order_release);
+  ServerCounters SC = Srv.counters();
+  std::fprintf(stderr,
+               "drained: %llu connections served, %llu rejected, %llu "
+               "idle-closed\n",
+               static_cast<unsigned long long>(SC.Accepted),
+               static_cast<unsigned long long>(SC.Rejected),
+               static_cast<unsigned long long>(SC.IdleClosed));
+  return ExitPrecise;
+}
+
 int cmdServe(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
   SolveFlags F;
   if (int Rc = parseSolveFlags(Argc, Argv, 3, /*AllowKind=*/false, F))
     return Rc;
+  if (F.ServePortSet && !F.ServeUnixSocket.empty()) {
+    std::fprintf(stderr,
+                 "error: --port and --unix-socket are mutually exclusive\n");
+    return usage();
+  }
+  const bool Networked = F.ServePortSet || !F.ServeUnixSocket.empty();
   // A serving process always collects metrics (the `stats` command reads
   // them) and keeps the flight ring; full tracing stays off.
   obs::setMetricsEnabled(true);
@@ -851,8 +935,12 @@ int cmdServe(int Argc, char **Argv) {
   }
 
   ServeOptions SO;
-  SO.QueueCapacity = static_cast<size_t>(F.MaxQueue);
-  SO.DeadlineSeconds = static_cast<double>(F.DeadlineMs) / 1000.0;
+  // Networked mode moves admission control into the Server (its global
+  // queue and per-connection deadlines carry the same semantics); the
+  // session itself must then run synchronously.
+  SO.QueueCapacity = Networked ? 0 : static_cast<size_t>(F.MaxQueue);
+  SO.DeadlineSeconds =
+      Networked ? 0 : static_cast<double>(F.DeadlineMs) / 1000.0;
   SO.ResolveBudget = F.Budget;
   SO.ResolveOpts = F.Opts;
   SO.ResolveAttempts = static_cast<unsigned>(F.ResolveAttempts);
@@ -893,10 +981,12 @@ int cmdServe(int Argc, char **Argv) {
   if (DemandMode) {
     SO.QueryBudget = F.Budget;
     ServeSession Session(std::move(DemandCS), SO);
-    Rc = Session.run(std::cin, std::cout);
+    Rc = Networked ? runNetworkedServe(Session, F)
+                   : Session.run(std::cin, std::cout);
   } else {
     ServeSession Session(std::move(Snap), SO);
-    Rc = Session.run(std::cin, std::cout);
+    Rc = Networked ? runNetworkedServe(Session, F)
+                   : Session.run(std::cin, std::cout);
   }
   Metrics.stop();
   if (Events)

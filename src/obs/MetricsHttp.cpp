@@ -89,11 +89,25 @@ Status MetricsHttpServer::start(uint16_t Port) {
     BoundPort = ntohs(Addr.sin_port);
 
   Stopping.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(ReadyMu);
+    Ready = false;
+  }
   Thread = std::thread([this] { acceptLoop(); });
+  // Do not return until the accept thread is live: the listener already
+  // queues connections, but a caller that scrapes right after start()
+  // must not race thread startup on a loaded runner.
+  std::unique_lock<std::mutex> Lock(ReadyMu);
+  ReadyCv.wait(Lock, [this] { return Ready; });
   return Status::okStatus();
 }
 
 void MetricsHttpServer::acceptLoop() {
+  {
+    std::lock_guard<std::mutex> Lock(ReadyMu);
+    Ready = true;
+  }
+  ReadyCv.notify_all();
   while (!Stopping.load(std::memory_order_acquire)) {
     pollfd Pfd = {ListenFd, POLLIN, 0};
     int R = ::poll(&Pfd, 1, /*timeout_ms=*/100);

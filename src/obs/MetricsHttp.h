@@ -27,8 +27,10 @@
 #include "adt/Status.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -46,7 +48,12 @@ public:
   MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
 
   /// Binds 127.0.0.1:\p Port (0 = ephemeral) and starts the accept
-  /// thread. Returns a Status on bind/listen failure.
+  /// thread. Returns a Status on bind/listen failure. Only returns once
+  /// the listener is bound, the port published, and the accept thread is
+  /// actually polling — a scrape issued immediately after start() can
+  /// never race the thread's startup (it would sit in the listen backlog
+  /// unanswered until the first poll otherwise, which on slow runners
+  /// pushed it past short client timeouts).
   Status start(uint16_t Port);
 
   /// The bound port (valid after a successful start()).
@@ -71,6 +78,10 @@ private:
   std::atomic<bool> Stopping{false};
   std::atomic<uint64_t> Served{0};
   std::thread Thread;
+  /// start()/acceptLoop() ready handshake (see start()).
+  std::mutex ReadyMu;
+  std::condition_variable ReadyCv;
+  bool Ready = false;
 };
 
 } // namespace obs

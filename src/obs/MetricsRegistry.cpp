@@ -58,6 +58,9 @@ constexpr const char *CounterNames[] = {
     "serve.slow_queries",
     "serve.events_emitted",
     "serve.events_dropped",
+    "serve.conns_accepted",
+    "serve.conns_rejected",
+    "serve.conns_idle_closed",
 };
 static_assert(sizeof(CounterNames) / sizeof(CounterNames[0]) ==
                   unsigned(Counter::NumCounters),
@@ -81,6 +84,7 @@ constexpr const char *GaugeNames[] = {
     "serve.latency.p50.admin",
     "serve.latency.p90.admin",
     "serve.latency.p99.admin",
+    "serve.conns_active",
 };
 static_assert(sizeof(GaugeNames) / sizeof(GaugeNames[0]) ==
                   unsigned(Gauge::NumGauges),
@@ -128,6 +132,10 @@ bool ag::obs::counterIsSchedulingInvariant(Counter C) {
   case Counter::DemandQueries:
   case Counter::ServeRequests:
     return true;
+  // Connection accounting is timing-driven (how fast clients connect,
+  // whether the idle reaper fires first), so none of serve.conns_* joins
+  // the invariant set even though accepted counts are workload-fixed in
+  // well-behaved runs.
   // Propagation totals, search visits, trigger probes, pop counts, round
   // counts and trip counts all depend on which interleaving the workers
   // happened to take. So do edges_added and nodes_collapsed: the parallel
@@ -210,7 +218,7 @@ std::string MetricsRegistry::renderJson(bool Compact) const {
   std::string Out = "{";
   Out += Nl;
   Out += In1;
-  Out += "\"schema\": \"ag.metrics.v4\",";
+  Out += "\"schema\": \"ag.metrics.v5\",";
   Out += Nl;
 
   Out += In1;

@@ -15,14 +15,15 @@
 /// rates.
 ///
 /// Rendering is deterministic: renderJson() emits every counter, gauge and
-/// histogram in enum order with a schema tag ("ag.metrics.v4"), so two runs
+/// histogram in enum order with a schema tag ("ag.metrics.v5"), so two runs
 /// at the same seed produce bit-identical files and CI can validate the
 /// key set against tests/metrics_schema.json (schema stability rules in
 /// DESIGN.md §11; v1 -> v2 added the set-interning counters and the
 /// arena gauges; v2 -> v3 added the demand.* counters and the demand
 /// frontier histogram; v3 -> v4 added the serve request/tier/event
 /// counters, the serve.latency.* quantile gauges and the request-latency
-/// histogram).
+/// histogram; v4 -> v5 added the serve.conns_* connection counters and
+/// the serve.conns_active gauge for the TCP front-end).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -88,6 +89,9 @@ enum class Counter : unsigned {
   ServeSlowQueries,     ///< Requests captured by the slow-query log.
   ServeEventsEmitted,   ///< Wide events enqueued to the event log.
   ServeEventsDropped,   ///< Wide events dropped by the bounded queue.
+  ServeConnsAccepted,   ///< TCP/unix connections accepted by the Server.
+  ServeConnsRejected,   ///< Connections refused at the --max-conns cap.
+  ServeConnsIdleClosed, ///< Connections closed by the idle timeout.
   NumCounters,
 };
 
@@ -112,6 +116,7 @@ enum class Gauge : unsigned {
   ServeLatencyP50Admin,
   ServeLatencyP90Admin,
   ServeLatencyP99Admin,
+  ServeConnsActive, ///< Live Server connections (setGauge on accept/close).
   NumGauges,
 };
 

@@ -94,7 +94,10 @@ std::string ag::obs::renderWideEvent(const RequestContext &Ctx) {
   Out += formatTraceId(Ctx.TraceId);
   Out += "\",\"span\":\"";
   Out += formatTraceId(Ctx.SpanId);
-  Out += "\",\"cmd\":\"";
+  Out += '"';
+  if (Ctx.ConnId)
+    appendKv(Out, "conn", Ctx.ConnId);
+  Out += ",\"cmd\":\"";
   Out += Ctx.Command;
   Out += "\",\"class\":\"";
   Out += ClassNames[unsigned(Ctx.Class)];

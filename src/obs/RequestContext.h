@@ -65,6 +65,7 @@ const char *commandClassName(CommandClass C);
 struct RequestContext {
   uint64_t TraceId = 0;
   uint64_t SpanId = 0;
+  uint64_t ConnId = 0;   ///< Originating connection (TCP Server); 0 = none.
   char Command[24] = {}; ///< Sanitised first token of the request line.
   CommandClass Class = CommandClass::Admin;
   uint64_t StartNanos = 0;    ///< obs clock (nowNanos) at admission.
@@ -203,7 +204,8 @@ inline void noteGovernorTrip(uint8_t Code) {
 
 /// Renders \p Ctx as one "ag.events.v1" wide-event JSON line (no trailing
 /// newline). Only tiers that were entered appear in the "tiers" object;
-/// "trip_code" appears only after a governor trip. See DESIGN.md §15 for
+/// "trip_code" appears only after a governor trip and "conn" only for
+/// requests that arrived over a network connection. See DESIGN.md §15 for
 /// the field reference.
 std::string renderWideEvent(const RequestContext &Ctx);
 

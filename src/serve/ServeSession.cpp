@@ -72,8 +72,10 @@ ServeSession::ServeSession(Snapshot Snap, ServeOptions O) : Opts(O) {
     if (I->valid().ok())
       Inc = std::move(I);
   }
-  Engine = std::make_unique<QueryEngine>(std::move(Snap));
-  rebuildNames();
+  auto St = std::make_shared<ServeState>();
+  St->Engine = std::make_shared<QueryEngine>(std::move(Snap));
+  St->Names = buildNames(St->Engine->snapshot().CS);
+  publishState(std::move(St));
 }
 
 ServeSession::ServeSession(ConstraintSystem System, ServeOptions O) : Opts(O) {
@@ -82,20 +84,29 @@ ServeSession::ServeSession(ConstraintSystem System, ServeOptions O) : Opts(O) {
   TO.EscalationKind = O.EscalationKind;
   TO.EscalationOpts = O.ResolveOpts;
   Tier = std::make_shared<DemandTier>(std::move(System), TO);
-  rebuildNames();
+  auto St = std::make_shared<ServeState>();
+  St->Names = buildNames(Tier->system());
+  publishState(std::move(St));
 }
 
 ServeSession::~ServeSession() = default;
 
-const ConstraintSystem &ServeSession::servedSystem() const {
-  return Engine ? Engine->snapshot().CS : Tier->system();
+const ConstraintSystem &ServeSession::systemOf(const ServeState &St) const {
+  return St.Engine ? St.Engine->snapshot().CS : Tier->system();
 }
 
-Status ServeSession::materializeEngine() {
-  if (Engine)
+Status ServeSession::materializeEngine(StatePtr &St) {
+  if (St->Engine)
     return Status::okStatus();
-  if (Status St = Tier->escalateNow(); !St.ok())
-    return St;
+  std::lock_guard<std::mutex> Lock(MutateMu);
+  // Another request may have materialized while we waited for the lock;
+  // adopt its epoch instead of escalating twice.
+  if (StatePtr Cur = state(); Cur->Engine) {
+    St = std::move(Cur);
+    return Status::okStatus();
+  }
+  if (Status S = Tier->escalateNow(); !S.ok())
+    return S;
   Snapshot FS;
   FS.CS = Tier->system();
   FS.Solution = *Tier->escalationSolution();
@@ -103,10 +114,14 @@ Status ServeSession::materializeEngine() {
   FS.Repr = PtsRepr::Bitmap;
   FS.Outcome = Tier->escalationOutcome();
   FS.Sound = true;
-  Engine = std::make_unique<QueryEngine>(std::move(FS));
+  auto NS = std::make_shared<ServeState>();
+  NS->Engine = std::make_shared<QueryEngine>(std::move(FS));
   // Certified demand classes keep answering pointsTo/alias ahead of the
   // snapshot solution.
-  Engine->attachDemandMemo(Tier);
+  NS->Engine->attachDemandMemo(Tier);
+  NS->Names = St->Names; // Escalation never changes the node table.
+  publishState(NS);
+  St = std::move(NS);
   return Status::okStatus();
 }
 
@@ -122,21 +137,22 @@ ServeCounters ServeSession::counters() const {
   return S;
 }
 
-void ServeSession::rebuildNames() {
+std::shared_ptr<const std::unordered_map<std::string, NodeId>>
+ServeSession::buildNames(const ConstraintSystem &CS) {
   // First occurrence wins; interior slots have generated names like
   // "a[1]" and resolve too.
-  Names.clear();
-  const ConstraintSystem &CS = servedSystem();
+  auto Names = std::make_shared<std::unordered_map<std::string, NodeId>>();
   for (NodeId V = 0; V != CS.numNodes(); ++V) {
     const std::string &Name = CS.nameOf(V);
     if (!Name.empty())
-      Names.emplace(Name, V);
+      Names->emplace(Name, V);
   }
+  return Names;
 }
 
-bool ServeSession::resolveNodeRef(const std::string &Tok, std::ostream &Out,
-                                  NodeId &Id) const {
-  const ConstraintSystem &CS = servedSystem();
+bool ServeSession::resolveNodeRef(const ServeState &St, const std::string &Tok,
+                                  std::ostream &Out, NodeId &Id) const {
+  const ConstraintSystem &CS = systemOf(St);
   if (!Tok.empty() &&
       Tok.find_first_not_of("0123456789") == std::string::npos) {
     errno = 0;
@@ -145,7 +161,7 @@ bool ServeSession::resolveNodeRef(const std::string &Tok, std::ostream &Out,
       Id = static_cast<NodeId>(Raw);
       return true;
     }
-  } else if (auto It = Names.find(Tok); It != Names.end()) {
+  } else if (auto It = St.Names->find(Tok); It != St.Names->end()) {
     Id = It->second;
     return true;
   }
@@ -166,15 +182,15 @@ void printIdList(std::ostream &Out, const char *What, const std::string &Ref,
 
 } // namespace
 
-void ServeSession::cmdCheck(std::ostream &Out) {
-  if (Tier && !Engine) {
+void ServeSession::cmdCheck(StatePtr &St, std::ostream &Out) {
+  if (Tier && !St->Engine) {
     // Certifying needs the whole solution: escalate and check that.
-    if (Status St = materializeEngine(); !St.ok()) {
-      Out << "error: " << St.toString() << "\n";
+    if (Status S = materializeEngine(St); !S.ok()) {
+      Out << "error: " << S.toString() << "\n";
       return;
     }
   }
-  const Snapshot &Snap = Engine->snapshot();
+  const Snapshot &Snap = St->Engine->snapshot();
   if (Snap.Outcome == SolveOutcome::Partial) {
     // A partial solution is not a fixed point by construction; say so
     // without burning a full closure pass.
@@ -186,6 +202,9 @@ void ServeSession::cmdCheck(std::ostream &Out) {
 }
 
 void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
+  // The whole mutation runs under MutateMu: concurrent resolves serialize,
+  // while readers keep answering on the epoch they loaded at entry.
+  std::lock_guard<std::mutex> Lock(MutateMu);
   if (Tier) {
     // Demand mode: fold the delta into the tier (invalidates touched
     // memo entries) and return to the demand path — any materialized
@@ -200,8 +219,9 @@ void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
       Out << "error: " << St.toString() << "\n";
       return;
     }
-    Engine.reset();
-    rebuildNames();
+    auto NS = std::make_shared<ServeState>();
+    NS->Names = buildNames(Tier->system());
+    publishState(NS);
     Out << "resolved: demand delta adopted, new constraints "
         << (Tier->system().constraints().size() - Before) << ", nodes "
         << Tier->numNodes() << ", memo retained "
@@ -249,9 +269,12 @@ void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
     return;
   case SolveOutcome::Precise: {
     // Adopt for serving; the IncrementalSolver already folded the delta
-    // and stays the warm-start base for the next resolve.
-    Engine = std::make_unique<QueryEngine>(Inc->snapshot());
-    rebuildNames();
+    // and stays the warm-start base for the next resolve. Readers on the
+    // old epoch finish there; the swap is one release store.
+    auto NS = std::make_shared<ServeState>();
+    NS->Engine = std::make_shared<QueryEngine>(Inc->snapshot());
+    NS->Names = buildNames(NS->Engine->snapshot().CS);
+    publishState(NS);
     Out << "resolved: outcome precise, attempt " << Attempt << "/" << Attempts
         << ", new constraints " << R.NewConstraints << ", seeded "
         << R.SeededNodes << ", total |pts| "
@@ -274,8 +297,10 @@ void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
     FS.Repr = Inc->snapshot().Repr;
     FS.Outcome = SolveOutcome::Fallback;
     FS.Sound = true;
-    Engine = std::make_unique<QueryEngine>(std::move(FS));
-    rebuildNames();
+    auto NS = std::make_shared<ServeState>();
+    NS->Engine = std::make_shared<QueryEngine>(std::move(FS));
+    NS->Names = buildNames(NS->Engine->snapshot().CS);
+    publishState(NS);
     Out << "resolved: outcome fallback after " << Attempt << " attempts ("
         << R.St.toString() << "); serving sound fallback\n";
     return;
@@ -287,7 +312,8 @@ void ServeSession::cmdResolve(const std::string &Path, std::ostream &Out) {
   }
 }
 
-void ServeSession::cmdStats(std::ostream &Out, bool Json) {
+void ServeSession::cmdStats(const ServeState &St, std::ostream &Out,
+                            bool Json) {
   // Quantile gauges are refreshed at observation points only (here, the
   // OpenMetrics endpoint, teardown), never per request.
   obs::LatencyTracker::instance().publishGauges();
@@ -297,7 +323,7 @@ void ServeSession::cmdStats(std::ostream &Out, bool Json) {
     Out << obs::MetricsRegistry::instance().renderJson();
     return;
   }
-  CacheStats S = Engine ? Engine->cacheStats() : Tier->cacheStats();
+  CacheStats S = St.Engine ? St.Engine->cacheStats() : Tier->cacheStats();
   Out << "stats: hits " << S.Hits << " misses " << S.Misses << " evictions "
       << S.Evictions << " entries " << S.Entries << "\n";
   if (Tier)
@@ -371,13 +397,14 @@ void ServeSession::noteUnexecutedRequest(const std::string &Line,
                                          const char *StatusStr,
                                          const std::string &Reply,
                                          uint64_t WaitedNanos,
-                                         bool CaptureSlow) {
+                                         bool CaptureSlow, uint64_t ConnId) {
   std::istringstream Iss(Line);
   std::string Cmd;
   if (!(Iss >> Cmd))
     return; // Blank lines are not requests even when dropped.
   obs::RequestScope Scope(Cmd.c_str(), classifyCommand(Cmd));
   obs::RequestContext &Ctx = Scope.ctx();
+  Ctx.ConnId = ConnId;
   // Backdate admission so the event's micros show the client-visible wait.
   Ctx.StartNanos =
       Ctx.StartNanos > WaitedNanos ? Ctx.StartNanos - WaitedNanos : 0;
@@ -396,7 +423,51 @@ void ServeSession::noteUnexecutedRequest(const std::string &Line,
     writeSlowQuery(EventLine);
 }
 
-bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
+void ServeSession::noteDroppedRequest(DropKind K, const std::string &Line,
+                                      const std::string &Reply,
+                                      uint64_t WaitedNanos, uint64_t ConnId) {
+  const char *StatusStr = "overloaded";
+  bool CaptureSlow = false;
+  switch (K) {
+  case DropKind::Overloaded:
+    C.Shed.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case DropKind::Deadline:
+    C.DeadlineDropped.fetch_add(1, std::memory_order_relaxed);
+    StatusStr = "deadline";
+    // A deadline trip is always slow-query material: the wide event and
+    // the flight snapshot share one trace id, so the drop correlates
+    // across both logs.
+    CaptureSlow = true;
+    break;
+  case DropKind::Shutdown:
+    StatusStr = "shutdown";
+    break;
+  }
+  noteUnexecutedRequest(Line, StatusStr, Reply, WaitedNanos, CaptureSlow,
+                        ConnId);
+}
+
+void ServeSession::noteAdmitted() {
+  C.Admitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeSession::noteOversizedLine() {
+  C.OversizedLines.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string ServeSession::bannerText() const {
+  StatePtr St = state();
+  const ConstraintSystem &CS = systemOf(*St);
+  std::ostringstream Oss;
+  Oss << "serving " << CS.numNodes() << " nodes, "
+      << CS.constraints().size() << " constraints"
+      << (Tier ? " (demand mode)" : "") << " (type 'help')\n";
+  return Oss.str();
+}
+
+bool ServeSession::handleLine(const std::string &Line, std::ostream &Out,
+                              uint64_t ConnId) {
   std::istringstream Iss(Line);
   std::string Cmd;
   if (!(Iss >> Cmd))
@@ -408,8 +479,12 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
   // Buffer the reply through one choke point so its size and error status
   // can be captured; dispatch never writes Out directly.
   obs::RequestScope Scope(Cmd.c_str(), classifyCommand(Cmd));
+  Scope.ctx().ConnId = ConnId;
+  // The request's epoch: loaded once, kept alive for the whole request
+  // even if a concurrent resolve publishes a successor.
+  StatePtr St = state();
   std::ostringstream Buf;
-  bool Continue = dispatch(Cmd, Args, Buf);
+  bool Continue = dispatch(Cmd, Args, Buf, St);
   const std::string Reply = Buf.str();
   Out << Reply;
   finishRequest(Scope, Reply);
@@ -418,7 +493,7 @@ bool ServeSession::handleLine(const std::string &Line, std::ostream &Out) {
 
 bool ServeSession::dispatch(const std::string &Cmd,
                             std::vector<std::string> &Args,
-                            std::ostream &Out) {
+                            std::ostream &Out, StatePtr &St) {
   C.Requests.fetch_add(1, std::memory_order_relaxed);
   if (FaultInjector::instance().shouldFail(FaultSite::ServeRequest)) {
     C.InjectedFaults.fetch_add(1, std::memory_order_relaxed);
@@ -426,8 +501,6 @@ bool ServeSession::dispatch(const std::string &Cmd,
     Out << "ERR internal: injected fault on request\n";
     return true; // A failed request never kills the session.
   }
-
-  const ConstraintSystem &CS = servedSystem();
 
   if (Cmd == "quit")
     return false;
@@ -441,14 +514,14 @@ bool ServeSession::dispatch(const std::string &Cmd,
   }
   if (Cmd == "stats") {
     if (Args.size() == 1 && Args[0] == "json") {
-      cmdStats(Out, /*Json=*/true);
+      cmdStats(*St, Out, /*Json=*/true);
       return true;
     }
     if (!Args.empty()) {
       Out << "error: stats takes no argument or 'json'\n";
       return true;
     }
-    cmdStats(Out, /*Json=*/false);
+    cmdStats(*St, Out, /*Json=*/false);
     return true;
   }
   if (Cmd == "trace") {
@@ -458,14 +531,14 @@ bool ServeSession::dispatch(const std::string &Cmd,
     return true;
   }
   if (Cmd == "callgraph") {
-    if (Tier && !Engine) {
+    if (Tier && !St->Engine) {
       // The call graph reads every base's full set: whole-solution work.
-      if (Status St = materializeEngine(); !St.ok()) {
-        Out << "error: " << St.toString() << "\n";
+      if (Status S = materializeEngine(St); !S.ok()) {
+        Out << "error: " << S.toString() << "\n";
         return true;
       }
     }
-    const auto &Edges = Engine->callGraph();
+    const auto &Edges = St->Engine->callGraph();
     obs::noteResultSize(Edges.size());
     Out << "callgraph: " << Edges.size() << " edges\n";
     for (const auto &[Base, Callee] : Edges)
@@ -473,7 +546,7 @@ bool ServeSession::dispatch(const std::string &Cmd,
     return true;
   }
   if (Cmd == "check") {
-    cmdCheck(Out);
+    cmdCheck(St, Out);
     return true;
   }
   if (Cmd == "resolve") {
@@ -509,21 +582,22 @@ bool ServeSession::dispatch(const std::string &Cmd,
       return true;
     }
     NodeId V = InvalidNode;
-    if (!resolveNodeRef(Args[0], Out, V))
+    if (!resolveNodeRef(*St, Args[0], Out, V))
       return true;
-    if (Tier && !Engine) {
+    if (Tier && !St->Engine) {
       // Demand path: deduce just what the query needs; a budget trip
       // escalates inside the tier, and only an unanswerable query (no
       // sound solution landed) reports an error.
+      const ConstraintSystem &CS = systemOf(*St);
       QueryEngine::IdList List;
-      Status St;
+      Status S;
       if (Cmd == "pts") {
-        St = Tier->pointsTo(V, List);
+        S = Tier->pointsTo(V, List);
       } else if (Cmd == "pointedby") {
-        St = Tier->pointedBy(V, List);
+        S = Tier->pointedBy(V, List);
       } else {
-        St = Tier->pointsTo(V, List);
-        if (St.ok()) {
+        S = Tier->pointsTo(V, List);
+        if (S.ok()) {
           std::vector<NodeId> Funs;
           for (NodeId Obj : *List)
             if (CS.isFunction(Obj))
@@ -531,25 +605,25 @@ bool ServeSession::dispatch(const std::string &Cmd,
           List = std::make_shared<const std::vector<NodeId>>(std::move(Funs));
         }
       }
-      if (!St.ok()) {
-        Out << "error: " << St.toString() << "\n";
+      if (!S.ok()) {
+        Out << "error: " << S.toString() << "\n";
         return true;
       }
       printIdList(Out, Cmd.c_str(), Args[0], List);
       return true;
     }
     if (Cmd == "pts")
-      printIdList(Out, "pts", Args[0], Engine->pointsTo(V));
+      printIdList(Out, "pts", Args[0], St->Engine->pointsTo(V));
     else if (Cmd == "pointedby") {
       QueryEngine::IdList List;
       SolveGovernor Gov(Opts.QueryBudget);
-      if (Status St = Engine->pointedBy(V, List, &Gov); !St.ok()) {
-        Out << "error: " << St.toString() << "\n";
+      if (Status S = St->Engine->pointedBy(V, List, &Gov); !S.ok()) {
+        Out << "error: " << S.toString() << "\n";
         return true;
       }
       printIdList(Out, "pointedby", Args[0], List);
     } else
-      printIdList(Out, "callees", Args[0], Engine->callees(V));
+      printIdList(Out, "callees", Args[0], St->Engine->callees(V));
     return true;
   }
   if (Cmd == "alias") {
@@ -558,16 +632,17 @@ bool ServeSession::dispatch(const std::string &Cmd,
       return true;
     }
     NodeId P = InvalidNode, Q = InvalidNode;
-    if (!resolveNodeRef(Args[0], Out, P) || !resolveNodeRef(Args[1], Out, Q))
+    if (!resolveNodeRef(*St, Args[0], Out, P) ||
+        !resolveNodeRef(*St, Args[1], Out, Q))
       return true;
     bool Verdict = false;
-    if (Tier && !Engine) {
-      if (Status St = Tier->alias(P, Q, Verdict); !St.ok()) {
-        Out << "error: " << St.toString() << "\n";
+    if (Tier && !St->Engine) {
+      if (Status S = Tier->alias(P, Q, Verdict); !S.ok()) {
+        Out << "error: " << S.toString() << "\n";
         return true;
       }
     } else {
-      Verdict = Engine->alias(P, Q);
+      Verdict = St->Engine->alias(P, Q);
     }
     obs::noteResultSize(1);
     Out << "alias(" << Args[0] << "," << Args[1] << ") = "
@@ -582,24 +657,24 @@ bool ServeSession::dispatch(const std::string &Cmd,
     std::vector<std::pair<NodeId, NodeId>> Pairs;
     for (size_t I = 0; I < Args.size(); I += 2) {
       NodeId P = InvalidNode, Q = InvalidNode;
-      if (!resolveNodeRef(Args[I], Out, P) ||
-          !resolveNodeRef(Args[I + 1], Out, Q))
+      if (!resolveNodeRef(*St, Args[I], Out, P) ||
+          !resolveNodeRef(*St, Args[I + 1], Out, Q))
         return true;
       Pairs.emplace_back(P, Q);
     }
     std::vector<bool> Verdicts;
-    if (Tier && !Engine) {
+    if (Tier && !St->Engine) {
       Verdicts.reserve(Pairs.size());
       for (const auto &[P, Q] : Pairs) {
         bool V = false;
-        if (Status St = Tier->alias(P, Q, V); !St.ok()) {
-          Out << "error: " << St.toString() << "\n";
+        if (Status S = Tier->alias(P, Q, V); !S.ok()) {
+          Out << "error: " << S.toString() << "\n";
           return true;
         }
         Verdicts.push_back(V);
       }
     } else {
-      Verdicts = Engine->aliasBatch(Pairs);
+      Verdicts = St->Engine->aliasBatch(Pairs);
     }
     obs::noteResultSize(Verdicts.size());
     Out << "aliasbatch:";
@@ -608,16 +683,12 @@ bool ServeSession::dispatch(const std::string &Cmd,
     Out << "\n";
     return true;
   }
-  (void)CS;
   Out << "error: unknown command '" << Cmd << "' (type 'help')\n";
   return true;
 }
 
 int ServeSession::run(std::istream &In, std::ostream &Out) {
-  const ConstraintSystem &CS = servedSystem();
-  Out << "serving " << CS.numNodes() << " nodes, "
-      << CS.constraints().size() << " constraints"
-      << (Tier ? " (demand mode)" : "") << " (type 'help')\n";
+  Out << bannerText();
   Out.flush();
 
   if (Opts.QueueCapacity > 0)
@@ -629,7 +700,7 @@ int ServeSession::run(std::istream &In, std::ostream &Out) {
     if (LS == LineStatus::Eof)
       return 0;
     if (LS == LineStatus::TooLong) {
-      C.OversizedLines.fetch_add(1, std::memory_order_relaxed);
+      noteOversizedLine();
       Out << "error: line too long (max " << Opts.MaxLineBytes << " bytes)\n";
       continue;
     }
@@ -677,8 +748,8 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
         // Admitted after quit: still gets exactly one (structured) reply.
         std::string Text = "ERR shutdown: session closing\n";
         Reply(Text);
-        noteUnexecutedRequest(Req.Line, "shutdown", Text, /*WaitedNanos=*/0,
-                              /*CaptureSlow=*/false);
+        noteDroppedRequest(DropKind::Shutdown, Req.Line, Text,
+                           /*WaitedNanos=*/0);
         continue;
       }
       if (Opts.DeadlineSeconds > 0) {
@@ -688,7 +759,6 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
         auto LimitMs =
             static_cast<long long>(Opts.DeadlineSeconds * 1000.0);
         if (WaitedMs > LimitMs) {
-          C.DeadlineDropped.fetch_add(1, std::memory_order_relaxed);
           obs::flight("serve_deadline_drop",
                       static_cast<uint64_t>(WaitedMs));
           std::ostringstream Oss;
@@ -696,12 +766,8 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
               << LimitMs << " ms)\n";
           std::string Text = Oss.str();
           Reply(Text);
-          // A deadline trip is always slow-query material: the wide
-          // event (status "deadline") and the flight snapshot share one
-          // trace id, so the drop correlates across both logs.
-          noteUnexecutedRequest(
-              Req.Line, "deadline", Text,
-              uint64_t(WaitedMs) * 1000000ull, /*CaptureSlow=*/true);
+          noteDroppedRequest(DropKind::Deadline, Req.Line, Text,
+                             uint64_t(WaitedMs) * 1000000ull);
           continue;
         }
       }
@@ -726,7 +792,7 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
     if (LS == LineStatus::Eof)
       break;
     if (LS == LineStatus::TooLong) {
-      C.OversizedLines.fetch_add(1, std::memory_order_relaxed);
+      noteOversizedLine();
       std::ostringstream Oss;
       Oss << "error: line too long (max " << Opts.MaxLineBytes << " bytes)\n";
       Reply(Oss.str());
@@ -738,17 +804,15 @@ int ServeSession::runQueued(std::istream &In, std::ostream &Out) {
     if (Queue.size() >= Opts.QueueCapacity) {
       size_t Pending = Queue.size();
       Lock.unlock();
-      C.Shed.fetch_add(1, std::memory_order_relaxed);
       obs::flight("serve_overload_shed", Pending);
       std::ostringstream Oss;
       Oss << "ERR overloaded: queue full (" << Pending << " pending)\n";
       std::string Text = Oss.str();
       Reply(Text);
-      noteUnexecutedRequest(Line, "overloaded", Text, /*WaitedNanos=*/0,
-                            /*CaptureSlow=*/false);
+      noteDroppedRequest(DropKind::Overloaded, Line, Text, /*WaitedNanos=*/0);
       continue;
     }
-    C.Admitted.fetch_add(1, std::memory_order_relaxed);
+    noteAdmitted();
     Queue.push_back(Request{std::move(Line), Clock::now()});
     Line = std::string();
     Lock.unlock();

@@ -31,6 +31,17 @@
 ///  * The FaultInjector site ServeRequest fails individual requests with
 ///    a structured error, proving request failures never kill a session.
 ///
+/// Command dispatch is stream-agnostic and re-entrant: any number of
+/// threads (the TCP Server's worker pool, tests) may call handleLine
+/// concurrently, each buffering its own reply. The served identity —
+/// QueryEngine plus the name table — lives in an immutable ServeState
+/// behind an RCU-style shared_ptr epoch: readers copy the pointer once
+/// per request and finish on that state even if `resolve` swaps in
+/// a successor mid-request; writers build the new state off-path under
+/// MutateMu and publish it with one pointer swap, so readers never
+/// observe a half-built engine and never wait on a re-solve in
+/// progress (the swap itself is a nanosecond StateMu critical section).
+///
 /// Queue-mode output interleaving: replies are written atomically (one
 /// lock per reply), reader-side errors (`ERR overloaded`, line-too-long)
 /// may interleave *between* worker replies — clients match replies to
@@ -153,38 +164,93 @@ public:
   int run(std::istream &In, std::ostream &Out);
 
   /// Executes one request line (test entry; also the worker's core).
+  /// Safe to call from any number of threads concurrently — the request
+  /// runs on the serve state loaded at entry. \p ConnId tags the request's
+  /// telemetry (wide events) with the originating connection; 0 = the
+  /// stdin REPL / no connection.
   /// \returns false when the session should end (`quit`).
-  bool handleLine(const std::string &Line, std::ostream &Out);
+  bool handleLine(const std::string &Line, std::ostream &Out,
+                  uint64_t ConnId = 0);
+
+  /// The greeting line run() writes before serving; network front-ends
+  /// send the same bytes per connection so a TCP client script and a
+  /// stdin script produce identical transcripts.
+  std::string bannerText() const;
+
+  /// The session's tuning (front-ends need MaxLineBytes for their own
+  /// bounded readers).
+  const ServeOptions &options() const { return Opts; }
+
+  /// How a front-end-owned request was dropped before dispatch.
+  enum class DropKind {
+    Overloaded, ///< Admission queue full.
+    Deadline,   ///< Waited past the deadline.
+    Shutdown,   ///< Admitted while the session/connection was closing.
+  };
+
+  /// Reader-side accounting for front-ends that own their own line reader
+  /// and admission queue (the TCP Server): a request answered without
+  /// being executed still counts and still publishes one wide event with
+  /// the drop status, exactly like the built-in queue mode.
+  void noteDroppedRequest(DropKind K, const std::string &Line,
+                          const std::string &Reply, uint64_t WaitedNanos,
+                          uint64_t ConnId = 0);
+  /// Counts one admitted request (front-end queues).
+  void noteAdmitted();
+  /// Counts one over-long line consumed by a front-end reader.
+  void noteOversizedLine();
 
   ServeCounters counters() const;
 
   /// The snapshot currently being served (changes after a successful
   /// `resolve`). Snapshot mode only — demand mode has no snapshot until
-  /// a whole-solution command materializes one.
-  const Snapshot &servingSnapshot() const { return Engine->snapshot(); }
+  /// a whole-solution command materializes one. The reference stays valid
+  /// until the next successful `resolve` swaps the serve state.
+  const Snapshot &servingSnapshot() const { return state()->Engine->snapshot(); }
 
   /// Demand mode's tier (null in snapshot mode).
   const DemandTier *demandTier() const { return Tier.get(); }
 
 private:
-  void rebuildNames();
-  const ConstraintSystem &servedSystem() const;
-  bool resolveNodeRef(const std::string &Tok, std::ostream &Out,
-                      NodeId &Id) const;
-  /// Demand mode: forces the tier's escalation and builds Engine over
-  /// the exhaustive solution (idempotent). Snapshot mode: no-op ok.
-  Status materializeEngine();
-  void cmdCheck(std::ostream &Out);
+  /// One immutable serving epoch: the engine (null in demand mode until a
+  /// whole-solution command materializes it) plus the name table matching
+  /// its constraint system. Published via State; never mutated after.
+  struct ServeState {
+    std::shared_ptr<QueryEngine> Engine;
+    std::shared_ptr<const std::unordered_map<std::string, NodeId>> Names;
+  };
+  using StatePtr = std::shared_ptr<const ServeState>;
+
+  StatePtr state() const {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    return State;
+  }
+  void publishState(StatePtr St) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    State = std::move(St);
+  }
+  const ConstraintSystem &systemOf(const ServeState &St) const;
+  static std::shared_ptr<const std::unordered_map<std::string, NodeId>>
+  buildNames(const ConstraintSystem &CS);
+  bool resolveNodeRef(const ServeState &St, const std::string &Tok,
+                      std::ostream &Out, NodeId &Id) const;
+  /// Demand mode: forces the tier's escalation, publishes a state with an
+  /// Engine over the exhaustive solution (idempotent) and repoints \p St
+  /// at it. Snapshot mode: no-op ok.
+  Status materializeEngine(StatePtr &St);
+  void cmdCheck(StatePtr &St, std::ostream &Out);
   void cmdResolve(const std::string &Path, std::ostream &Out);
-  void cmdStats(std::ostream &Out, bool Json);
+  void cmdStats(const ServeState &St, std::ostream &Out, bool Json);
   int runQueued(std::istream &In, std::ostream &Out);
 
   /// Maps a REPL command to its latency/event class.
   static obs::CommandClass classifyCommand(const std::string &Cmd);
   /// The command dispatch proper (the old handleLine body); runs under an
-  /// installed RequestScope with the reply buffered by the caller.
+  /// installed RequestScope with the reply buffered by the caller. \p St
+  /// is the epoch the request executes on (check/callgraph may advance it
+  /// to a freshly materialized one).
   bool dispatch(const std::string &Cmd, std::vector<std::string> &Args,
-                std::ostream &Out);
+                std::ostream &Out, StatePtr &St);
   /// Closes out one executed request: latency quantiles, request/tier
   /// counters, the wide event, and slow-query capture.
   void finishRequest(obs::RequestScope &Scope, const std::string &Reply);
@@ -194,21 +260,30 @@ private:
   /// the event's micros reflect the time the client actually waited.
   void noteUnexecutedRequest(const std::string &Line, const char *StatusStr,
                              const std::string &Reply, uint64_t WaitedNanos,
-                             bool CaptureSlow);
+                             bool CaptureSlow, uint64_t ConnId = 0);
   /// Appends one slow-query entry (wide event + flight ring snapshot).
   void writeSlowQuery(const std::string &EventLine);
 
   ServeOptions Opts;
-  /// Serves queries; rebuilt when `resolve` adopts a new solution. In
-  /// demand mode, null until a whole-solution command materializes it.
-  std::unique_ptr<QueryEngine> Engine;
-  /// Demand mode's first tier (null in snapshot mode). Shared with the
-  /// materialized Engine as its attached memo.
+  /// The current serving epoch (see ServeState). Swapped by cmdResolve /
+  /// materializeEngine under MutateMu; readers copy the pointer under
+  /// StateMu — a nanosecond critical section that never overlaps a
+  /// mutation (writers build the new epoch off to the side and only
+  /// take StateMu for the final pointer swap). A plain mutex instead of
+  /// std::atomic<shared_ptr>: libstdc++'s _Sp_atomic trips TSan (its
+  /// embedded spinlock is invisible to the race detector), and the
+  /// epoch protocol must stay provably clean under TSan in CI.
+  StatePtr State;
+  mutable std::mutex StateMu;
+  /// Demand mode's first tier (null in snapshot mode). Shared with every
+  /// materialized Engine as its attached memo; internally thread-safe.
   std::shared_ptr<DemandTier> Tier;
   /// Warm-start base: always the newest *precise* snapshot (null when the
-  /// session was started from a fallback snapshot).
+  /// session was started from a fallback snapshot). Guarded by MutateMu.
   std::unique_ptr<IncrementalSolver> Inc;
-  std::unordered_map<std::string, NodeId> Names;
+  /// Serializes state writers (`resolve`, demand materialization). Readers
+  /// never take it.
+  std::mutex MutateMu;
 
   struct AtomicCounters {
     std::atomic<uint64_t> Requests{0};

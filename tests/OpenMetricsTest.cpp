@@ -20,13 +20,17 @@
 #include "obs/MetricsRegistry.h"
 #include "obs/Obs.h"
 
+#include "TestTimeouts.h"
+
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -168,9 +172,20 @@ std::string httpRequest(uint16_t Port, const std::string &Request) {
       break;
     Sent += size_t(N);
   }
+  // Bounded read (AG_TEST_TIMEOUT_SCALE stretches it on slow sanitizer
+  // runners): an endpoint that never answers fails the expectation below
+  // instead of hanging the suite.
   std::string Response;
   char Buf[4096];
+  auto End = std::chrono::steady_clock::now() + ag::test::scaledMs(5000);
   for (;;) {
+    auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        End - std::chrono::steady_clock::now());
+    if (Remain.count() <= 0)
+      break;
+    pollfd Pfd = {Fd, POLLIN, 0};
+    if (::poll(&Pfd, 1, int(Remain.count())) <= 0)
+      break;
     ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
     if (N <= 0)
       break;

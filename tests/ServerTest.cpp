@@ -1,0 +1,558 @@
+//===- ServerTest.cpp - Concurrent line-protocol front-end ----------------===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TCP/unix-socket Server front-end: K parallel clients produce
+/// byte-identical transcripts to the serial stdin REPL, overload sheds at
+/// --max-conns, a mid-request disconnect never hurts other connections,
+/// oversized/garbage lines get the REPL's structured errors per
+/// connection, requestStop() drains in-flight requests, idle connections
+/// are reaped, and a `resolve` epoch swap under live query load keeps
+/// every reader on a consistent snapshot (the TSan leg runs this suite).
+/// The E2e test drives `ptatool serve --unix-socket` in a subprocess and
+/// proves SIGTERM exits 0 after a graceful drain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "adt/Rng.h"
+#include "constraints/OfflineVariableSubstitution.h"
+#include "serve/ServeSession.h"
+#include "solvers/Solve.h"
+#include "workload/WorkloadGen.h"
+
+#include "TestTimeouts.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace ag;
+using ag::test::scaledMs;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+Snapshot makeSnapshot(const ConstraintSystem &CS) {
+  OvsResult Ovs = runOfflineVariableSubstitution(CS);
+  Snapshot Snap;
+  Snap.Solution = solve(Ovs.Reduced, SolverKind::LCDHCD, PtsRepr::Bitmap,
+                        nullptr, SolverOptions(), &Ovs.Rep);
+  Snap.CS = std::move(Ovs.Reduced);
+  Snap.SeedReps = std::move(Ovs.Rep);
+  return Snap;
+}
+
+ConstraintSystem tinySystem() {
+  ConstraintSystem CS;
+  NodeId P = CS.addNode("p"), O = CS.addNode("o"), Q = CS.addNode("q");
+  CS.addAddressOf(P, O);
+  CS.addCopy(Q, P);
+  return CS;
+}
+
+ConstraintSystem mediumSystem() {
+  BenchmarkSpec Spec;
+  Spec.NumFunctions = 10;
+  Spec.VarsPerFunction = 8;
+  Spec.NumGlobals = 16;
+  Spec.Seed = 31;
+  return generateBenchmark(Spec);
+}
+
+int connectTcp(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += size_t(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+/// Reads until EOF or the deadline; a hung server fails the test instead
+/// of hanging it.
+std::string readToEof(int Fd, std::chrono::milliseconds Deadline) {
+  std::string Out;
+  auto End = Clock::now() + Deadline;
+  char Buf[4096];
+  for (;;) {
+    auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        End - Clock::now());
+    if (Remain.count() <= 0)
+      break;
+    pollfd P = {Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, int(Remain.count()));
+    if (R <= 0 && errno != EINTR)
+      break;
+    if (R <= 0)
+      continue;
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Out.append(Buf, size_t(N));
+  }
+  return Out;
+}
+
+/// Incremental line reader over one socket (keeps the partial tail
+/// between calls).
+struct LineReader {
+  int Fd;
+  std::string Buf;
+
+  /// Next '\n'-terminated line (without the newline); false on EOF or
+  /// deadline.
+  bool next(std::string &Line, std::chrono::milliseconds Deadline) {
+    auto End = Clock::now() + Deadline;
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return true;
+      }
+      auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+          End - Clock::now());
+      if (Remain.count() <= 0)
+        return false;
+      pollfd P = {Fd, POLLIN, 0};
+      int R = ::poll(&P, 1, int(Remain.count()));
+      if (R <= 0) {
+        if (R < 0 && errno == EINTR)
+          continue;
+        return false;
+      }
+      char Tmp[4096];
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N <= 0)
+        return false;
+      Buf.append(Tmp, size_t(N));
+    }
+  }
+};
+
+/// Writes the whole script, half-closes, reads the full transcript.
+std::string runScript(int Fd, const std::string &Script,
+                      std::chrono::milliseconds Deadline) {
+  EXPECT_TRUE(sendAll(Fd, Script));
+  ::shutdown(Fd, SHUT_WR);
+  return readToEof(Fd, Deadline);
+}
+
+/// A deterministic per-client query mix (read-only commands plus
+/// structured-error lines, so replies are independent of what other
+/// clients do to the shared session).
+std::string makeScript(uint32_t NumNodes, uint64_t Seed, size_t Lines) {
+  Rng R(Seed);
+  std::ostringstream S;
+  for (size_t I = 0; I != Lines; ++I) {
+    switch (R.nextBelow(5)) {
+    case 0:
+      S << "pts " << R.nextBelow(NumNodes) << "\n";
+      break;
+    case 1:
+      S << "alias " << R.nextBelow(NumNodes) << " " << R.nextBelow(NumNodes)
+        << "\n";
+      break;
+    case 2:
+      S << "pointedby " << R.nextBelow(NumNodes) << "\n";
+      break;
+    case 3:
+      S << "help\n";
+      break;
+    default:
+      S << "no-such-command-" << R.nextBelow(100) << "\n";
+      break;
+    }
+  }
+  S << "quit\n";
+  return S.str();
+}
+
+TEST(Server, EightParallelClientsAreByteIdenticalToSerialRepl) {
+  Snapshot Snap = makeSnapshot(mediumSystem());
+  const uint32_t NumNodes = Snap.CS.numNodes();
+
+  constexpr size_t NumClients = 8;
+  std::vector<std::string> Scripts, Expected;
+  for (size_t I = 0; I != NumClients; ++I) {
+    Scripts.push_back(makeScript(NumNodes, /*Seed=*/1000 + I, 40));
+    // The serial reference: a fresh REPL run over the same snapshot.
+    ServeSession Ref(Snap);
+    std::istringstream In(Scripts.back());
+    std::ostringstream Out;
+    EXPECT_EQ(Ref.run(In, Out), 0);
+    Expected.push_back(Out.str());
+  }
+
+  ServeSession Session(Snap);
+  ServerOptions SrvOpts;
+  SrvOpts.Workers = 4;
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  std::vector<std::string> Got(NumClients);
+  std::vector<std::thread> Clients;
+  for (size_t I = 0; I != NumClients; ++I)
+    Clients.emplace_back([&, I] {
+      int Fd = connectTcp(Srv.port());
+      ASSERT_GE(Fd, 0);
+      Got[I] = runScript(Fd, Scripts[I], scaledMs(20000));
+      ::close(Fd);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  Srv.stop();
+
+  for (size_t I = 0; I != NumClients; ++I)
+    EXPECT_EQ(Got[I], Expected[I])
+        << "client " << I << " transcript diverged from the serial REPL";
+  EXPECT_EQ(Srv.counters().Accepted, NumClients);
+}
+
+TEST(Server, MaxConnsRejectsExtraClientsWithStructuredError) {
+  ServeSession Session(makeSnapshot(tinySystem()));
+  ServerOptions SrvOpts;
+  SrvOpts.MaxConns = 2;
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  int A = connectTcp(Srv.port());
+  int B = connectTcp(Srv.port());
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+  // Both admitted clients must see the banner before the third connects,
+  // otherwise its accept can race theirs.
+  LineReader Ra{A, {}}, Rb{B, {}};
+  std::string Banner;
+  ASSERT_TRUE(Ra.next(Banner, scaledMs(5000)));
+  EXPECT_NE(Banner.find("serving"), std::string::npos);
+  ASSERT_TRUE(Rb.next(Banner, scaledMs(5000)));
+
+  int Extra = connectTcp(Srv.port());
+  ASSERT_GE(Extra, 0);
+  std::string Reply = readToEof(Extra, scaledMs(5000));
+  EXPECT_EQ(Reply, "ERR overloaded: too many connections (max 2)\n");
+  ::close(Extra);
+
+  // The admitted connections still serve.
+  ASSERT_TRUE(sendAll(A, "pts p\n"));
+  std::string Line;
+  ASSERT_TRUE(Ra.next(Line, scaledMs(5000)));
+  EXPECT_EQ(Line, "pts(p): 1");
+
+  ::close(A);
+  ::close(B);
+  Srv.stop();
+  ServerCounters SC = Srv.counters();
+  EXPECT_EQ(SC.Accepted, 2u);
+  EXPECT_GE(SC.Rejected, 1u);
+}
+
+TEST(Server, MidRequestDisconnectNeverAffectsOtherConnections) {
+  ServeSession Session(makeSnapshot(tinySystem()));
+  ServerOptions SrvOpts;
+  SrvOpts.Workers = 2;
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  // Client A starts a slow request and vanishes mid-flight without
+  // reading a byte of the reply.
+  int A = connectTcp(Srv.port());
+  ASSERT_GE(A, 0);
+  ASSERT_TRUE(sendAll(A, "sleep 200\n"));
+  ::close(A);
+
+  // Client B gets served normally, before and after A's request lands on
+  // the closed socket.
+  int B = connectTcp(Srv.port());
+  ASSERT_GE(B, 0);
+  std::string Transcript = runScript(B, "pts p\nsleep 250\npts q\nquit\n",
+                                     scaledMs(20000));
+  ::close(B);
+  EXPECT_NE(Transcript.find("pts(p): 1\n"), std::string::npos) << Transcript;
+  EXPECT_NE(Transcript.find("pts(q): 1\n"), std::string::npos) << Transcript;
+  Srv.stop();
+}
+
+TEST(Server, OversizedAndGarbageLinesGetReplStructuredErrorsPerConn) {
+  ServeOptions SessOpts;
+  SessOpts.MaxLineBytes = 64;
+  ServeSession Session(makeSnapshot(tinySystem()), SessOpts);
+  Server Srv(Session, ServerOptions());
+  ASSERT_TRUE(Srv.start().ok());
+
+  int Fd = connectTcp(Srv.port());
+  ASSERT_GE(Fd, 0);
+  std::string Long(1000, 'x');
+  std::string Transcript = runScript(
+      Fd, "pts " + Long + "\n\x01\x02garbage\x7f\npts p\nquit\n",
+      scaledMs(10000));
+  ::close(Fd);
+  EXPECT_NE(Transcript.find("error: line too long (max 64 bytes)\n"),
+            std::string::npos)
+      << Transcript;
+  EXPECT_NE(Transcript.find("error: unknown command"), std::string::npos)
+      << Transcript;
+  EXPECT_NE(Transcript.find("pts(p): 1\n"), std::string::npos) << Transcript;
+  EXPECT_EQ(Session.counters().OversizedLines, 1u);
+
+  // A final unterminated line is still served, like the stdin REPL at EOF.
+  int Fd2 = connectTcp(Srv.port());
+  ASSERT_GE(Fd2, 0);
+  std::string T2 = runScript(Fd2, "pts p", scaledMs(10000));
+  ::close(Fd2);
+  EXPECT_NE(T2.find("pts(p): 1\n"), std::string::npos) << T2;
+  Srv.stop();
+}
+
+TEST(Server, RequestStopDrainsInFlightRequestsBeforeClosing) {
+  ServeSession Session(makeSnapshot(tinySystem()));
+  ServerOptions SrvOpts;
+  SrvOpts.Workers = 2;
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  int Fd = connectTcp(Srv.port());
+  ASSERT_GE(Fd, 0);
+  // Two requests in flight / pending when the drain begins; both must be
+  // answered before the server closes the connection.
+  ASSERT_TRUE(sendAll(Fd, "sleep 200\npts p\n"));
+  std::this_thread::sleep_for(scaledMs(50));
+  Srv.requestStop();
+  std::string Transcript = readToEof(Fd, scaledMs(20000));
+  ::close(Fd);
+  Srv.wait();
+  EXPECT_NE(Transcript.find("slept 200 ms\n"), std::string::npos)
+      << Transcript;
+  EXPECT_NE(Transcript.find("pts(p): 1\n"), std::string::npos) << Transcript;
+}
+
+TEST(Server, IdleConnectionsAreReapedAndCounted) {
+  ServeSession Session(makeSnapshot(tinySystem()));
+  ServerOptions SrvOpts;
+  // The idle clock compares against wall time, so scale the threshold up
+  // with the suite instead of the read deadline only.
+  SrvOpts.IdleTimeoutSeconds = 0.1 * ag::test::timeoutScale();
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  int Fd = connectTcp(Srv.port());
+  ASSERT_GE(Fd, 0);
+  // Read everything until the server closes us: only the banner, then EOF
+  // once the reaper fires.
+  std::string Out = readToEof(Fd, scaledMs(30000));
+  ::close(Fd);
+  EXPECT_NE(Out.find("serving"), std::string::npos);
+  ServerCounters SC = Srv.counters();
+  EXPECT_GE(SC.IdleClosed, 1u);
+  Srv.stop();
+}
+
+TEST(Server, ResolveSwapUnderLiveQueryLoadKeepsReadersConsistent) {
+  // Base/delta split where the delta genuinely adds points-to facts.
+  ConstraintSystem Full = mediumSystem();
+  DeltaSplit Split = splitDelta(Full, 0.3, /*Seed=*/5);
+  ConstraintSystem DeltaCS = Full.cloneNodeTable();
+  for (const Constraint &Cst : Split.Delta)
+    DeltaCS.add(Cst);
+  std::string DeltaPath = ::testing::TempDir() + "server_swap_delta.cons";
+  ASSERT_TRUE(DeltaCS.writeToFile(DeltaPath));
+
+  Snapshot BaseSnap = makeSnapshot(Split.Base);
+  // The snapshot is OVS-reduced, so grow checks below compare against it,
+  // not the pre-reduction split.
+  const size_t BaseConstraints = BaseSnap.CS.constraints().size();
+  ServeSession Session(std::move(BaseSnap));
+  ServerOptions SrvOpts;
+  SrvOpts.Workers = 4;
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  // Three readers hammer pts while the writer swaps the epoch: every
+  // reply must be a complete, well-formed answer from *some* epoch —
+  // never a torn or half-built one (TSan guards the memory side).
+  std::atomic<bool> Failed{false};
+  std::vector<std::thread> Readers;
+  for (int RIdx = 0; RIdx != 3; ++RIdx)
+    Readers.emplace_back([&, RIdx] {
+      int Fd = connectTcp(Srv.port());
+      if (Fd < 0) {
+        Failed.store(true);
+        return;
+      }
+      LineReader R{Fd, {}};
+      std::string Line;
+      if (!R.next(Line, scaledMs(10000))) { // Banner.
+        Failed.store(true);
+        ::close(Fd);
+        return;
+      }
+      for (int I = 0; I != 60 && !Failed.load(); ++I) {
+        std::string Q = "pts " + std::to_string((RIdx * 7 + I) % 20) + "\n";
+        if (!sendAll(Fd, Q) || !R.next(Line, scaledMs(10000)) ||
+            Line.rfind("pts(", 0) != 0) {
+          Failed.store(true);
+          break;
+        }
+      }
+      sendAll(Fd, "quit\n");
+      ::close(Fd);
+    });
+
+  // The writer swaps mid-load.
+  int WFd = connectTcp(Srv.port());
+  ASSERT_GE(WFd, 0);
+  std::string WriterOut =
+      runScript(WFd, "resolve " + DeltaPath + "\nquit\n", scaledMs(60000));
+  ::close(WFd);
+  EXPECT_NE(WriterOut.find("resolved: outcome precise"), std::string::npos)
+      << WriterOut;
+
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_FALSE(Failed.load()) << "a reader saw a torn or missing reply";
+  Srv.stop();
+
+  // The swap stuck: the served system now contains the delta.
+  EXPECT_GT(Session.servingSnapshot().CS.constraints().size(),
+            BaseConstraints);
+}
+
+#ifdef AG_PTATOOL_PATH
+
+std::string slurpFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+bool waitForFile(const std::string &Path, std::chrono::milliseconds Limit,
+                 bool WantSocket = false) {
+  auto End = Clock::now() + Limit;
+  while (Clock::now() < End) {
+    std::ifstream Probe(Path);
+    if (WantSocket) {
+      // A socket path is not openable as a file; existence check instead.
+      if (::access(Path.c_str(), F_OK) == 0)
+        return true;
+    } else if (Probe.good()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(ServerE2e, SigtermDrainsUnixSocketServeAndExitsZero) {
+  std::string Dir = ::testing::TempDir();
+  std::string Cons = Dir + "server_e2e.cons";
+  std::string Snap = Dir + "server_e2e.snap";
+  std::string Sock = Dir + "server_e2e.sock";
+  std::string ErrPath = Dir + "server_e2e.err";
+  std::string PidPath = Dir + "server_e2e.pid";
+  std::string RcPath = Dir + "server_e2e.rc";
+  ::unlink(Sock.c_str());
+  ::unlink(PidPath.c_str());
+  ::unlink(RcPath.c_str());
+
+  ASSERT_TRUE(tinySystem().writeToFile(Cons));
+  {
+    std::string Cmd = std::string(AG_PTATOOL_PATH) + " snapshot " + Cons +
+                      " " + Snap + " > /dev/null";
+    ASSERT_EQ(WEXITSTATUS(std::system(Cmd.c_str())), 0);
+  }
+
+  // Launch the server detached; the orphaned inner shell records the
+  // server's pid and, on exit, its status (so the test can assert a
+  // graceful 0 without being the parent).
+  std::string Cmd = "( ( exec " + std::string(AG_PTATOOL_PATH) + " serve " +
+                    Snap + " --unix-socket " + Sock + " 2> " + ErrPath +
+                    " ) & echo $! > " + PidPath + "; wait $!; echo $? > " +
+                    RcPath + " ) &";
+  ASSERT_EQ(WEXITSTATUS(std::system(Cmd.c_str())), 0);
+  ASSERT_TRUE(waitForFile(Sock, scaledMs(20000), /*WantSocket=*/true))
+      << "server never bound its unix socket; stderr: "
+      << slurpFile(ErrPath);
+
+  // One live query through the socket proves the server is up.
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  ASSERT_LT(Sock.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Sock.c_str(), Sock.size() + 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  ASSERT_TRUE(sendAll(Fd, "pts p\n"));
+  LineReader R{Fd, {}};
+  std::string Line;
+  ASSERT_TRUE(R.next(Line, scaledMs(10000))); // Banner.
+  ASSERT_TRUE(R.next(Line, scaledMs(10000)));
+  EXPECT_EQ(Line, "pts(p): 1");
+
+  ASSERT_TRUE(waitForFile(PidPath, scaledMs(5000)));
+  int Pid = std::atoi(slurpFile(PidPath).c_str());
+  ASSERT_GT(Pid, 0);
+  ASSERT_EQ(::kill(Pid, SIGTERM), 0);
+
+  // Drain: exit code 0, socket unlinked, our open connection sees EOF.
+  ASSERT_TRUE(waitForFile(RcPath, scaledMs(20000)))
+      << "server did not exit after SIGTERM; stderr: " << slurpFile(ErrPath);
+  std::string Rest = readToEof(Fd, scaledMs(10000));
+  ::close(Fd);
+  EXPECT_EQ(Rest, "") << "no partial reply may leak during drain";
+  EXPECT_EQ(std::atoi(slurpFile(RcPath).c_str()), 0)
+      << "stderr: " << slurpFile(ErrPath);
+  EXPECT_NE(slurpFile(ErrPath).find("drained:"), std::string::npos);
+  EXPECT_NE(::access(Sock.c_str(), F_OK), 0)
+      << "the unix socket must be unlinked on shutdown";
+}
+
+#endif // AG_PTATOOL_PATH
+
+} // namespace

@@ -1,0 +1,50 @@
+//===- TestTimeouts.h - Scaled test deadlines -------------------*- C++ -*-===//
+//
+// Part of the grasshopper project, reproducing Hardekopf & Lin, PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One knob for every wall-clock deadline a test takes: AG_TEST_TIMEOUT_SCALE
+/// multiplies them all. Sanitizer CI legs (TSan runs 5-20x slower) export a
+/// scale instead of each test hand-tuning its own sleeps; locally the
+/// default scale of 1 keeps the suite fast. Deadlines guard against hangs —
+/// a test must pass with arbitrary extra slowness, never depend on a sleep
+/// being "long enough" on its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AG_TESTS_TESTTIMEOUTS_H
+#define AG_TESTS_TESTTIMEOUTS_H
+
+#include <chrono>
+#include <cstdlib>
+
+namespace ag {
+namespace test {
+
+/// The AG_TEST_TIMEOUT_SCALE multiplier (>= 1; silently clamped to
+/// [1, 1000], default 1 when unset or unparsable).
+inline unsigned timeoutScale() {
+  static const unsigned Scale = [] {
+    const char *Env = std::getenv("AG_TEST_TIMEOUT_SCALE");
+    if (!Env)
+      return 1u;
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End == Env || V < 1)
+      return 1u;
+    return V > 1000 ? 1000u : unsigned(V);
+  }();
+  return Scale;
+}
+
+/// \p Ms milliseconds scaled by AG_TEST_TIMEOUT_SCALE.
+inline std::chrono::milliseconds scaledMs(unsigned Ms) {
+  return std::chrono::milliseconds(uint64_t(Ms) * timeoutScale());
+}
+
+} // namespace test
+} // namespace ag
+
+#endif // AG_TESTS_TESTTIMEOUTS_H

@@ -24,8 +24,9 @@ Rows from every bench file given are merged; the gate compares each
 fresh run fail (a renamed suite must refresh the baseline). Tolerance
 is 25% by default and can be loosened for noisy runners via the
 AG_PERF_TOLERANCE environment variable (e.g. 0.5 allows +50%). Rows
-whose baseline sits below the timing floor (0.05 ms -- trivial demand
-queries resolve in a few hundred nanoseconds) are compared against the
+whose baseline sits below the timing floor (0.1 ms -- trivial demand
+queries resolve in a few hundred nanoseconds, and the smallest suite's
+whole solve fits in tens of microseconds) are compared against the
 floor instead, so timer jitter on sub-resolution rows cannot flake the
 gate while a real collapse into heavyweight work still fails. CI also
 honors a `[skip-perf-guard]` commit-message tag to skip the step
@@ -48,7 +49,11 @@ DEMAND_ROWS = (
     ("demand-max-query", "max_query_ms"),
 )
 DEFAULT_TOLERANCE = 0.25
-FLOOR_MS = 0.05
+# Rows whose baseline sits below this are gated against the floor, not
+# the baseline: a 0.06 ms row routinely measures 0.08-0.12 ms on a busy
+# runner (scheduler quantum effects dominate), which would flake a
+# straight 25% comparison while telling us nothing.
+FLOOR_MS = 0.1
 # Serving with full request telemetry may cost at most this multiple of
 # the obs-off run (bench_queries' telemetry_overhead section; the
 # measured steady-state ratio is ~1.25x, the bound leaves noise room).

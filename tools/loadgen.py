@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Load generator for the networked `ptatool serve` front-end.
+
+Drives M concurrent clients against a running server (TCP or unix
+socket), each pipelining a seeded mix of pts / alias / pointedby
+queries and reading replies until the server closes the connection
+after the trailing `quit`. Every reply stream is asserted: one reply
+line per query on top of the banner, every line non-empty, no `ERR`
+replies unless --allow-errors. Prints aggregate QPS and an error
+summary; exits non-zero when any assertion fails.
+
+Usage against a running server:
+    loadgen.py --port 7777 --clients 8 --queries 2000 --nodes 500
+    loadgen.py --unix-socket /tmp/pta.sock --clients 4
+
+Or let it launch the server itself (it parses the `serving on ...`
+stderr line for the bound endpoint, then SIGTERMs the server and
+checks the drain message on the way out):
+    loadgen.py --launch "./ptatool serve snap.bin --port 0" --clients 8
+
+The query mix draws node ids below --nodes from a --seed'ed PRNG, so
+two runs with the same flags produce byte-identical request streams
+(useful for A/B runs across server builds).
+"""
+
+import argparse
+import random
+import re
+import shlex
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+
+def build_script(seed, queries, nodes, pool_size):
+    rng = random.Random(seed)
+    pool = [rng.randrange(nodes) for _ in range(max(1, pool_size))]
+    lines = []
+    for _ in range(queries):
+        a = rng.choice(pool)
+        kind = rng.randrange(4)
+        if kind <= 1:
+            lines.append("pts %d" % a)
+        elif kind == 2:
+            lines.append("alias %d %d" % (a, rng.choice(pool)))
+        else:
+            lines.append("pointedby %d" % a)
+    lines.append("quit")
+    return ("\n".join(lines) + "\n").encode()
+
+
+class ClientResult(object):
+    def __init__(self):
+        self.ok = False
+        self.reply_lines = 0
+        self.err_replies = 0
+        self.detail = ""
+
+
+def run_client(endpoint, script, queries, timeout, result):
+    try:
+        if isinstance(endpoint, tuple):
+            sock = socket.create_connection(endpoint, timeout=timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(endpoint)
+    except OSError as e:
+        result.detail = "connect failed: %s" % e
+        return
+    try:
+        sock.sendall(script)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(1 << 16)
+            except socket.timeout:
+                result.detail = "read timed out"
+                return
+            if not chunk:
+                break
+            chunks.append(chunk)
+    finally:
+        sock.close()
+    data = b"".join(chunks)
+    if data and not data.endswith(b"\n"):
+        result.detail = "reply stream does not end with a newline"
+        return
+    lines = data.decode("utf-8", "replace").splitlines()
+    result.reply_lines = len(lines)
+    if any(not l for l in lines):
+        result.detail = "empty reply line"
+        return
+    result.err_replies = sum(
+        1 for l in lines if l.startswith("ERR") or l.startswith("error:"))
+    # One reply line per query rides on top of the banner (and quit's
+    # goodbye, if any) -- fewer means the server dropped replies.
+    if len(lines) < queries:
+        result.detail = "%d reply lines for %d queries" % (len(lines), queries)
+        return
+    result.ok = True
+
+
+def launch_server(cmd, timeout):
+    # No shell wrapper: SIGTERM must reach ptatool itself, not an
+    # intermediate sh that dies with the default disposition.
+    proc = subprocess.Popen(shlex.split(cmd), stderr=subprocess.PIPE)
+    deadline = time.monotonic() + timeout
+    endpoint = None
+    for raw in proc.stderr:
+        line = raw.decode("utf-8", "replace")
+        sys.stderr.write("[server] " + line)
+        m = re.search(r"serving on (\S+)", line)
+        if m:
+            ep = m.group(1)
+            tcp = re.match(r"(\d+\.\d+\.\d+\.\d+):(\d+)$", ep)
+            if tcp:
+                endpoint = (tcp.group(1), int(tcp.group(2)))
+            else:
+                endpoint = ep[5:] if ep.startswith("unix:") else ep
+            break
+        if time.monotonic() > deadline:
+            break
+    if endpoint is None:
+        proc.terminate()
+        raise SystemExit("error: server never printed 'serving on ...'")
+    return proc, endpoint
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--port", type=int, help="TCP port of a running server")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--unix-socket", help="unix socket of a running server")
+    ap.add_argument("--launch",
+                    help="shell command that starts `ptatool serve ...`; "
+                    "the bound endpoint is parsed from its stderr")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--queries", type=int, default=2000,
+                    help="queries per client")
+    ap.add_argument("--nodes", type=int, default=1000,
+                    help="query node ids are drawn below this bound")
+    ap.add_argument("--pool", type=int, default=128,
+                    help="distinct ids per client (cache-heavy mix)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--timeout", type=float, default=60.0,
+                    help="per-socket-operation timeout in seconds")
+    ap.add_argument("--allow-errors", action="store_true",
+                    help="do not fail on ERR replies (e.g. shedding tests)")
+    args = ap.parse_args()
+
+    modes = sum(x is not None for x in (args.port, args.unix_socket, args.launch))
+    if modes != 1:
+        ap.error("exactly one of --port, --unix-socket, --launch is required")
+
+    proc = None
+    if args.launch:
+        proc, endpoint = launch_server(args.launch, args.timeout)
+    elif args.port is not None:
+        endpoint = (args.host, args.port)
+    else:
+        endpoint = args.unix_socket
+
+    scripts = [
+        build_script(args.seed * 1000 + c, args.queries, args.nodes, args.pool)
+        for c in range(args.clients)
+    ]
+    results = [ClientResult() for _ in range(args.clients)]
+    threads = [
+        threading.Thread(target=run_client,
+                         args=(endpoint, scripts[c], args.queries,
+                               args.timeout, results[c]))
+        for c in range(args.clients)
+    ]
+    t0 = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.monotonic() - t0
+
+    failed = 0
+    err_replies = 0
+    for c, r in enumerate(results):
+        err_replies += r.err_replies
+        if not r.ok:
+            failed += 1
+            print("client %d FAILED: %s" % (c, r.detail or "unknown"),
+                  file=sys.stderr)
+    total = args.clients * args.queries
+    qps = total / wall if wall > 0 else 0.0
+    print("loadgen: %d clients x %d queries in %.3f s -> %.0f qps "
+          "(%d failed clients, %d ERR replies)" %
+          (args.clients, args.queries, wall, qps, failed, err_replies))
+
+    rc = 0
+    if failed:
+        rc = 1
+    if err_replies and not args.allow_errors:
+        print("loadgen: unexpected ERR replies (use --allow-errors to permit)",
+              file=sys.stderr)
+        rc = 1
+
+    if proc is not None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("loadgen: server did not drain after SIGTERM", file=sys.stderr)
+            rc = 1
+        else:
+            if proc.returncode != 0:
+                print("loadgen: server exited %d after SIGTERM" % proc.returncode,
+                      file=sys.stderr)
+                rc = 1
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
