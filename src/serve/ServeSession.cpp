@@ -100,8 +100,11 @@ Status ServeSession::materializeEngine(StatePtr &St) {
     return Status::okStatus();
   std::lock_guard<std::mutex> Lock(MutateMu);
   // Another request may have materialized while we waited for the lock;
-  // adopt its epoch instead of escalating twice.
-  if (StatePtr Cur = state(); Cur->Engine) {
+  // adopt its epoch instead of escalating twice. Cur stays live past the
+  // check: every publish happens under MutateMu, so it is the current
+  // epoch for the whole escalation below.
+  StatePtr Cur = state();
+  if (Cur->Engine) {
     St = std::move(Cur);
     return Status::okStatus();
   }
@@ -119,7 +122,10 @@ Status ServeSession::materializeEngine(StatePtr &St) {
   // Certified demand classes keep answering pointsTo/alias ahead of the
   // snapshot solution.
   NS->Engine->attachDemandMemo(Tier);
-  NS->Names = St->Names; // Escalation never changes the node table.
+  // Escalation never changes the node table, but the CALLER's epoch can
+  // predate a demand resolve that did: pair the engine with the current
+  // epoch's table so delta-added nodes stay resolvable by name.
+  NS->Names = Cur->Names;
   publishState(NS);
   St = std::move(NS);
   return Status::okStatus();

@@ -56,10 +56,21 @@ struct Server::Connection {
   bool PeerClosed = false; ///< recv() saw EOF.
 
   // --- guarded by Server::QMu ---
-  /// Pipelined lines waiting for this connection's in-flight request
-  /// (line, admission time — the deadline clock starts at admission).
-  std::deque<std::pair<std::string, Clock::time_point>> Pending;
+  /// One unit of pipelined work: a line to execute (the deadline clock
+  /// starts at its admission time), or a pre-rendered reply the poll
+  /// thread handed off via queueReply (IsReply).
+  struct PendingItem {
+    std::string Text;
+    Clock::time_point Enqueued;
+    bool IsReply = false;
+  };
+  /// Work waiting behind this connection's in-flight request.
+  std::deque<PendingItem> Pending;
   bool Busy = false; ///< A worker is executing (or flushing) a line.
+  /// Pre-rendered reply bytes queued but not yet taken by a worker;
+  /// bounded so a client flooding errors without reading cannot grow
+  /// memory.
+  size_t PendingReplyBytes = 0;
 
   // --- atomics, written by workers / read by the poll thread ---
   std::atomic<bool> CloseAfterReply{false}; ///< `quit` was executed.
@@ -140,7 +151,27 @@ Status Server::listenUnix() {
   Addr.sun_family = AF_UNIX;
   std::memcpy(Addr.sun_path, Opts.UnixSocketPath.c_str(),
               Opts.UnixSocketPath.size() + 1);
-  ::unlink(Opts.UnixSocketPath.c_str()); // Stale socket from a crash.
+  // Reclaim the path only when nothing answers on it: unconditionally
+  // unlinking would silently steal the endpoint from a live server. A
+  // connect() that succeeds means someone is serving; ECONNREFUSED means
+  // a stale socket from a crash (ENOENT: no socket at all, nothing to
+  // reclaim). Any other probe failure leaves the path alone and lets
+  // bind() report the conflict.
+  if (int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      Probe >= 0) {
+    int RC = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                       sizeof(Addr));
+    int Err = errno;
+    ::close(Probe);
+    if (RC == 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+      return Status::ioError("serve: unix socket " + Opts.UnixSocketPath +
+                             " is in use by a live server");
+    }
+    if (Err == ECONNREFUSED)
+      ::unlink(Opts.UnixSocketPath.c_str());
+  }
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0) {
     ::close(ListenFd);
@@ -331,17 +362,26 @@ void Server::acceptPending() {
                                                 Conns.size());
     }
     obs::flight("serve_conn_accept", Conn->Id);
-    sendToConnection(Conn, Session.bannerText());
+    // A worker sends the banner; it is queued before any line can be
+    // admitted, so it still precedes the first reply.
+    queueReply(Conn, Session.bannerText());
   }
 }
 
 void Server::readConnection(const std::shared_ptr<Connection> &Conn) {
   char Buf[4096];
-  for (;;) {
+  // Bounded work per wakeup: a client pumping bytes faster than we drain
+  // them must not pin the poll thread in this loop while other sockets
+  // wait. poll() is level-triggered, so leftover bytes re-signal on the
+  // next iteration and the reader resumes after everyone else got a turn.
+  for (int Rounds = 0; Rounds != 16;) {
     ssize_t N = ::recv(Conn->Fd, Buf, sizeof(Buf), 0);
     if (N > 0) {
+      ++Rounds;
       Conn->LastActiveNs.store(nowNs(), std::memory_order_relaxed);
       ingestBytes(Conn, Buf, size_t(N));
+      if (Conn->Dead.load(std::memory_order_acquire))
+        return; // Flood-killed by the reply cap; stop ingesting.
       continue;
     }
     if (N < 0 && errno == EINTR)
@@ -354,10 +394,10 @@ void Server::readConnection(const std::shared_ptr<Connection> &Conn) {
     if (Conn->Discarding) {
       Conn->Discarding = false;
       Session.noteOversizedLine();
-      sendToConnection(Conn,
-                       "error: line too long (max " +
-                           std::to_string(Session.options().MaxLineBytes) +
-                           " bytes)\n");
+      queueReply(Conn,
+                 "error: line too long (max " +
+                     std::to_string(Session.options().MaxLineBytes) +
+                     " bytes)\n");
     } else if (!Conn->InBuf.empty()) {
       std::string Line;
       Line.swap(Conn->InBuf);
@@ -378,8 +418,8 @@ void Server::ingestBytes(const std::shared_ptr<Connection> &Conn,
         // identical to the REPL's bounded reader.
         Conn->Discarding = false;
         Session.noteOversizedLine();
-        sendToConnection(Conn, "error: line too long (max " +
-                                   std::to_string(Max) + " bytes)\n");
+        queueReply(Conn, "error: line too long (max " + std::to_string(Max) +
+                             " bytes)\n");
       } else {
         std::string Line;
         Line.swap(Conn->InBuf);
@@ -418,7 +458,7 @@ void Server::admitLine(const std::shared_ptr<Connection> &Conn,
                 " pending)\n";
       } else {
         Session.noteAdmitted();
-        Conn->Pending.emplace_back(std::move(Line), Clock::now());
+        Conn->Pending.push_back({std::move(Line), Clock::now(), false});
         return;
       }
     } else {
@@ -435,12 +475,44 @@ void Server::admitLine(const std::shared_ptr<Connection> &Conn,
       }
     }
   }
-  // Shed/shutdown path: the reply goes out after QMu is released so a
-  // slow client can never stall admission for everyone else.
+  // Shed/shutdown path: the drop is recorded here, but the reply bytes
+  // are handed to a worker — a blocking send from the poll thread would
+  // stall admission for everyone else, and the client that earned this
+  // reply is exactly the kind that may have stopped reading.
   if (Kind == ServeSession::DropKind::Overloaded)
     obs::flight("serve_overload_shed", Backlog);
-  sendToConnection(Conn, Reply);
   Session.noteDroppedRequest(Kind, Line, Reply, /*WaitedNanos=*/0, Conn->Id);
+  queueReply(Conn, std::move(Reply));
+}
+
+void Server::queueReply(const std::shared_ptr<Connection> &Conn,
+                        std::string Reply) {
+  // Pre-rendered replies ride the same per-connection pipeline as
+  // executed lines, so their bytes interleave with request replies in
+  // admission order — byte-identical to the serial REPL's transcript.
+  constexpr size_t MaxPendingReplyBytes = 64u << 10;
+  if (Conn->Dead.load(std::memory_order_acquire))
+    return; // Replies to a dead connection have nowhere to go.
+  bool Promote = false;
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    if (Conn->PendingReplyBytes + Reply.size() > MaxPendingReplyBytes) {
+      // The client piles up error replies faster than it reads them;
+      // reap it instead of buffering without bound.
+      Conn->Dead.store(true, std::memory_order_release);
+      return;
+    }
+    Conn->PendingReplyBytes += Reply.size();
+    if (Conn->Busy || !Conn->Pending.empty()) {
+      Conn->Pending.push_back({std::move(Reply), Clock::now(), true});
+    } else {
+      Conn->Busy = true;
+      Queue.push_back(Task{Conn, std::move(Reply), Clock::now(), true});
+      Promote = true;
+    }
+  }
+  if (Promote)
+    QCv.notify_one();
 }
 
 void Server::closeConnection(const std::shared_ptr<Connection> &Conn,
@@ -521,14 +593,27 @@ void Server::workerLoop() {
         return; // WorkersExit with a drained queue.
       T = std::move(Queue.front());
       Queue.pop_front();
+      if (T.IsReply)
+        T.Conn->PendingReplyBytes -= T.Line.size();
       ++BusyWorkers;
     }
     Replies.clear();
     for (unsigned Batch = 1;; ++Batch) {
-      executeTask(T, Replies);
-      if (Batch >= BatchLimit ||
-          T.Conn->CloseAfterReply.load(std::memory_order_acquire) ||
-          T.Conn->Dead.load(std::memory_order_acquire))
+      if (T.IsReply) {
+        // A pre-rendered reply from the poll thread (banner, oversized/
+        // shed error); the drop telemetry was recorded at admit time.
+        Replies += T.Line;
+      } else if (T.Conn->CloseAfterReply.load(std::memory_order_acquire)) {
+        // Lines pipelined behind a `quit` get the same answer the REPL's
+        // queue gives requests admitted after shutdown began.
+        std::string Reply = "ERR shutdown: session closing\n";
+        Replies += Reply;
+        Session.noteDroppedRequest(ServeSession::DropKind::Shutdown, T.Line,
+                                   Reply, /*WaitedNanos=*/0, T.Conn->Id);
+      } else {
+        executeTask(T, Replies);
+      }
+      if (Batch >= BatchLimit || T.Conn->Dead.load(std::memory_order_acquire))
         break;
       if (Replies.size() >= FlushBytes) {
         if (!sendToConnection(T.Conn, Replies))
@@ -541,8 +626,11 @@ void Server::workerLoop() {
           break;
         auto P = std::move(T.Conn->Pending.front());
         T.Conn->Pending.pop_front();
-        T.Line = std::move(P.first);
-        T.Enqueued = P.second;
+        T.Line = std::move(P.Text);
+        T.Enqueued = P.Enqueued;
+        T.IsReply = P.IsReply;
+        if (T.IsReply)
+          T.Conn->PendingReplyBytes -= T.Line.size();
       }
     }
     if (!Replies.empty())
@@ -579,36 +667,35 @@ void Server::executeTask(Task &T, std::string &Replies) {
 }
 
 void Server::finishTask(const std::shared_ptr<Connection> &Conn) {
-  std::deque<std::pair<std::string, Clock::time_point>> Dropped;
   bool Promoted = false;
   {
     std::lock_guard<std::mutex> Lock(QMu);
-    if (Conn->CloseAfterReply.load(std::memory_order_relaxed)) {
-      Dropped.swap(Conn->Pending); // Flushed below; Busy stays set so the
-                                   // poll thread cannot close mid-flush.
+    if (Conn->Dead.load(std::memory_order_acquire)) {
+      // Nothing queued can reach a dead socket; drop the pipeline whole
+      // so the poller reaps without cycling each item through a worker.
+      Conn->Pending.clear();
+      Conn->PendingReplyBytes = 0;
+      Conn->Busy = false;
     } else if (!Conn->Pending.empty()) {
+      // The connection stays Busy: at most one in-flight item per client
+      // keeps its transcript byte-identical to the serial REPL's. (Lines
+      // pipelined behind a `quit` stay queued too — the batch loop turns
+      // them into shutdown errors.) Reply items keep their byte budget
+      // until a worker pops them from the global queue.
       auto P = std::move(Conn->Pending.front());
       Conn->Pending.pop_front();
-      // The connection stays Busy: at most one in-flight line per client
-      // keeps its transcript byte-identical to the serial REPL's.
-      Queue.push_back(Task{Conn, std::move(P.first), P.second});
+      Queue.push_back(Task{Conn, std::move(P.Text), P.Enqueued, P.IsReply});
       Promoted = true;
+    } else {
+      // Busy clears only with an empty pipeline, under the same lock
+      // admitLine/queueReply append under, so no item can be stranded
+      // with nobody scheduled to send it.
+      Conn->Busy = false;
     }
+    --BusyWorkers;
   }
   if (Promoted)
     QCv.notify_one();
-  for (auto &P : Dropped) {
-    std::string Reply = "ERR shutdown: session closing\n";
-    sendToConnection(Conn, Reply);
-    Session.noteDroppedRequest(ServeSession::DropKind::Shutdown, P.first,
-                               Reply, /*WaitedNanos=*/0, Conn->Id);
-  }
-  {
-    std::lock_guard<std::mutex> Lock(QMu);
-    if (!Promoted)
-      Conn->Busy = false;
-    --BusyWorkers;
-  }
   // Wake the poller only when it has something due: a quitting/dead
   // connection to reap, or a drain check during shutdown. On the steady
   // path it is already watching this connection's fd, and a per-request
@@ -643,6 +730,8 @@ bool Server::sendToConnection(const std::shared_ptr<Connection> &Conn,
     if (N < 0 && errno == EINTR)
       continue;
     if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Conn->Dead.load(std::memory_order_acquire))
+        break; // Flood-killed under us; no point finishing the flush.
       if (Clock::now() >= Deadline)
         break; // Client stopped reading; drop it, don't wedge a worker.
       pollfd Pfd = {Conn->Fd, POLLOUT, 0};

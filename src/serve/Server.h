@@ -15,7 +15,10 @@
 ///    connection's bounded line reader (oversized lines are drained in
 ///    O(1) memory and answered with the same structured error the stdin
 ///    REPL produces), and admits complete lines into a bounded global
-///    queue feeding a worker pool.
+///    queue feeding a worker pool. All socket writes happen on workers:
+///    the poll thread hands banners and error replies off as pre-rendered
+///    reply tasks, so a client that stops reading can stall only its own
+///    worker (until the write timeout), never accept/read/reap.
 ///  * Per-connection ordering: a connection has at most one line executing
 ///    at a time; further pipelined lines wait in its own bounded pending
 ///    deque and are promoted when the previous reply is on the wire, so a
@@ -67,8 +70,10 @@ struct ServerOptions {
   /// reports the actual one). Ignored when UnixSocketPath is set.
   uint16_t Port = 0;
 
-  /// When non-empty, listen on this AF_UNIX stream socket instead of TCP
-  /// (the path is unlinked first and removed again on shutdown).
+  /// When non-empty, listen on this AF_UNIX stream socket instead of TCP.
+  /// A stale path (crash leftover nothing answers on) is reclaimed; a
+  /// path a live server still answers on is an "in use" startup error.
+  /// The path is removed again on shutdown.
   std::string UnixSocketPath;
 
   /// Connection cap: an accept beyond it is answered with `ERR
@@ -146,8 +151,10 @@ private:
   struct Connection;
   struct Task {
     std::shared_ptr<Connection> Conn;
+    /// A line to execute, or (IsReply) a pre-rendered reply to send.
     std::string Line;
     std::chrono::steady_clock::time_point Enqueued;
+    bool IsReply = false;
   };
 
   Status listenTcp();
@@ -159,9 +166,16 @@ private:
   void ingestBytes(const std::shared_ptr<Connection> &Conn, const char *Data,
                    size_t Len);
   /// Admits one complete line: global queue when the connection is free,
-  /// its pending deque otherwise; sheds (with the reply sent outside the
-  /// lock) when either is full.
+  /// its pending deque otherwise; sheds (with the reply handed to a
+  /// worker via queueReply) when either is full.
   void admitLine(const std::shared_ptr<Connection> &Conn, std::string Line);
+  /// Poll-thread reply path: enqueues a pre-rendered reply (banner,
+  /// oversized-line error, shed/shutdown error) through the connection's
+  /// ordinary pipeline so a worker sends it. The poll thread itself never
+  /// writes to a client socket — a send can block on the write mutex held
+  /// by a worker mid-flush or stall on a client that is not reading, and
+  /// either would freeze accept/read/reap for every connection.
+  void queueReply(const std::shared_ptr<Connection> &Conn, std::string Reply);
   /// Runs one line and appends the reply to \p Replies (the worker
   /// coalesces a batch of replies into a single send).
   void executeTask(Task &T, std::string &Replies);
@@ -172,7 +186,9 @@ private:
                        const char *Reason);
   void reapConnections();
   /// Writes the whole buffer; on a stall past WriteTimeoutSeconds or a
-  /// peer error marks the connection dead. Never called under QMu.
+  /// peer error marks the connection dead. Worker threads only (may block
+  /// up to the write timeout) and never called under QMu; the poll thread
+  /// uses queueReply instead.
   bool sendToConnection(const std::shared_ptr<Connection> &Conn,
                         const std::string &Data);
   void wakePoll();

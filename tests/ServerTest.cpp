@@ -79,6 +79,24 @@ ConstraintSystem mediumSystem() {
   return generateBenchmark(Spec);
 }
 
+int connectUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
 int connectTcp(uint16_t Port) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
@@ -345,6 +363,119 @@ TEST(Server, OversizedAndGarbageLinesGetReplStructuredErrorsPerConn) {
   std::string T2 = runScript(Fd2, "pts p", scaledMs(10000));
   ::close(Fd2);
   EXPECT_NE(T2.find("pts(p): 1\n"), std::string::npos) << T2;
+  Srv.stop();
+}
+
+TEST(Server, UnixSocketInUseIsRefusedStaleIsReclaimed) {
+  std::string Sock = ::testing::TempDir() + "server_inuse.sock";
+  ::unlink(Sock.c_str());
+
+  ServeSession SessionA(makeSnapshot(tinySystem()));
+  ServerOptions SrvOpts;
+  SrvOpts.UnixSocketPath = Sock;
+  Server A(SessionA, SrvOpts);
+  ASSERT_TRUE(A.start().ok());
+
+  // A second server on the same path must fail instead of silently
+  // unlinking the live server's socket and stealing the endpoint.
+  ServeSession SessionB(makeSnapshot(tinySystem()));
+  Server B(SessionB, SrvOpts);
+  Status St = B.start();
+  ASSERT_FALSE(St.ok());
+  EXPECT_NE(St.toString().find("in use"), std::string::npos) << St.toString();
+
+  // The first server still owns the endpoint and still serves.
+  int Fd = connectUnix(Sock);
+  ASSERT_GE(Fd, 0);
+  std::string T = runScript(Fd, "pts p\nquit\n", scaledMs(10000));
+  ::close(Fd);
+  EXPECT_NE(T.find("pts(p): 1\n"), std::string::npos) << T;
+  A.stop();
+  EXPECT_NE(::access(Sock.c_str(), F_OK), 0);
+
+  // A stale path — bound once by a process that died without unlinking —
+  // is reclaimed: connect() on it gets ECONNREFUSED, so startup proceeds.
+  int Stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Stale, 0);
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  ASSERT_LT(Sock.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Sock.c_str(), Sock.size() + 1);
+  ASSERT_EQ(::bind(Stale, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ::close(Stale);
+  ASSERT_EQ(::access(Sock.c_str(), F_OK), 0);
+
+  ServeSession SessionC(makeSnapshot(tinySystem()));
+  Server C(SessionC, SrvOpts);
+  ASSERT_TRUE(C.start().ok());
+  int Fd2 = connectUnix(Sock);
+  ASSERT_GE(Fd2, 0);
+  std::string T2 = runScript(Fd2, "pts p\nquit\n", scaledMs(10000));
+  ::close(Fd2);
+  EXPECT_NE(T2.find("pts(p): 1\n"), std::string::npos) << T2;
+  C.stop();
+}
+
+TEST(Server, FloodingNonReaderNeverStallsOtherClients) {
+  ServeOptions SessOpts;
+  SessOpts.MaxLineBytes = 64;
+  ServeSession Session(makeSnapshot(tinySystem()), SessOpts);
+  ServerOptions SrvOpts;
+  SrvOpts.Workers = 2;
+  Server Srv(Session, SrvOpts);
+  ASSERT_TRUE(Srv.start().ok());
+
+  // The flooder pipelines oversized garbage and never reads a byte:
+  // every line earns an error reply it will not consume, so the server
+  // side of its socket wedges — the exact overload these replies handle.
+  // The poll thread must keep serving everyone else regardless; only the
+  // flooder's own worker may stall, and the pending-reply cap kills the
+  // connection. A tiny receive buffer (set before connect so the
+  // handshake honors it) makes the wedge happen fast.
+  std::atomic<bool> Done{false};
+  std::thread Flooder([&] {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return;
+    int Small = 2048;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &Small, sizeof(Small));
+    timeval SendTimeout = {0, 200000}; // Bounded sends keep join() safe.
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                 sizeof(SendTimeout));
+    sockaddr_in Addr = {};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Srv.port());
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0) {
+      std::string Chunk;
+      for (int I = 0; I != 128; ++I)
+        Chunk += std::string(80, 'z') + "\n";
+      while (!Done.load() && sendAll(Fd, Chunk)) {
+      }
+    }
+    ::close(Fd);
+  });
+
+  // Meanwhile a well-behaved client's round trips must all complete
+  // promptly: a poll thread that blocks sending the flooder's error
+  // replies would starve this connection's reads and admissions.
+  int B = connectTcp(Srv.port());
+  ASSERT_GE(B, 0);
+  LineReader Rb{B, {}};
+  std::string Line;
+  ASSERT_TRUE(Rb.next(Line, scaledMs(5000))); // Banner.
+  for (int I = 0; I != 30; ++I) {
+    ASSERT_TRUE(sendAll(B, "pts p\n"));
+    ASSERT_TRUE(Rb.next(Line, scaledMs(5000)))
+        << "query " << I << " starved behind the flooder";
+    EXPECT_EQ(Line, "pts(p): 1");
+  }
+  Done.store(true);
+  sendAll(B, "quit\n");
+  ::close(B);
+  Flooder.join();
   Srv.stop();
 }
 
